@@ -1,0 +1,101 @@
+// Command kdpbench regenerates the paper's evaluation: Table 1 (CPU
+// availability factors) and Table 2 (copy throughput) for the RAM, RZ58
+// and RZ56 device types, plus the ablation sweeps listed in DESIGN.md.
+//
+// Usage:
+//
+//	kdpbench                  # both tables
+//	kdpbench -table 1         # CPU availability only
+//	kdpbench -table 2         # throughput only
+//	kdpbench -sweep quantum   # one of: quantum, watermark, sharing,
+//	                          # filesize, socket, rate, layout
+//	kdpbench -series          # per-window availability timeline
+//	kdpbench -disks RAM,RZ58  # restrict device types
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kdp/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1 or 2; 0 = both)")
+	sweep := flag.String("sweep", "", "run an ablation sweep: quantum, watermark, sharing, filesize, socket, rate, layout")
+	series := flag.Bool("series", false, "print the per-window availability time series instead of tables")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	disks := flag.String("disks", "RAM,RZ58,RZ56", "comma-separated device types")
+	flag.Parse()
+
+	kinds, err := parseDisks(*disks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kdpbench:", err)
+		os.Exit(2)
+	}
+
+	if *series {
+		for _, kind := range kinds {
+			fmt.Print(bench.RunSeries(kind))
+			fmt.Println()
+		}
+		return
+	}
+
+	if *sweep != "" {
+		out, err := bench.RunSweep(*sweep, kinds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kdpbench:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *table == 0 || *table == 1 {
+		rows := bench.Table1(kinds)
+		if *csvOut {
+			fmt.Println("table,disk,f_cp,f_scp,improvement,pct_improve")
+			for _, r := range rows {
+				fmt.Printf("1,%s,%.4f,%.4f,%.4f,%.1f\n", r.Disk, r.Fcp, r.Fscp, r.Improvement, r.PctImprove)
+			}
+		} else {
+			fmt.Print(bench.FormatTable1(rows))
+			fmt.Println()
+		}
+	}
+	if *table == 0 || *table == 2 {
+		rows := bench.Table2(kinds)
+		if *csvOut {
+			fmt.Println("table,disk,scp_kbs,cp_kbs,pct_improve")
+			for _, r := range rows {
+				fmt.Printf("2,%s,%.1f,%.1f,%.1f\n", r.Disk, r.SCPKBs, r.CPKBs, r.PctImprove)
+			}
+		} else {
+			fmt.Print(bench.FormatTable2(rows))
+		}
+	}
+}
+
+func parseDisks(s string) ([]bench.DiskKind, error) {
+	var kinds []bench.DiskKind
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToUpper(strings.TrimSpace(name)) {
+		case "RAM":
+			kinds = append(kinds, bench.RAM)
+		case "RZ58":
+			kinds = append(kinds, bench.RZ58)
+		case "RZ56":
+			kinds = append(kinds, bench.RZ56)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown disk type %q", name)
+		}
+	}
+	if len(kinds) == 0 {
+		kinds = bench.AllDisks
+	}
+	return kinds, nil
+}

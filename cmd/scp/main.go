@@ -1,0 +1,60 @@
+// Command scp runs a single file copy on a simulated machine and
+// reports timing — the splice-based copy program of the paper's
+// experiments, with the read/write copier available for comparison.
+//
+// Usage:
+//
+//	scp [-disk RAM|RZ58|RZ56] [-mb 8] [-mode scp|cp|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kdp/internal/bench"
+	"kdp/internal/workload"
+)
+
+func main() {
+	diskName := flag.String("disk", "RAM", "disk type: RAM, RZ58 or RZ56")
+	mb := flag.Int64("mb", 8, "file size in megabytes")
+	mode := flag.String("mode", "both", "copy mode: scp, cp or both")
+	flag.Parse()
+
+	kind, ok := map[string]bench.DiskKind{
+		"RAM": bench.RAM, "RZ58": bench.RZ58, "RZ56": bench.RZ56,
+	}[*diskName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "scp: unknown disk %q\n", *diskName)
+		os.Exit(2)
+	}
+
+	s := bench.DefaultSetup(kind)
+	s.FileBytes = *mb << 20
+
+	run := func(m workload.CopyMode) {
+		res := bench.MeasureThroughput(s, m)
+		fmt.Printf("%-4s %2dMB on %-5s: %10v  %8.0f KB/s",
+			m, *mb, kind, res.Elapsed, res.ThroughputKBs())
+		if m == workload.CopySplice {
+			st := res.Splice
+			fmt.Printf("  (reads=%d writes=%d shared=%d callouts=%d)",
+				st.ReadsIssued, st.WritesIssued, st.Shared, st.Callouts)
+		}
+		fmt.Println()
+	}
+
+	switch *mode {
+	case "scp":
+		run(workload.CopySplice)
+	case "cp":
+		run(workload.CopyReadWrite)
+	case "both":
+		run(workload.CopySplice)
+		run(workload.CopyReadWrite)
+	default:
+		fmt.Fprintf(os.Stderr, "scp: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

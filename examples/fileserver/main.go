@@ -1,0 +1,178 @@
+// Fileserver demonstrates the use case that eventually made this
+// paper's idea universal (sendfile/splice in every modern kernel): a
+// server shipping files to network clients.
+//
+// Three clients each request a file over UDP; the server answers by
+// splicing the file straight to the client's socket — or, in -mode
+// user, by the classic read/write loop. Both serve identical bytes;
+// the difference is where the server's CPU time goes.
+//
+// Run with: go run ./examples/fileserver [-mode splice|user|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"kdp"
+)
+
+const (
+	fileBytes  = 256 << 10
+	numClients = 3
+	serverPort = 80
+)
+
+func main() {
+	mode := flag.String("mode", "both", "serving mode: splice, user or both")
+	flag.Parse()
+	switch *mode {
+	case "splice", "user":
+		serve(*mode)
+	case "both":
+		serve("splice")
+		serve("user")
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func serve(mode string) {
+	m := kdp.New(kdp.Config{
+		Disks: []kdp.DiskSpec{{Mount: "/srv", Kind: kdp.DiskRZ58, MB: 16}},
+	})
+	net := m.AddNet(kdp.NetEthernet10)
+
+	reqSock, _ := net.NewSocket(serverPort)
+	// One reply socket per client (the server "connects back").
+	replySocks := make([]int, numClients)
+	clientPorts := make([]int, numClients)
+	for i := 0; i < numClients; i++ {
+		clientPorts[i] = 1000 + i
+		replySocks[i] = 2000 + i
+	}
+
+	var serverCPU kdp.Duration
+	served := 0
+
+	// The server: parse tiny requests, answer with file contents.
+	srv := m.Spawn("server", func(p *kdp.Proc) {
+		// Publish the files.
+		for i := 0; i < numClients; i++ {
+			makeFile(p, fmt.Sprintf("/srv/file%d", i), fileBytes)
+		}
+		if err := m.ColdCaches(p); err != nil {
+			log.Fatal(err)
+		}
+		reqFD := p.InstallFile(reqSock, kdp.ORdOnly)
+		outs := make([]int, numClients)
+		for i := 0; i < numClients; i++ {
+			s, err := net.NewSocket(replySocks[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Connect(clientPorts[i])
+			outs[i] = p.InstallFile(s, kdp.OWrOnly)
+		}
+
+		buf := make([]byte, 256)
+		for served < numClients {
+			n, err := p.Read(reqFD, buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			var idx int
+			if _, err := fmt.Sscanf(strings.TrimSpace(string(buf[:n])), "GET file%d", &idx); err != nil {
+				continue
+			}
+			src, err := p.Open(fmt.Sprintf("/srv/file%d", idx), kdp.ORdOnly)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mode == "splice" {
+				if _, err := kdp.Splice(p, src, outs[idx], kdp.SpliceEOF); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				chunk := make([]byte, kdp.BlockSize)
+				for {
+					r, err := p.Read(src, chunk)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if r == 0 {
+						break
+					}
+					if _, err := p.Write(outs[idx], chunk[:r]); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			_ = p.Close(src)
+			served++
+		}
+	})
+
+	// The clients: send a request, count reply bytes.
+	got := make([]int, numClients)
+	for i := 0; i < numClients; i++ {
+		i := i
+		cs, err := net.NewSocket(clientPorts[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Connect(serverPort)
+		m.Spawn(fmt.Sprintf("client%d", i), func(p *kdp.Proc) {
+			fd := p.InstallFile(cs, kdp.ORdWr)
+			// Stagger the requests a little.
+			p.SleepFor(kdp.Duration(i) * 20 * kdp.Millisecond)
+			if _, err := p.Write(fd, []byte(fmt.Sprintf("GET file%d", i))); err != nil {
+				log.Fatal(err)
+			}
+			buf := make([]byte, 16<<10)
+			for got[i] < fileBytes {
+				n, err := p.Read(fd, buf)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				got[i] += n
+			}
+		})
+	}
+
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	serverCPU = srv.UserTime() + srv.SysTime()
+	for i, g := range got {
+		if g != fileBytes {
+			log.Fatalf("client %d got %d of %d bytes", i, g, fileBytes)
+		}
+	}
+	fmt.Printf("%-6s server: %d files x %dKB served in %v; server process CPU: %v\n",
+		mode, numClients, fileBytes>>10, m.Now(), serverCPU)
+}
+
+func makeFile(p *kdp.Proc, path string, n int) {
+	fd, err := p.Open(path, kdp.OCreat|kdp.OWrOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunk := make([]byte, kdp.BlockSize)
+	for off := 0; off < n; off += len(chunk) {
+		if _, err := p.Write(fd, chunk); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := p.Close(fd); err != nil {
+		log.Fatal(err)
+	}
+}

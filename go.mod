@@ -1,0 +1,3 @@
+module kdp
+
+go 1.22

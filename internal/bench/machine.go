@@ -1,0 +1,182 @@
+// Package bench is the experiment harness: it builds the paper's
+// measurement machine (DecStation 5000/200, 32MB memory, 3.2MB buffer
+// cache, two disks of a chosen type) and regenerates every table of the
+// evaluation section plus the ablation sweeps documented in DESIGN.md.
+package bench
+
+import (
+	"fmt"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// DiskKind selects one of the paper's three device types.
+type DiskKind int
+
+// The measured device types.
+const (
+	RAM DiskKind = iota
+	RZ58
+	RZ56
+)
+
+// AllDisks lists the device types in the paper's table order.
+var AllDisks = []DiskKind{RAM, RZ58, RZ56}
+
+func (k DiskKind) String() string {
+	switch k {
+	case RAM:
+		return "RAM"
+	case RZ58:
+		return "RZ58"
+	case RZ56:
+		return "RZ56"
+	default:
+		return fmt.Sprintf("DiskKind(%d)", int(k))
+	}
+}
+
+// interleave returns the FFS allocation stride for this device: 2 for
+// mechanical disks (the 4.2BSD rotdelay layout), 1 for the RAM disk
+// (no rotation to outrun).
+func (k DiskKind) interleave() int {
+	if k == RAM {
+		return 1
+	}
+	return 2
+}
+
+// Params returns the disk model parameters for this kind.
+func (k DiskKind) Params(blocks int64, blockSize int) disk.Params {
+	switch k {
+	case RAM:
+		return disk.RAMDisk(blocks, blockSize)
+	case RZ58:
+		return disk.RZ58(blocks, blockSize)
+	case RZ56:
+		return disk.RZ56(blocks, blockSize)
+	default:
+		panic("bench: unknown disk kind")
+	}
+}
+
+// Setup configures one experiment machine.
+type Setup struct {
+	Disk DiskKind
+	// FileBytes is the copied file's size (the paper uses 8MB).
+	FileBytes int64
+	// CacheBufs is the buffer cache size in 8KB buffers (400 = 3.2MB,
+	// as measured).
+	CacheBufs int
+	// DiskBlocks sizes each disk (default: enough for the file plus
+	// slack).
+	DiskBlocks int64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// TestOps and TestOpCost define the CPU-bound test program's fixed
+	// set of operations.
+	TestOps    int
+	TestOpCost sim.Duration
+	// Interleave overrides the FFS allocation stride; 0 selects the
+	// device default (2 for mechanical disks, 1 for the RAM disk).
+	Interleave int
+}
+
+// DefaultSetup returns the paper's configuration for a disk type.
+func DefaultSetup(k DiskKind) Setup {
+	return Setup{
+		Disk:       k,
+		FileBytes:  8 << 20,
+		CacheBufs:  400,
+		Seed:       1,
+		TestOps:    600,
+		TestOpCost: 10 * sim.Millisecond, // 6s of pure compute
+	}
+}
+
+// BlockSize is the filesystem and buffer-cache block size.
+const BlockSize = 8192
+
+// Machine is a booted experiment machine: two disks with a filesystem
+// each, mounted at /src and /dst.
+type Machine struct {
+	K     *kernel.Kernel
+	Cache *buf.Cache
+	Disks [2]*disk.Disk
+	FSs   [2]*fs.FS
+	setup Setup
+}
+
+// NewMachine builds and formats the machine (filesystems are created on
+// the raw media; mounting happens in Boot).
+func NewMachine(s Setup) *Machine {
+	if s.FileBytes <= 0 {
+		s.FileBytes = 8 << 20
+	}
+	if s.CacheBufs <= 0 {
+		s.CacheBufs = 400
+	}
+	if s.DiskBlocks <= 0 {
+		// Mechanical disks use the interleaved (rotdelay) layout, which
+		// spreads a file over twice its size in physical blocks.
+		il := s.Interleave
+		if il == 0 {
+			il = s.Disk.interleave()
+		}
+		s.DiskBlocks = s.FileBytes/BlockSize*int64(il) + 64
+	}
+	cfg := kernel.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.MaxRunTime = 0
+	k := kernel.New(cfg)
+	m := &Machine{K: k, Cache: buf.NewCache(k, s.CacheBufs, BlockSize), setup: s}
+	for i := range m.Disks {
+		d := disk.New(k, s.Disk.Params(s.DiskBlocks, BlockSize))
+		d.SetCache(m.Cache)
+		if _, err := fs.Mkfs(d, 64); err != nil {
+			panic("bench: mkfs: " + err.Error())
+		}
+		m.Disks[i] = d
+	}
+	return m
+}
+
+// Boot mounts both filesystems from process context; it must be called
+// from the first process before any file access.
+func (m *Machine) Boot(p *kernel.Proc) error {
+	if m.FSs[0] != nil {
+		return nil
+	}
+	mounts := []string{"/src", "/dst"}
+	for i, d := range m.Disks {
+		f, err := fs.Mount(p.Ctx(), m.Cache, d)
+		if err != nil {
+			return err
+		}
+		il := m.setup.Interleave
+		if il == 0 {
+			il = m.setup.Disk.interleave()
+		}
+		f.SetInterleave(il)
+		m.FSs[i] = f
+		m.K.Mount(mounts[i], f)
+	}
+	return nil
+}
+
+// Run drives the machine to completion, panicking on simulator errors
+// (experiments must not deadlock).
+func (m *Machine) Run() {
+	if err := m.K.Run(); err != nil {
+		panic("bench: " + err.Error())
+	}
+}
+
+// Devices returns the two disks as buf.Devices (for cold starts).
+func (m *Machine) Devices() []buf.Device {
+	return []buf.Device{m.Disks[0], m.Disks[1]}
+}

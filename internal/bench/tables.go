@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/workload"
+)
+
+// srcPath and dstPath are the experiment file names.
+const (
+	srcPath = "/src/bigfile"
+	dstPath = "/dst/copy"
+)
+
+// MeasureIdle runs the CPU-bound test program alone and returns its
+// elapsed time — the Table 1 baseline.
+func MeasureIdle(s Setup) sim.Duration {
+	m := NewMachine(s)
+	var res workload.TestProgramResult
+	m.K.Spawn("test", func(p *kernel.Proc) {
+		if err := m.Boot(p); err != nil {
+			panic(err)
+		}
+		res = workload.RunTestProgram(p, s.TestOps, s.TestOpCost)
+	})
+	m.Run()
+	return res.Elapsed
+}
+
+// AvailabilityResult is one Table 1 environment measurement.
+type AvailabilityResult struct {
+	TestElapsed sim.Duration
+	CopyRounds  int
+	CopyBytes   int64
+	Stats       kernel.CPUStats
+}
+
+// MeasureAvailability runs the test program concurrently with a looping
+// copy of the configured file (mode selects cp or scp) and reports the
+// test program's elapsed time for its fixed set of operations.
+func MeasureAvailability(s Setup, mode workload.CopyMode) AvailabilityResult {
+	m := NewMachine(s)
+	stop := false
+	ready := false
+	var test workload.TestProgramResult
+	var rounds int
+	var bytes int64
+
+	// The copier starts first so the load exists from the test's first
+	// operation; it keeps copying (cold cache each round) until the
+	// test completes its fixed op count.
+	m.K.Spawn("copier", func(p *kernel.Proc) {
+		if err := m.Boot(p); err != nil {
+			panic(err)
+		}
+		if err := workload.MakeFile(p, srcPath, s.FileBytes, 7); err != nil {
+			panic(err)
+		}
+		ready = true
+		m.K.Wakeup(&ready)
+		spec := workload.DefaultCopySpec(srcPath, dstPath, mode)
+		var err error
+		rounds, bytes, err = workload.LoopCopy(p, spec, m.Cache, m.Devices(), &stop)
+		if err != nil {
+			panic(err)
+		}
+	})
+	m.K.Spawn("test", func(p *kernel.Proc) {
+		// Wait for the copier to finish creating the source file so
+		// the measurement covers pure copy contention.
+		for !ready {
+			_ = p.Sleep(&ready, kernel.PWAIT)
+		}
+		test = workload.RunTestProgram(p, s.TestOps, s.TestOpCost)
+		stop = true
+	})
+	m.Run()
+	return AvailabilityResult{
+		TestElapsed: test.Elapsed,
+		CopyRounds:  rounds,
+		CopyBytes:   bytes,
+		Stats:       m.K.Stats(),
+	}
+}
+
+// MeasureThroughput performs a single cold-cache copy on an otherwise
+// idle machine and reports the achieved throughput — one Table 2 cell.
+func MeasureThroughput(s Setup, mode workload.CopyMode) workload.CopyResult {
+	m := NewMachine(s)
+	var res workload.CopyResult
+	m.K.Spawn("copier", func(p *kernel.Proc) {
+		if err := m.Boot(p); err != nil {
+			panic(err)
+		}
+		if err := workload.MakeFile(p, srcPath, s.FileBytes, 7); err != nil {
+			panic(err)
+		}
+		if err := workload.ColdStart(p, m.Cache, m.Devices()...); err != nil {
+			panic(err)
+		}
+		var err error
+		res, err = workload.Copy(p, workload.DefaultCopySpec(srcPath, dstPath, mode))
+		if err != nil {
+			panic(err)
+		}
+	})
+	m.Run()
+	return res
+}
+
+// Table1Row is one row of "CPU Availability Factors (Copying 8 MB
+// File)".
+type Table1Row struct {
+	Disk        DiskKind
+	Fcp         float64 // slowdown of the test program in the CP environment
+	Fscp        float64 // slowdown in the SCP environment
+	Improvement float64 // Fcp / Fscp
+	PctImprove  float64 // (Improvement - 1) * 100
+}
+
+// Table1 regenerates the paper's Table 1 for the given disk types.
+func Table1(disks []DiskKind) []Table1Row {
+	rows := make([]Table1Row, 0, len(disks))
+	for _, d := range disks {
+		s := DefaultSetup(d)
+		idle := MeasureIdle(s)
+		cp := MeasureAvailability(s, workload.CopyReadWrite)
+		scp := MeasureAvailability(s, workload.CopySplice)
+		r := Table1Row{
+			Disk: d,
+			Fcp:  float64(cp.TestElapsed) / float64(idle),
+			Fscp: float64(scp.TestElapsed) / float64(idle),
+		}
+		r.Improvement = r.Fcp / r.Fscp
+		r.PctImprove = (r.Improvement - 1) * 100
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Table2Row is one row of "Mean Throughput Measurements (Copying 8 MB
+// File)".
+type Table2Row struct {
+	Disk       DiskKind
+	SCPKBs     float64
+	CPKBs      float64
+	PctImprove float64
+}
+
+// Table2 regenerates the paper's Table 2 for the given disk types.
+func Table2(disks []DiskKind) []Table2Row {
+	rows := make([]Table2Row, 0, len(disks))
+	for _, d := range disks {
+		s := DefaultSetup(d)
+		scp := MeasureThroughput(s, workload.CopySplice)
+		cp := MeasureThroughput(s, workload.CopyReadWrite)
+		r := Table2Row{
+			Disk:   d,
+			SCPKBs: scp.ThroughputKBs(),
+			CPKBs:  cp.ThroughputKBs(),
+		}
+		r.PctImprove = (r.SCPKBs/r.CPKBs - 1) * 100
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU Availability Factors (Copying 8 MB File)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s\n", "Disk", "F_cp", "F_scp", "Improvement", "%-Improve")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %12.2f %12.2f %12.2f %11.0f%%\n",
+			r.Disk, r.Fcp, r.Fscp, r.Improvement, r.PctImprove)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mean Throughput Measurements (Copying 8 MB File)\n")
+	fmt.Fprintf(&b, "%-6s %16s %16s %14s\n", "Disk", "SCP (KB/s)", "CP (KB/s)", "%-Improve")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %16.0f %16.0f %13.0f%%\n", r.Disk, r.SCPKBs, r.CPKBs, r.PctImprove)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+// Package buf implements a 4.2BSD-style block buffer cache: fixed-size
+// buffers addressed by (device, physical block), a hash table for
+// lookup, an LRU free list, delayed and asynchronous writes, and
+// interrupt-time completion via biodone with optional B_CALL handlers.
+//
+// The splice mechanism (internal/splice) is written against this
+// interface exactly as the paper describes (§5.1): bread, getblk,
+// bawrite, brelse, plus non-blocking variants with the biowait calls
+// removed and a getblk variant that allocates a header but no data
+// memory.
+package buf
+
+import (
+	"fmt"
+
+	"kdp/internal/kernel"
+)
+
+// Buffer flags, following the 4.2BSD names.
+const (
+	BRead   = 1 << iota // I/O direction is read (else write)
+	BDone               // I/O complete; contents valid
+	BBusy               // owned by someone; not on the free list
+	BWanted             // someone is sleeping waiting for this buffer
+	BDelwri             // delayed write: dirty, write before reuse
+	BAsync              // release the buffer at I/O completion
+	BCall               // invoke Iodone at I/O completion
+	BInval              // contents invalid; do not cache
+	BError              // I/O failed
+	BAge                // stale: recycle preferentially
+	BNoMem              // header only; Data aliases another buffer (splice)
+)
+
+// Device is the block-device driver interface. Strategy enqueues the
+// request described by b and returns immediately; the driver completes
+// it later by calling Biodone at interrupt level.
+type Device interface {
+	// Strategy queues the I/O request. The direction is b.Flags&BRead.
+	Strategy(b *Buf)
+	// DevBlockSize returns the device's native block size in bytes.
+	DevBlockSize() int
+	// DevBlocks returns the device capacity in blocks.
+	DevBlocks() int64
+	// DevName identifies the device in traces and errors.
+	DevName() string
+}
+
+// Buf is a buffer header, possibly with attached data memory. The
+// Splice* fields are the "new fields in the buffer header structure"
+// the paper adds (§5.4) so completion handlers can find the splice
+// descriptor and logical block a buffer belongs to.
+type Buf struct {
+	Flags  int
+	Dev    Device
+	Blkno  int64 // physical block number on Dev
+	Bcount int   // transfer length in bytes
+	Resid  int   // bytes not transferred (error cases)
+	Data   []byte
+	Err    error
+
+	// Iodone is invoked at interrupt level when the I/O completes and
+	// BCall is set.
+	Iodone func(k *kernel.Kernel, b *Buf)
+
+	// SpliceDesc links the buffer to its splice descriptor.
+	SpliceDesc any
+	// SpliceLblk is the logical block number within the spliced file.
+	SpliceLblk int64
+	// SplicePeer links a write-side header to the read-side buffer
+	// whose data area it shares.
+	SplicePeer *Buf
+
+	cache    *Buf // unused; placeholder to keep header size honest
+	pool     *Cache
+	hashNext *Buf
+	hashed   bool
+	freePrev *Buf
+	freeNext *Buf
+	onFree   bool
+}
+
+func (b *Buf) String() string {
+	dev := "?"
+	if b.Dev != nil {
+		dev = b.Dev.DevName()
+	}
+	return fmt.Sprintf("buf{%s#%d flags=%#x n=%d}", dev, b.Blkno, b.Flags, b.Bcount)
+}
+
+// HasFlags reports whether all the given flags are set.
+func (b *Buf) HasFlags(f int) bool { return b.Flags&f == f }

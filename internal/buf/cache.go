@@ -1,0 +1,586 @@
+package buf
+
+import (
+	"fmt"
+
+	"kdp/internal/kernel"
+)
+
+type devblk struct {
+	dev Device
+	blk int64
+}
+
+// Cache is the system buffer cache: a fixed pool of block-sized buffers
+// shared by every mounted filesystem, as in 4.2BSD. The paper's
+// measured system used a 3.2MB cache with 8KB blocks (400 buffers).
+type Cache struct {
+	k         *kernel.Kernel
+	blockSize int
+	hash      map[devblk]*Buf
+
+	// LRU free list of reusable buffers (intrusive doubly linked).
+	freeHead *Buf
+	freeTail *Buf
+	nfree    int
+	nbuf     int
+
+	// Stats
+	hits      int64
+	misses    int64
+	reads     int64
+	writes    int64
+	delwrites int64
+	recycles  int64
+	flushes   int64
+}
+
+// NewCache builds a cache of nbuf buffers of blockSize bytes each,
+// attached to kernel k for sleeping/charging.
+func NewCache(k *kernel.Kernel, nbuf, blockSize int) *Cache {
+	if nbuf < 4 {
+		panic("buf: cache needs at least 4 buffers")
+	}
+	if blockSize <= 0 {
+		panic("buf: blockSize must be positive")
+	}
+	c := &Cache{
+		k:         k,
+		blockSize: blockSize,
+		hash:      make(map[devblk]*Buf, nbuf),
+		nbuf:      nbuf,
+	}
+	for i := 0; i < nbuf; i++ {
+		b := &Buf{pool: c, Data: make([]byte, blockSize), Flags: BInval}
+		c.freePush(b, false)
+	}
+	return c
+}
+
+// BlockSize returns the cache's buffer size.
+func (c *Cache) BlockSize() int { return c.blockSize }
+
+// NumBuffers returns the size of the buffer pool.
+func (c *Cache) NumBuffers() int { return c.nbuf }
+
+// FreeBuffers returns how many buffers are on the free list.
+func (c *Cache) FreeBuffers() int { return c.nfree }
+
+// Stats describes cache activity since boot.
+type Stats struct {
+	Hits, Misses                 int64
+	Reads, Writes, DelayedWrites int64
+	Recycles, Flushes            int64
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits: c.hits, Misses: c.misses,
+		Reads: c.reads, Writes: c.writes, DelayedWrites: c.delwrites,
+		Recycles: c.recycles, Flushes: c.flushes,
+	}
+}
+
+// ---- free list management ----
+
+func (c *Cache) freePush(b *Buf, front bool) {
+	if b.onFree {
+		panic("buf: freePush of buffer already on free list")
+	}
+	b.onFree = true
+	c.nfree++
+	if c.freeHead == nil {
+		c.freeHead, c.freeTail = b, b
+		return
+	}
+	if front {
+		b.freeNext = c.freeHead
+		c.freeHead.freePrev = b
+		c.freeHead = b
+	} else {
+		b.freePrev = c.freeTail
+		c.freeTail.freeNext = b
+		c.freeTail = b
+	}
+}
+
+func (c *Cache) freeRemove(b *Buf) {
+	if !b.onFree {
+		panic("buf: freeRemove of buffer not on free list")
+	}
+	if b.freePrev != nil {
+		b.freePrev.freeNext = b.freeNext
+	} else {
+		c.freeHead = b.freeNext
+	}
+	if b.freeNext != nil {
+		b.freeNext.freePrev = b.freePrev
+	} else {
+		c.freeTail = b.freePrev
+	}
+	b.freePrev, b.freeNext = nil, nil
+	b.onFree = false
+	c.nfree--
+}
+
+func (c *Cache) hashInsert(b *Buf) {
+	key := devblk{b.Dev, b.Blkno}
+	b.hashNext = c.hash[key]
+	c.hash[key] = b
+	b.hashed = true
+}
+
+func (c *Cache) hashRemove(b *Buf) {
+	if !b.hashed {
+		return
+	}
+	key := devblk{b.Dev, b.Blkno}
+	cur := c.hash[key]
+	if cur == b {
+		if b.hashNext == nil {
+			delete(c.hash, key)
+		} else {
+			c.hash[key] = b.hashNext
+		}
+	} else {
+		for cur != nil && cur.hashNext != b {
+			cur = cur.hashNext
+		}
+		if cur != nil {
+			cur.hashNext = b.hashNext
+		}
+	}
+	b.hashNext = nil
+	b.hashed = false
+}
+
+// Peek returns the cached buffer for (dev, blkno) without claiming it,
+// or nil. Used by fsync-style scans.
+func (c *Cache) Peek(dev Device, blkno int64) *Buf {
+	for b := c.hash[devblk{dev, blkno}]; b != nil; b = b.hashNext {
+		if b.Dev == dev && b.Blkno == blkno && b.Flags&BInval == 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+// incore reports whether (dev, blkno) is present in the cache.
+func (c *Cache) incore(dev Device, blkno int64) *Buf {
+	return c.Peek(dev, blkno)
+}
+
+// ---- getblk and friends ----
+
+// Getblk returns a locked (BBusy) buffer for (dev, blkno). If the block
+// is cached the cached buffer is returned (BDone will be set if its
+// contents are valid). Otherwise an LRU buffer is recycled — pushing
+// out a delayed write first if necessary — and returned with BDone
+// clear. May sleep; the ctx must allow sleeping.
+func (c *Cache) Getblk(ctx kernel.Ctx, dev Device, blkno int64) *Buf {
+	b, err := c.getblk(ctx, dev, blkno, true)
+	if err != nil {
+		panic("buf: blocking getblk returned error: " + err.Error())
+	}
+	return b
+}
+
+// GetblkNB is the non-blocking getblk used at interrupt level (splice):
+// it returns kernel.ErrWouldBlock instead of sleeping when the buffer
+// is busy or no buffer can be recycled without waiting.
+func (c *Cache) GetblkNB(ctx kernel.Ctx, dev Device, blkno int64) (*Buf, error) {
+	return c.getblk(ctx, dev, blkno, false)
+}
+
+func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep bool) (*Buf, error) {
+	if dev == nil {
+		panic("buf: getblk on nil device")
+	}
+	if blkno < 0 || blkno >= dev.DevBlocks() {
+		panic(fmt.Sprintf("buf: getblk block %d out of range on %s", blkno, dev.DevName()))
+	}
+	ctx.Use(c.k.Config().BufHashCost)
+	for {
+		if b := c.incore(dev, blkno); b != nil {
+			if b.Flags&BBusy != 0 {
+				if !canSleep {
+					return nil, kernel.ErrWouldBlock
+				}
+				b.Flags |= BWanted
+				if err := ctx.Sleep(b, kernel.PRIBIO+1); err != nil {
+					return nil, err
+				}
+				continue // re-lookup: the buffer may have been recycled
+			}
+			c.freeRemove(b)
+			b.Flags |= BBusy
+			c.hits++
+			return b, nil
+		}
+		// Miss: recycle from the head of the free list.
+		c.misses++
+		b, err := c.reclaim(ctx, canSleep)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			continue // slept waiting for a free buffer; retry lookup
+		}
+		c.hashRemove(b)
+		b.Dev = dev
+		b.Blkno = blkno
+		b.Bcount = c.blockSize
+		b.Flags = BBusy
+		b.Err = nil
+		b.Resid = 0
+		b.Iodone = nil
+		b.SpliceDesc = nil
+		b.SpliceLblk = 0
+		b.SplicePeer = nil
+		c.hashInsert(b)
+		return b, nil
+	}
+}
+
+// reclaim pops a reusable buffer from the free list, starting delayed
+// writes as it encounters them (as 4.2BSD getblk does). Returns nil
+// with no error if it had to sleep (caller retries), or ErrWouldBlock
+// in non-blocking mode when nothing is immediately reusable.
+func (c *Cache) reclaim(ctx kernel.Ctx, canSleep bool) (*Buf, error) {
+	for {
+		b := c.freeHead
+		if b == nil {
+			if !canSleep {
+				return nil, kernel.ErrWouldBlock
+			}
+			// Every buffer is busy: wait for a release.
+			if err := ctx.Sleep(&c.freeHead, kernel.PRIBIO+1); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if b.Flags&BDelwri != 0 {
+			// Push the delayed write out asynchronously and look again.
+			c.freeRemove(b)
+			b.Flags |= BBusy
+			c.Bawrite(ctx, b)
+			continue
+		}
+		c.freeRemove(b)
+		c.recycles++
+		return b, nil
+	}
+}
+
+// Brelse unlocks the buffer and returns it to the free list, waking any
+// waiters, as 4.2BSD brelse(). Callable from interrupt context.
+func (c *Cache) Brelse(ctx kernel.Ctx, b *Buf) {
+	if b.Flags&BBusy == 0 {
+		panic("buf: brelse of non-busy buffer " + b.String())
+	}
+	if b.Flags&BNoMem != 0 {
+		panic("buf: brelse of header-only buffer (use ReleaseHeader)")
+	}
+	if b.Flags&BWanted != 0 {
+		b.Flags &^= BWanted
+		c.k.Wakeup(b)
+	}
+	if b.Flags&(BError|BInval) != 0 {
+		// Unusable contents: recycle first and drop from the hash.
+		c.hashRemove(b)
+		b.Flags = BInval
+		c.freePush(b, true)
+	} else {
+		front := b.Flags&BAge != 0
+		b.Flags &^= BBusy | BAsync | BAge
+		c.freePush(b, front)
+	}
+	// Anyone waiting for any free buffer.
+	c.k.Wakeup(&c.freeHead)
+}
+
+// Bread returns a buffer containing block blkno of dev, reading it from
+// the device if it is not cached. The returned buffer is busy; release
+// with Brelse. Blocks until the I/O completes (biowait), so the ctx
+// must allow sleeping.
+func (c *Cache) Bread(ctx kernel.Ctx, dev Device, blkno int64) (*Buf, error) {
+	b := c.Getblk(ctx, dev, blkno)
+	if b.Flags&BDone != 0 {
+		return b, nil
+	}
+	b.Flags |= BRead
+	c.reads++
+	dev.Strategy(b)
+	if err := c.Biowait(ctx, b); err != nil {
+		c.Brelse(ctx, b)
+		return nil, err
+	}
+	return b, nil
+}
+
+// Breada is Bread plus an asynchronous read-ahead of rablkno (if valid
+// and not already cached), mirroring 4.2BSD breada().
+func (c *Cache) Breada(ctx kernel.Ctx, dev Device, blkno, rablkno int64) (*Buf, error) {
+	if rablkno >= 0 && rablkno < dev.DevBlocks() && c.incore(dev, rablkno) == nil {
+		rb, err := c.getblk(ctx, dev, rablkno, true)
+		if err == nil && rb.Flags&BDone == 0 {
+			rb.Flags |= BRead | BAsync
+			c.reads++
+			dev.Strategy(rb)
+		} else if err == nil {
+			// Raced into the cache already; just release.
+			c.Brelse(ctx, rb)
+		}
+	}
+	return c.Bread(ctx, dev, blkno)
+}
+
+// Bwrite writes the buffer synchronously: it waits for completion and
+// releases the buffer.
+func (c *Cache) Bwrite(ctx kernel.Ctx, b *Buf) error {
+	b.Flags &^= BRead | BDelwri | BDone | BAsync
+	c.writes++
+	b.Dev.Strategy(b)
+	err := c.Biowait(ctx, b)
+	c.Brelse(ctx, b)
+	return err
+}
+
+// Bawrite starts an asynchronous write; the buffer is released by
+// biodone when the I/O completes. Callable from interrupt context.
+func (c *Cache) Bawrite(ctx kernel.Ctx, b *Buf) {
+	b.Flags &^= BRead | BDelwri | BDone
+	b.Flags |= BAsync
+	c.writes++
+	b.Dev.Strategy(b)
+}
+
+// Bdwrite marks the buffer dirty (delayed write) and releases it; the
+// data goes to disk when the buffer is recycled or flushed.
+func (c *Cache) Bdwrite(ctx kernel.Ctx, b *Buf) {
+	b.Flags |= BDelwri | BDone
+	c.delwrites++
+	c.Brelse(ctx, b)
+}
+
+// Biowait blocks until the buffer's I/O completes, returning any I/O
+// error, as 4.2BSD biowait().
+func (c *Cache) Biowait(ctx kernel.Ctx, b *Buf) error {
+	for b.Flags&BDone == 0 {
+		if err := ctx.Sleep(b, kernel.PRIBIO); err != nil {
+			return err
+		}
+	}
+	if b.Flags&BError != 0 {
+		if b.Err != nil {
+			return b.Err
+		}
+		return kernel.ErrNxIO
+	}
+	return nil
+}
+
+// Biodone is called by device drivers at interrupt level when a
+// transfer finishes: it marks the buffer done and either invokes the
+// BCall handler, releases an async buffer, or wakes sleepers in
+// biowait. This is the hook the splice read/write handlers hang off.
+func (c *Cache) Biodone(b *Buf) {
+	if b.Flags&BDone != 0 {
+		panic("buf: biodone on already-done buffer " + b.String())
+	}
+	b.Flags |= BDone
+	if b.Flags&BCall != 0 {
+		b.Flags &^= BCall
+		if b.Iodone == nil {
+			panic("buf: BCall set with nil Iodone")
+		}
+		b.Iodone(c.k, b)
+		return
+	}
+	if b.Flags&BAsync != 0 {
+		c.Brelse(c.k.IntrCtx(), b)
+		return
+	}
+	c.k.Wakeup(b)
+}
+
+// ---- splice support ----
+
+// StartRead issues an asynchronous read of (dev, blkno) with iodone
+// installed as the B_CALL completion handler — the paper's modified
+// bread() with the biowait removed (§5.3). It never sleeps: at
+// interrupt level it returns ErrWouldBlock if no buffer is available.
+// If the block is already cached and valid, the handler is invoked
+// immediately (from the caller's context) rather than via the device;
+// hit reports that case.
+func (c *Cache) StartRead(ctx kernel.Ctx, dev Device, blkno int64, desc any, lblk int64, iodone func(*kernel.Kernel, *Buf)) (hit bool, err error) {
+	b, err := c.getblk(ctx, dev, blkno, ctx.CanSleep())
+	if err != nil {
+		return false, err
+	}
+	b.SpliceDesc = desc
+	b.SpliceLblk = lblk
+	if b.Flags&BDone != 0 {
+		// Cache hit: data already valid.
+		iodone(c.k, b)
+		return true, nil
+	}
+	b.Flags |= BRead | BCall
+	b.Iodone = iodone
+	c.reads++
+	dev.Strategy(b)
+	return false, nil
+}
+
+// AllocHeader returns a bare buffer header with no data memory — the
+// paper's modified getblk() that "avoids allocating any real memory to
+// the buffer, but rather only sets the b_bcount field" (§5.4). The
+// header is not entered in the cache hash.
+func (c *Cache) AllocHeader(dev Device, blkno int64) *Buf {
+	return &Buf{
+		pool:   c,
+		Flags:  BBusy | BNoMem,
+		Dev:    dev,
+		Blkno:  blkno,
+		Bcount: c.blockSize,
+	}
+}
+
+// ReleaseHeader discards a header obtained from AllocHeader.
+func (c *Cache) ReleaseHeader(b *Buf) {
+	if b.Flags&BNoMem == 0 {
+		panic("buf: ReleaseHeader of pooled buffer")
+	}
+	b.Data = nil
+	b.SplicePeer = nil
+	b.Flags = BInval
+}
+
+// ---- flushing / invalidation ----
+
+// FlushDev writes out every delayed-write buffer belonging to dev. The
+// writes are issued asynchronously back-to-back and then awaited, which
+// is what a streaming fsync achieves on the real system. Returns the
+// number of blocks written.
+func (c *Cache) FlushDev(ctx kernel.Ctx, dev Device) (int, error) {
+	if !ctx.CanSleep() {
+		panic("buf: FlushDev requires process context")
+	}
+	var dirty []*Buf
+	for b := c.freeHead; b != nil; b = b.freeNext {
+		if b.Dev == dev && b.Flags&BDelwri != 0 {
+			dirty = append(dirty, b)
+		}
+	}
+	return c.flushBufs(ctx, dirty)
+}
+
+// FlushBlocks forces any delayed-write buffers among the given physical
+// blocks of dev to the device and waits (per-file fsync, driven by the
+// file's block map). Returns the number of blocks written.
+func (c *Cache) FlushBlocks(ctx kernel.Ctx, dev Device, blknos []int64) (int, error) {
+	if !ctx.CanSleep() {
+		panic("buf: FlushBlocks requires process context")
+	}
+	var dirty []*Buf
+	for _, bn := range blknos {
+		if b := c.incore(dev, bn); b != nil && b.Flags&BDelwri != 0 && b.Flags&BBusy == 0 {
+			dirty = append(dirty, b)
+		}
+	}
+	return c.flushBufs(ctx, dirty)
+}
+
+func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
+	c.flushes++
+	for _, b := range dirty {
+		c.freeRemove(b)
+		b.Flags |= BBusy
+		c.Bawrite(ctx, b)
+	}
+	// Wait for all of them to drain: async buffers are re-released to
+	// the free list by biodone, clearing BDelwri on the way out.
+	for _, b := range dirty {
+		for b.Flags&BBusy != 0 {
+			b.Flags |= BWanted
+			if err := ctx.Sleep(b, kernel.PRIBIO+1); err != nil {
+				return 0, err
+			}
+		}
+		if b.Flags&BError != 0 {
+			return 0, b.Err
+		}
+	}
+	return len(dirty), nil
+}
+
+// StartFlushDaemon arms a periodic callout that pushes delayed-write
+// buffers to their devices asynchronously, like the BSD update daemon's
+// 30-second sync. It runs entirely at interrupt level (bawrite never
+// sleeps), so it needs no process. Returns a stop function.
+//
+// The paper's experiments do not run it (they force write-through
+// explicitly), but a production system would; it bounds how long dirty
+// data sits in memory.
+func (c *Cache) StartFlushDaemon(intervalTicks int) (stop func()) {
+	if intervalTicks < 1 {
+		intervalTicks = 1
+	}
+	stopped := false
+	var arm func()
+	arm = func() {
+		c.k.Timeout(func() {
+			if stopped {
+				return
+			}
+			c.flushDirtyAsync()
+			arm()
+		}, intervalTicks)
+	}
+	arm()
+	return func() { stopped = true }
+}
+
+// flushDirtyAsync starts an asynchronous write for every delayed-write
+// buffer currently on the free list.
+func (c *Cache) flushDirtyAsync() {
+	var dirty []*Buf
+	for b := c.freeHead; b != nil; b = b.freeNext {
+		if b.Flags&BDelwri != 0 {
+			dirty = append(dirty, b)
+		}
+	}
+	ctx := c.k.IntrCtx()
+	for _, b := range dirty {
+		c.freeRemove(b)
+		b.Flags |= BBusy
+		c.Bawrite(ctx, b)
+	}
+	if len(dirty) > 0 {
+		c.flushes++
+	}
+}
+
+// InvalidateDev drops every non-busy cached block of dev (dirty blocks
+// are written first), producing the "read cache cold start condition"
+// the paper's experiments require (§6.1).
+func (c *Cache) InvalidateDev(ctx kernel.Ctx, dev Device) error {
+	if _, err := c.FlushDev(ctx, dev); err != nil {
+		return err
+	}
+	var victims []*Buf
+	for b := c.freeHead; b != nil; b = b.freeNext {
+		if b.Dev == dev && b.Flags&BInval == 0 {
+			victims = append(victims, b)
+		}
+	}
+	for _, b := range victims {
+		c.freeRemove(b)
+		c.hashRemove(b)
+		b.Flags = BInval
+		b.Dev = nil
+		c.freePush(b, true)
+	}
+	return nil
+}

@@ -1,0 +1,470 @@
+package buf
+
+import (
+	"testing"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// memDevice is a trivial instantaneous block device for cache tests: it
+// completes requests on the next engine event with a fixed latency.
+type memDevice struct {
+	k       *kernel.Kernel
+	c       *Cache
+	name    string
+	bsize   int
+	blocks  int64
+	data    []byte
+	latency sim.Duration
+	nreads  int
+	nwrites int
+}
+
+func newMemDevice(k *kernel.Kernel, name string, blocks int64, bsize int, latency sim.Duration) *memDevice {
+	return &memDevice{
+		k: k, name: name, bsize: bsize, blocks: blocks,
+		data:    make([]byte, blocks*int64(bsize)),
+		latency: latency,
+	}
+}
+
+func (d *memDevice) DevName() string   { return d.name }
+func (d *memDevice) DevBlockSize() int { return d.bsize }
+func (d *memDevice) DevBlocks() int64  { return d.blocks }
+
+func (d *memDevice) Strategy(b *Buf) {
+	d.k.Hold()
+	d.k.Engine().Schedule(d.latency, "memdev", func() {
+		off := b.Blkno * int64(d.bsize)
+		if b.Flags&BRead != 0 {
+			copy(b.Data[:b.Bcount], d.data[off:])
+			d.nreads++
+		} else {
+			copy(d.data[off:off+int64(b.Bcount)], b.Data[:b.Bcount])
+			d.nwrites++
+		}
+		d.k.Interrupt(func() { d.c.Biodone(b) })
+		d.k.Release()
+	})
+}
+
+type fixture struct {
+	k   *kernel.Kernel
+	c   *Cache
+	dev *memDevice
+}
+
+func newFixture(nbuf int) *fixture {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 120 * sim.Second
+	k := kernel.New(cfg)
+	c := NewCache(k, nbuf, 8192)
+	dev := newMemDevice(k, "mem0", 1024, 8192, 2*sim.Millisecond)
+	dev.c = c
+	return &fixture{k: k, c: c, dev: dev}
+}
+
+// runProc runs fn as a single process to completion.
+func (f *fixture) runProc(t *testing.T, fn func(p *kernel.Proc)) {
+	t.Helper()
+	f.k.Spawn("test", fn)
+	if err := f.k.Run(); err != nil {
+		t.Fatalf("kernel run: %v", err)
+	}
+}
+
+func TestBreadMissThenHit(t *testing.T) {
+	f := newFixture(16)
+	for i := range f.dev.data[:8192] {
+		f.dev.data[i] = byte(i % 251)
+	}
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b, err := f.c.Bread(ctx, f.dev, 0)
+		if err != nil {
+			t.Errorf("bread: %v", err)
+			return
+		}
+		if b.Data[100] != byte(100%251) {
+			t.Errorf("read data wrong: %d", b.Data[100])
+		}
+		f.c.Brelse(ctx, b)
+
+		before := f.dev.nreads
+		b2, err := f.c.Bread(ctx, f.dev, 0)
+		if err != nil {
+			t.Errorf("bread 2: %v", err)
+			return
+		}
+		if f.dev.nreads != before {
+			t.Error("second bread hit the device; expected cache hit")
+		}
+		if b2 != b {
+			t.Error("cache hit returned a different buffer")
+		}
+		f.c.Brelse(ctx, b2)
+	})
+	st := f.c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestBwriteRoundTrip(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 7)
+		for i := range b.Data {
+			b.Data[i] = 0xAB
+		}
+		if err := f.c.Bwrite(ctx, b); err != nil {
+			t.Errorf("bwrite: %v", err)
+		}
+		if f.dev.data[7*8192] != 0xAB || f.dev.data[8*8192-1] != 0xAB {
+			t.Error("bwrite did not reach the device")
+		}
+	})
+}
+
+func TestBdwriteDefersDeviceIO(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 3)
+		b.Data[0] = 0x55
+		f.c.Bdwrite(ctx, b)
+		if f.dev.nwrites != 0 {
+			t.Error("bdwrite hit the device immediately")
+		}
+		// A flush must push it out.
+		n, err := f.c.FlushDev(ctx, f.dev)
+		if err != nil || n != 1 {
+			t.Errorf("flush: n=%d err=%v", n, err)
+		}
+		if f.dev.data[3*8192] != 0x55 {
+			t.Error("flushed data missing on device")
+		}
+	})
+	if st := f.c.Stats(); st.DelayedWrites != 1 {
+		t.Fatalf("delayed writes = %d, want 1", st.DelayedWrites)
+	}
+}
+
+func TestDelayedWritePushedOnRecycle(t *testing.T) {
+	f := newFixture(4) // tiny cache forces recycling
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 0)
+		b.Data[0] = 0x77
+		f.c.Bdwrite(ctx, b)
+		// Touch enough other blocks to force the dirty buffer out.
+		for blk := int64(1); blk <= 8; blk++ {
+			nb, err := f.c.Bread(ctx, f.dev, blk)
+			if err != nil {
+				t.Errorf("bread %d: %v", blk, err)
+				return
+			}
+			f.c.Brelse(ctx, nb)
+		}
+		if f.dev.data[0] != 0x77 {
+			t.Error("recycling did not push the delayed write to the device")
+		}
+	})
+}
+
+func TestBusyBufferWait(t *testing.T) {
+	f := newFixture(16)
+	var order []string
+	holder := func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 5)
+		p.Compute(20 * sim.Millisecond) // hold it busy a while
+		order = append(order, "holder-release")
+		f.c.Brelse(ctx, b)
+	}
+	waiter := func(p *kernel.Proc) {
+		p.Compute(sim.Millisecond) // let holder get there first
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 5)
+		order = append(order, "waiter-got")
+		f.c.Brelse(ctx, b)
+	}
+	f.k.Spawn("holder", holder)
+	f.k.Spawn("waiter", waiter)
+	if err := f.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "holder-release" || order[1] != "waiter-got" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGetblkNBWouldBlockOnBusy(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 9)
+		_, err := f.c.GetblkNB(f.k.IntrCtx(), f.dev, 9)
+		if err != kernel.ErrWouldBlock {
+			t.Errorf("GetblkNB on busy buffer: err=%v, want ErrWouldBlock", err)
+		}
+		f.c.Brelse(ctx, b)
+	})
+}
+
+func TestFreeListExhaustionBlocks(t *testing.T) {
+	f := newFixture(4)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		var held []*Buf
+		for blk := int64(0); blk < 4; blk++ {
+			held = append(held, f.c.Getblk(ctx, f.dev, blk))
+		}
+		// Non-blocking path must refuse.
+		_, err := f.c.GetblkNB(f.k.IntrCtx(), f.dev, 100)
+		if err != kernel.ErrWouldBlock {
+			t.Errorf("GetblkNB with exhausted pool: %v, want ErrWouldBlock", err)
+		}
+		// Release one after a delay from a callout; blocking getblk
+		// must then succeed.
+		f.k.Timeout(func() {
+			f.c.Brelse(f.k.IntrCtx(), held[0])
+		}, 2)
+		b := f.c.Getblk(ctx, f.dev, 100)
+		if b == nil {
+			t.Error("getblk returned nil after free")
+		}
+		f.c.Brelse(ctx, b)
+		for _, hb := range held[1:] {
+			f.c.Brelse(ctx, hb)
+		}
+	})
+}
+
+func TestBreadaIssuesReadAhead(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b, err := f.c.Breada(ctx, f.dev, 0, 1)
+		if err != nil {
+			t.Errorf("breada: %v", err)
+			return
+		}
+		f.c.Brelse(ctx, b)
+		// Give the async read-ahead time to finish.
+		p.SleepFor(10 * sim.Millisecond)
+		if f.dev.nreads != 2 {
+			t.Errorf("device reads = %d, want 2 (block + read-ahead)", f.dev.nreads)
+		}
+		// Now block 1 must be a hit.
+		before := f.dev.nreads
+		b1, err := f.c.Bread(ctx, f.dev, 1)
+		if err != nil {
+			t.Errorf("bread 1: %v", err)
+			return
+		}
+		if f.dev.nreads != before {
+			t.Error("read-ahead block was not cached")
+		}
+		f.c.Brelse(ctx, b1)
+	})
+}
+
+func TestStartReadInvokesHandler(t *testing.T) {
+	f := newFixture(16)
+	copy(f.dev.data[2*8192:], []byte{1, 2, 3, 4})
+	f.runProc(t, func(p *kernel.Proc) {
+		done := false
+		var got *Buf
+		hit, err := f.c.StartRead(p.Ctx(), f.dev, 2, "desc", 42, func(k *kernel.Kernel, b *Buf) {
+			done = true
+			got = b
+		})
+		if err != nil {
+			t.Errorf("StartRead: %v", err)
+			return
+		}
+		if hit {
+			t.Error("cold StartRead reported a cache hit")
+		}
+		if done {
+			t.Error("handler ran before I/O completed")
+		}
+		p.SleepFor(10 * sim.Millisecond)
+		if !done {
+			t.Error("handler never ran")
+			return
+		}
+		if got.SpliceDesc != "desc" || got.SpliceLblk != 42 {
+			t.Errorf("splice fields not threaded: %v %d", got.SpliceDesc, got.SpliceLblk)
+		}
+		if got.Data[0] != 1 || got.Data[3] != 4 {
+			t.Error("handler saw wrong data")
+		}
+		f.c.Brelse(p.Ctx(), got)
+	})
+}
+
+func TestStartReadCacheHitImmediate(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b, err := f.c.Bread(ctx, f.dev, 4)
+		if err != nil {
+			t.Fatalf("bread: %v", err)
+		}
+		f.c.Brelse(ctx, b)
+		ran := false
+		hit, err := f.c.StartRead(ctx, f.dev, 4, nil, 0, func(k *kernel.Kernel, b *Buf) {
+			ran = true
+			f.c.Brelse(k.IntrCtx(), b)
+		})
+		if err != nil {
+			t.Errorf("StartRead: %v", err)
+		}
+		if !ran || !hit {
+			t.Error("cache-hit StartRead did not invoke handler synchronously")
+		}
+	})
+}
+
+func TestAllocHeaderSharesData(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		src, err := f.c.Bread(ctx, f.dev, 0)
+		if err != nil {
+			t.Fatalf("bread: %v", err)
+		}
+		hdr := f.c.AllocHeader(f.dev, 30)
+		if hdr.Bcount != f.c.BlockSize() {
+			t.Errorf("header bcount = %d", hdr.Bcount)
+		}
+		if hdr.Data != nil {
+			t.Error("AllocHeader allocated data memory")
+		}
+		// Alias, as the splice write side does.
+		hdr.Data = src.Data
+		src.Data[0] = 0xEE
+		if hdr.Data[0] != 0xEE {
+			t.Error("aliased header does not share the data area")
+		}
+		f.c.ReleaseHeader(hdr)
+		f.c.Brelse(ctx, src)
+	})
+}
+
+func TestInvalidateDevColdStart(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		for blk := int64(0); blk < 4; blk++ {
+			b, err := f.c.Bread(ctx, f.dev, blk)
+			if err != nil {
+				t.Fatalf("bread: %v", err)
+			}
+			f.c.Brelse(ctx, b)
+		}
+		// Dirty one block too.
+		b := f.c.Getblk(ctx, f.dev, 2)
+		b.Data[0] = 0x99
+		f.c.Bdwrite(ctx, b)
+
+		if err := f.c.InvalidateDev(ctx, f.dev); err != nil {
+			t.Fatalf("invalidate: %v", err)
+		}
+		if f.dev.data[2*8192] != 0x99 {
+			t.Error("invalidate lost dirty data")
+		}
+		before := f.dev.nreads
+		rb, err := f.c.Bread(ctx, f.dev, 0)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if f.dev.nreads == before {
+			t.Error("read after invalidate did not go to the device")
+		}
+		f.c.Brelse(ctx, rb)
+	})
+}
+
+func TestBiowaitPropagatesError(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 1)
+		b.Flags |= BRead
+		// Simulate a failing device completion.
+		f.k.Timeout(func() {
+			b.Flags |= BError
+			b.Err = kernel.ErrNxIO
+			f.c.Biodone(b)
+		}, 1)
+		err := f.c.Biowait(ctx, b)
+		if err != kernel.ErrNxIO {
+			t.Errorf("biowait err = %v, want ErrNxIO", err)
+		}
+		f.c.Brelse(ctx, b)
+	})
+}
+
+func TestBrelseErrorBufferDropsFromCache(t *testing.T) {
+	f := newFixture(16)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 1)
+		b.Flags |= BError
+		f.c.Brelse(ctx, b)
+		if got := f.c.Peek(f.dev, 1); got != nil {
+			t.Error("errored buffer still cached")
+		}
+	})
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	f := newFixture(4)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		// Fill the cache with 0..3.
+		for blk := int64(0); blk < 4; blk++ {
+			b, _ := f.c.Bread(ctx, f.dev, blk)
+			f.c.Brelse(ctx, b)
+		}
+		// Touch 0 to make it most-recently-used.
+		b, _ := f.c.Bread(ctx, f.dev, 0)
+		f.c.Brelse(ctx, b)
+		// A new block must evict 1 (the LRU), not 0.
+		nb, _ := f.c.Bread(ctx, f.dev, 9)
+		f.c.Brelse(ctx, nb)
+		if f.c.Peek(f.dev, 0) == nil {
+			t.Error("MRU block 0 was evicted")
+		}
+		if f.c.Peek(f.dev, 1) != nil {
+			t.Error("LRU block 1 survived eviction")
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	f := newFixture(8)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		for blk := int64(0); blk < 3; blk++ {
+			b, _ := f.c.Bread(ctx, f.dev, blk)
+			f.c.Brelse(ctx, b)
+		}
+		b, _ := f.c.Bread(ctx, f.dev, 0)
+		f.c.Brelse(ctx, b)
+		wb := f.c.Getblk(ctx, f.dev, 5)
+		_ = f.c.Bwrite(ctx, wb)
+	})
+	st := f.c.Stats()
+	if st.Misses != 4 || st.Hits != 1 { // 3 reads + 1 write-alloc miss, 1 re-read hit
+		t.Fatalf("hits=%d misses=%d, want 1/4", st.Hits, st.Misses)
+	}
+	if st.Reads != 3 || st.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 3/1", st.Reads, st.Writes)
+	}
+}

@@ -1,0 +1,65 @@
+package buf
+
+import (
+	"testing"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+func TestFlushDaemonPushesDirtyBuffers(t *testing.T) {
+	f := newFixture(16)
+	stop := f.c.StartFlushDaemon(5) // every 5 ticks = 50ms
+	defer stop()
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 2)
+		b.Data[0] = 0x42
+		f.c.Bdwrite(ctx, b)
+		if f.dev.nwrites != 0 {
+			t.Fatal("write reached device before daemon ran")
+		}
+		p.SleepFor(120 * sim.Millisecond)
+		if f.dev.nwrites == 0 {
+			t.Fatal("flush daemon never pushed the delayed write")
+		}
+		if f.dev.data[2*8192] != 0x42 {
+			t.Fatal("flushed data wrong")
+		}
+		// The buffer must be clean (not BDelwri) afterwards.
+		if cb := f.c.Peek(f.dev, 2); cb == nil || cb.Flags&BDelwri != 0 {
+			t.Fatal("buffer still dirty after daemon flush")
+		}
+	})
+}
+
+func TestFlushDaemonStop(t *testing.T) {
+	f := newFixture(16)
+	stop := f.c.StartFlushDaemon(2)
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		stop()
+		b := f.c.Getblk(ctx, f.dev, 1)
+		f.c.Bdwrite(ctx, b)
+		p.SleepFor(100 * sim.Millisecond)
+		if f.dev.nwrites != 0 {
+			t.Fatal("daemon flushed after stop")
+		}
+	})
+}
+
+func TestFlushDaemonLeavesBusyBuffersAlone(t *testing.T) {
+	f := newFixture(16)
+	stop := f.c.StartFlushDaemon(2)
+	defer stop()
+	f.runProc(t, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := f.c.Getblk(ctx, f.dev, 3) // held busy, never released
+		b.Data[0] = 1
+		p.SleepFor(80 * sim.Millisecond)
+		if f.dev.nwrites != 0 {
+			t.Fatal("daemon touched a busy buffer")
+		}
+		f.c.Brelse(ctx, b)
+	})
+}

@@ -1,0 +1,348 @@
+// Package disk provides simulated block devices: mechanical SCSI disks
+// with seek, rotational latency, media-rate transfers and an on-drive
+// read-ahead cache (modelled on DEC's RZ56 and RZ58, the drives
+// measured in the paper), and a RAM disk (a block driver over main
+// memory, as the paper built to test splice against a very fast
+// device).
+//
+// A device accepts requests through the buf.Device Strategy interface,
+// services them one at a time in FIFO order in virtual time, and
+// completes each by raising a device interrupt that runs buf.Biodone —
+// which is where splice's B_CALL handlers execute.
+package disk
+
+import (
+	"fmt"
+
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// Params describes a disk model. All rates are bytes per second.
+type Params struct {
+	Name      string
+	BlockSize int   // native block size (matches the buffer cache)
+	Blocks    int64 // capacity in blocks
+
+	// Mechanical characteristics; all zero for a RAM disk.
+	RotationMs   float64 // full platter rotation in milliseconds
+	AvgSeekMs    float64 // average seek time in milliseconds
+	MaxSeekMs    float64 // full-stroke seek in milliseconds
+	TrackSkewMs  float64 // head/track switch penalty on contiguous runs crossing a track
+	BlocksPerTrk int64   // blocks per track (for skew modelling)
+
+	MediaRate float64 // to/from media transfer rate
+	BusRate   float64 // host transfer rate (SCSI bus / pseudo-DMA)
+
+	// On-drive read-ahead cache.
+	CacheBytes    int // total read-ahead cache size
+	CacheSegments int // number of independent read-ahead segments
+
+	// Fixed controller/request overhead (command decode, DMA setup).
+	Overhead sim.Duration
+
+	// Elevator enables C-LOOK request scheduling: the drive services
+	// the queued request with the lowest block number at or above the
+	// head position, wrapping to the lowest outstanding block when the
+	// sweep completes. FIFO otherwise (the Ultrix sd driver's default
+	// behaviour for the short queues of these experiments).
+	Elevator bool
+
+	// SyncCPU marks a pseudo-device whose strategy routine moves the
+	// data synchronously with the CPU (the paper's RAM disk driver: a
+	// bcopy to/from kernel BSS memory). Such requests complete inline
+	// — no queueing, no completion interrupt, no sleeping in biowait —
+	// and charge CPUCopyRate-paced time to whoever called strategy.
+	SyncCPU bool
+
+	// CPUCopyRate is the kernel memory copy bandwidth of a SyncCPU
+	// device, in bytes per second.
+	CPUCopyRate float64
+}
+
+// RZ56 returns the parameters of DEC's RZ56 SCSI disk as given in the
+// paper: 8.3ms average rotational latency (3600 RPM), 16ms average
+// seek, 1.66MB/s media rate, 64KB single-segment read-ahead cache.
+func RZ56(blocks int64, blockSize int) Params {
+	return Params{
+		Name: "rz56", BlockSize: blockSize, Blocks: blocks,
+		RotationMs: 16.6, AvgSeekMs: 16, MaxSeekMs: 35,
+		TrackSkewMs: 1.2, BlocksPerTrk: 6,
+		MediaRate: 1.66e6, BusRate: 2.5e6,
+		CacheBytes: 64 << 10, CacheSegments: 1,
+		Overhead: 700 * sim.Microsecond,
+	}
+}
+
+// RZ58 returns the parameters of DEC's RZ58: 5.6ms average rotational
+// latency (5400 RPM), under-12.5ms average seek, ~2.1MB/s media rate,
+// 256KB read-ahead cache segmented into 4 read-ahead requests.
+func RZ58(blocks int64, blockSize int) Params {
+	return Params{
+		Name: "rz58", BlockSize: blockSize, Blocks: blocks,
+		RotationMs: 11.1, AvgSeekMs: 12.5, MaxSeekMs: 28,
+		TrackSkewMs: 0.9, BlocksPerTrk: 8,
+		MediaRate: 2.1e6, BusRate: 4.0e6,
+		CacheBytes: 256 << 10, CacheSegments: 4,
+		Overhead: 500 * sim.Microsecond,
+	}
+}
+
+// RAMDisk returns the parameters of the paper's RAM disk driver: a
+// block device over 16MB of statically allocated kernel memory. Its
+// strategy routine is a synchronous CPU bcopy (there is no hardware to
+// DMA from kernel BSS), so requests complete inline in the caller's
+// context: a read/write copier burns CPU on it, while splice pays for
+// it at interrupt level. The copy rate reflects cache-hot kernel
+// buffer copies with the R3000's write buffers streaming.
+func RAMDisk(blocks int64, blockSize int) Params {
+	return Params{
+		Name: "ram", BlockSize: blockSize, Blocks: blocks,
+		MediaRate: 80e6, BusRate: 80e6,
+		Overhead:    40 * sim.Microsecond,
+		SyncCPU:     true,
+		CPUCopyRate: 80e6,
+	}
+}
+
+// Disk is a simulated block device. It implements buf.Device.
+type Disk struct {
+	k      *kernel.Kernel
+	cache  *buf.Cache
+	p      Params
+	data   []byte
+	queue  []*buf.Buf
+	active bool
+
+	headBlk  int64 // current head position (block)
+	segments []raSegment
+
+	// Fault injection: media defects for error-path testing.
+	faults map[int64]*fault
+
+	// Stats
+	nreads, nwrites   int64
+	readBytes         int64
+	writeBytes        int64
+	seeks             int64
+	cacheHits         int64
+	cacheMisses       int64
+	nerrors           int64
+	busyTime          sim.Duration
+	lastComplete      sim.Time
+	maxQueueObserved  int
+	totalQueueSamples int64
+}
+
+// fault describes an injected media defect on one block.
+type fault struct {
+	onRead  bool
+	onWrite bool
+	count   int // remaining failures; negative = permanent
+}
+
+// raSegment is one read-ahead segment of the drive cache: after a media
+// read finishes at block b, the drive keeps streaming [b+1, limit) into
+// the segment at media rate.
+type raSegment struct {
+	start     int64    // first block covered
+	limit     int64    // exclusive upper bound (cache capacity)
+	fillFrom  int64    // first block being filled by streaming
+	fillStart sim.Time // when streaming began
+	lastUse   sim.Time
+	valid     bool
+}
+
+// New creates a disk attached to kernel k. The buffer cache must be
+// registered with SetCache before Biodone-completing requests can be
+// dispatched (done automatically by fs setup helpers).
+func New(k *kernel.Kernel, p Params) *Disk {
+	if p.BlockSize <= 0 || p.Blocks <= 0 {
+		panic("disk: bad geometry")
+	}
+	d := &Disk{
+		k:    k,
+		p:    p,
+		data: make([]byte, p.Blocks*int64(p.BlockSize)),
+	}
+	if p.CacheSegments > 0 {
+		d.segments = make([]raSegment, p.CacheSegments)
+	}
+	return d
+}
+
+// SetCache attaches the buffer cache whose Biodone completes requests.
+func (d *Disk) SetCache(c *buf.Cache) { d.cache = c }
+
+// Params returns the disk's model parameters.
+func (d *Disk) Params() Params { return d.p }
+
+// DevName implements buf.Device.
+func (d *Disk) DevName() string { return d.p.Name }
+
+// DevBlockSize implements buf.Device.
+func (d *Disk) DevBlockSize() int { return d.p.BlockSize }
+
+// DevBlocks implements buf.Device.
+func (d *Disk) DevBlocks() int64 { return d.p.Blocks }
+
+// QueueLen returns the number of requests waiting (excluding active).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Stats describes device activity.
+type Stats struct {
+	Reads, Writes          int64
+	ReadBytes, WriteBytes  int64
+	Seeks                  int64
+	CacheHits, CacheMisses int64
+	Busy                   sim.Duration
+	MaxQueue               int
+}
+
+// Stats returns a snapshot of device counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Reads: d.nreads, Writes: d.nwrites,
+		ReadBytes: d.readBytes, WriteBytes: d.writeBytes,
+		Seeks:     d.seeks,
+		CacheHits: d.cacheHits, CacheMisses: d.cacheMisses,
+		Busy: d.busyTime, MaxQueue: d.maxQueueObserved,
+	}
+}
+
+// Strategy implements buf.Device: the request is queued and serviced in
+// FIFO order; completion raises a device interrupt that calls
+// buf.Biodone.
+func (d *Disk) Strategy(b *buf.Buf) {
+	if b.Bcount <= 0 || b.Bcount > d.p.BlockSize {
+		panic(fmt.Sprintf("disk %s: bad bcount %d", d.p.Name, b.Bcount))
+	}
+	if b.Blkno < 0 || b.Blkno >= d.p.Blocks {
+		panic(fmt.Sprintf("disk %s: block %d out of range", d.p.Name, b.Blkno))
+	}
+	if d.p.SyncCPU {
+		d.completeSync(b)
+		return
+	}
+	d.queue = append(d.queue, b)
+	if n := len(d.queue); n > d.maxQueueObserved {
+		d.maxQueueObserved = n
+	}
+	if !d.active {
+		d.active = true
+		d.k.Hold() // keep the machine alive while the queue drains
+		d.startNext()
+	}
+}
+
+// completeSync services a SyncCPU (RAM disk) request inline: the
+// driver's bcopy burns CPU in the calling context, then biodone runs
+// immediately — no completion interrupt ever fires.
+func (d *Disk) completeSync(b *buf.Buf) {
+	svc := d.p.Overhead + sim.BytesAt(int64(b.Bcount), d.p.CPUCopyRate)
+	d.k.StealCPU(svc)
+	d.busyTime += svc
+	off := b.Blkno * int64(d.p.BlockSize)
+	switch {
+	case d.checkFault(b):
+		d.failTransfer(b)
+	case b.Flags&buf.BRead != 0:
+		copy(b.Data[:b.Bcount], d.data[off:off+int64(b.Bcount)])
+		d.nreads++
+		d.readBytes += int64(b.Bcount)
+	default:
+		copy(d.data[off:off+int64(b.Bcount)], b.Data[:b.Bcount])
+		d.nwrites++
+		d.writeBytes += int64(b.Bcount)
+	}
+	d.lastComplete = d.k.Now()
+	if d.cache == nil {
+		panic("disk: no buffer cache attached")
+	}
+	d.cache.Biodone(b)
+}
+
+// startNext begins servicing the next request — FIFO, or the C-LOOK
+// elevator choice when enabled — and schedules its completion event.
+func (d *Disk) startNext() {
+	idx := 0
+	if d.p.Elevator && len(d.queue) > 1 {
+		idx = d.elevatorPick()
+	}
+	b := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	svc := d.serviceTime(b)
+	d.busyTime += svc
+	d.k.Engine().Schedule(svc, "disk:"+d.p.Name, func() {
+		d.complete(b)
+	})
+}
+
+// elevatorPick returns the queue index of the C-LOOK choice: the
+// request with the smallest block number at or beyond the head, or the
+// smallest outstanding block when the upward sweep is exhausted.
+func (d *Disk) elevatorPick() int {
+	bestUp, bestLow := -1, 0
+	for i, b := range d.queue {
+		if b.Blkno >= d.headBlk {
+			if bestUp < 0 || b.Blkno < d.queue[bestUp].Blkno {
+				bestUp = i
+			}
+		}
+		if b.Blkno < d.queue[bestLow].Blkno {
+			bestLow = i
+		}
+	}
+	if bestUp >= 0 {
+		return bestUp
+	}
+	return bestLow
+}
+
+// complete finishes the transfer: data is moved at completion time,
+// then the completion interrupt runs biodone (and any splice handler
+// hanging off it).
+func (d *Disk) complete(b *buf.Buf) {
+	off := b.Blkno * int64(d.p.BlockSize)
+	switch {
+	case d.checkFault(b):
+		d.failTransfer(b)
+	case b.Flags&buf.BRead != 0:
+		copy(b.Data[:b.Bcount], d.data[off:off+int64(b.Bcount)])
+		d.nreads++
+		d.readBytes += int64(b.Bcount)
+	default:
+		copy(d.data[off:off+int64(b.Bcount)], b.Data[:b.Bcount])
+		d.nwrites++
+		d.writeBytes += int64(b.Bcount)
+	}
+	d.headBlk = b.Blkno + 1
+	d.lastComplete = d.k.Now()
+	d.k.Interrupt(func() {
+		if d.cache == nil {
+			panic("disk: no buffer cache attached")
+		}
+		d.cache.Biodone(b)
+	})
+	if len(d.queue) > 0 {
+		d.startNext()
+	} else {
+		d.active = false
+		d.k.Release()
+	}
+}
+
+// ReadRaw copies block contents directly out of the backing store
+// (host-side helper for tests and verification; no simulated time).
+func (d *Disk) ReadRaw(blkno int64, p []byte) {
+	off := blkno * int64(d.p.BlockSize)
+	copy(p, d.data[off:])
+}
+
+// WriteRaw installs block contents directly (host-side helper used to
+// preload media images in tests; no simulated time).
+func (d *Disk) WriteRaw(blkno int64, p []byte) {
+	off := blkno * int64(d.p.BlockSize)
+	copy(d.data[off:], p)
+}

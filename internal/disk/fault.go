@@ -1,0 +1,54 @@
+package disk
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+)
+
+// InjectFault marks block blkno as defective: the next count transfers
+// touching it in the selected direction(s) complete with an I/O error
+// (B_ERROR + ErrIO) instead of moving data. A negative count makes the
+// defect permanent. Used to exercise error paths end to end — most
+// importantly splice's abort-and-drain behaviour, which the paper's
+// prototype had to get right to avoid leaking cache buffers at
+// interrupt level.
+func (d *Disk) InjectFault(blkno int64, onRead, onWrite bool, count int) {
+	if d.faults == nil {
+		d.faults = make(map[int64]*fault)
+	}
+	d.faults[blkno] = &fault{onRead: onRead, onWrite: onWrite, count: count}
+}
+
+// ClearFaults removes every injected defect.
+func (d *Disk) ClearFaults() { d.faults = nil }
+
+// Errors reports how many transfers failed due to injected faults.
+func (d *Disk) Errors() int64 { return d.nerrors }
+
+// checkFault reports whether this transfer should fail, consuming one
+// occurrence from a counted fault.
+func (d *Disk) checkFault(b *buf.Buf) bool {
+	f, ok := d.faults[b.Blkno]
+	if !ok {
+		return false
+	}
+	read := b.Flags&buf.BRead != 0
+	if (read && !f.onRead) || (!read && !f.onWrite) {
+		return false
+	}
+	if f.count == 0 {
+		return false
+	}
+	if f.count > 0 {
+		f.count--
+	}
+	d.nerrors++
+	return true
+}
+
+// failTransfer completes b with an I/O error.
+func (d *Disk) failTransfer(b *buf.Buf) {
+	b.Flags |= buf.BError
+	b.Err = kernel.ErrIO
+	b.Resid = b.Bcount
+}

@@ -1,0 +1,111 @@
+package disk
+
+import (
+	"testing"
+
+	"kdp/internal/kernel"
+)
+
+func TestInjectedReadFault(t *testing.T) {
+	k, c, d := newRig(RZ58(256, 8192))
+	d.InjectFault(7, true, false, -1)
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		if _, err := c.Bread(ctx, d, 7); err != kernel.ErrIO {
+			t.Errorf("bread on faulty block: %v, want ErrIO", err)
+		}
+		// Other blocks still work.
+		b, err := c.Bread(ctx, d, 8)
+		if err != nil {
+			t.Errorf("bread clean block: %v", err)
+			return
+		}
+		c.Brelse(ctx, b)
+	})
+	if d.Errors() != 1 {
+		t.Fatalf("errors = %d", d.Errors())
+	}
+}
+
+func TestInjectedWriteFaultOnSyncDevice(t *testing.T) {
+	k, c, d := newRig(RAMDisk(256, 8192))
+	d.InjectFault(3, false, true, -1)
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := c.Getblk(ctx, d, 3)
+		if err := c.Bwrite(ctx, b); err != kernel.ErrIO {
+			t.Errorf("bwrite on faulty block: %v, want ErrIO", err)
+		}
+	})
+}
+
+func TestCountedFaultExpires(t *testing.T) {
+	k, c, d := newRig(RAMDisk(256, 8192))
+	d.InjectFault(5, true, false, 2)
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		for i := 0; i < 2; i++ {
+			if _, err := c.Bread(ctx, d, 5); err != kernel.ErrIO {
+				t.Errorf("attempt %d: %v, want ErrIO", i, err)
+			}
+		}
+		b, err := c.Bread(ctx, d, 5)
+		if err != nil {
+			t.Errorf("after fault expiry: %v", err)
+			return
+		}
+		c.Brelse(ctx, b)
+	})
+	if d.Errors() != 2 {
+		t.Fatalf("errors = %d, want 2", d.Errors())
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	k, c, d := newRig(RAMDisk(256, 8192))
+	d.InjectFault(1, true, true, -1)
+	d.ClearFaults()
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b, err := c.Bread(ctx, d, 1)
+		if err != nil {
+			t.Errorf("bread after ClearFaults: %v", err)
+			return
+		}
+		c.Brelse(ctx, b)
+	})
+}
+
+func TestFaultDirectionSelective(t *testing.T) {
+	k, c, d := newRig(RAMDisk(256, 8192))
+	d.InjectFault(9, false, true, -1) // writes only
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b, err := c.Bread(ctx, d, 9)
+		if err != nil {
+			t.Errorf("read should pass: %v", err)
+			return
+		}
+		c.Brelse(ctx, b)
+		wb := c.Getblk(ctx, d, 9)
+		if err := c.Bwrite(ctx, wb); err != kernel.ErrIO {
+			t.Errorf("write should fail: %v", err)
+		}
+	})
+}
+
+func TestFaultErrorSurfacesThroughBiodoneAsync(t *testing.T) {
+	// An async write hitting a fault releases the buffer with BError;
+	// the buffer must not stay cached with stale contents.
+	k, c, d := newRig(RZ58(256, 8192))
+	d.InjectFault(4, false, true, -1)
+	run(t, k, func(p *kernel.Proc) {
+		ctx := p.Ctx()
+		b := c.Getblk(ctx, d, 4)
+		c.Bawrite(ctx, b)
+		p.SleepFor(200 * 1e6) // 200ms: let the write fail
+		if got := c.Peek(d, 4); got != nil {
+			t.Error("errored async buffer still cached")
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package fs
+
+import (
+	"testing"
+
+	"kdp/internal/kernel"
+)
+
+func TestStat(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, _ := f.OpenFile(ctx, "/s", kernel.OCreat|kernel.ORdWr)
+		_, _ = fl.Write(ctx, pattern(12345, 1), 0)
+		_ = fl.Close(ctx)
+		info, err := f.Stat(ctx, "/s")
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		if info.Size != 12345 || info.IsDir || info.Nlink != 1 {
+			t.Fatalf("stat = %+v", info)
+		}
+		root, err := f.Stat(ctx, "/")
+		if err != nil || !root.IsDir || root.Ino != RootIno {
+			t.Fatalf("root stat = %+v err=%v", root, err)
+		}
+		if _, err := f.Stat(ctx, "/missing"); err != kernel.ErrNoEnt {
+			t.Fatalf("stat missing: %v", err)
+		}
+	})
+}
+
+func TestReadDir(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		_ = f.Mkdir(ctx, "/sub")
+		for _, name := range []string{"/a", "/b", "/sub/c"} {
+			fl, _ := f.OpenFile(ctx, name, kernel.OCreat|kernel.ORdWr)
+			_, _ = fl.Write(ctx, []byte(name), 0)
+			_ = fl.Close(ctx)
+		}
+		root, err := f.ReadDir(ctx, "/")
+		if err != nil {
+			t.Fatalf("readdir: %v", err)
+		}
+		byName := map[string]DirEntry{}
+		for _, e := range root {
+			byName[e.Name] = e
+		}
+		if len(root) != 3 {
+			t.Fatalf("root entries = %v", root)
+		}
+		if !byName["sub"].IsDir {
+			t.Fatal("sub not a directory")
+		}
+		if byName["a"].Size != 2 { // "/a"
+			t.Fatalf("a size = %d", byName["a"].Size)
+		}
+		sub, err := f.ReadDir(ctx, "/sub")
+		if err != nil || len(sub) != 1 || sub[0].Name != "c" {
+			t.Fatalf("sub entries = %v err=%v", sub, err)
+		}
+		if _, err := f.ReadDir(ctx, "/a"); err != kernel.ErrNotDir {
+			t.Fatalf("readdir on file: %v", err)
+		}
+	})
+}
+
+func TestRenameBasic(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, _ := f.OpenFile(ctx, "/old", kernel.OCreat|kernel.ORdWr)
+		_, _ = fl.Write(ctx, []byte("payload"), 0)
+		_ = fl.Close(ctx)
+		if err := f.Rename(ctx, "/old", "/new"); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		if f.Exists(ctx, "/old") {
+			t.Fatal("old name still resolves")
+		}
+		nf, err := f.OpenFile(ctx, "/new", kernel.ORdOnly)
+		if err != nil {
+			t.Fatalf("open new: %v", err)
+		}
+		got := make([]byte, 7)
+		_, _ = nf.Read(ctx, got, 0)
+		if string(got) != "payload" {
+			t.Fatalf("renamed contents %q", got)
+		}
+		_ = nf.Close(ctx)
+	})
+}
+
+func TestRenameAcrossDirectories(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		_ = f.Mkdir(ctx, "/d1")
+		_ = f.Mkdir(ctx, "/d2")
+		fl, _ := f.OpenFile(ctx, "/d1/f", kernel.OCreat|kernel.ORdWr)
+		_ = fl.Close(ctx)
+		if err := f.Rename(ctx, "/d1/f", "/d2/g"); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		if f.Exists(ctx, "/d1/f") || !f.Exists(ctx, "/d2/g") {
+			t.Fatal("cross-directory rename wrong")
+		}
+	})
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		free0 := f.Super().FreeBlocks
+		for _, spec := range []struct{ name, data string }{{"/src", "fresh"}, {"/dst", "staleDATA-occupying-blocks"}} {
+			fl, _ := f.OpenFile(ctx, spec.name, kernel.OCreat|kernel.ORdWr)
+			_, _ = fl.Write(ctx, pattern(2*testBlockSize, 1), 0)
+			_, _ = fl.Write(ctx, []byte(spec.data), 0)
+			_ = fl.Close(ctx)
+		}
+		if err := f.Rename(ctx, "/src", "/dst"); err != nil {
+			t.Fatalf("rename over target: %v", err)
+		}
+		nf, _ := f.OpenFile(ctx, "/dst", kernel.ORdOnly)
+		got := make([]byte, 5)
+		_, _ = nf.Read(ctx, got, 0)
+		if string(got) != "fresh" {
+			t.Fatalf("replacement contents %q", got)
+		}
+		_ = nf.Close(ctx)
+		// The replaced file's blocks must be freed: only one 2-block
+		// file remains.
+		if used := free0 - f.Super().FreeBlocks; used > 3 {
+			t.Fatalf("replaced file leaked blocks: %d used", used)
+		}
+		if f.Exists(ctx, "/src") {
+			t.Fatal("source still present")
+		}
+	})
+}
+
+func TestRenameErrors(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		if err := f.Rename(ctx, "/nope", "/x"); err != kernel.ErrNoEnt {
+			t.Fatalf("rename missing: %v", err)
+		}
+		_ = f.Mkdir(ctx, "/dir")
+		fl, _ := f.OpenFile(ctx, "/file", kernel.OCreat|kernel.ORdWr)
+		_ = fl.Close(ctx)
+		if err := f.Rename(ctx, "/file", "/dir"); err != kernel.ErrIsDir {
+			t.Fatalf("rename over directory: %v", err)
+		}
+		// No-op self rename succeeds.
+		if err := f.Rename(ctx, "/file", "/file"); err != nil {
+			t.Fatalf("self rename: %v", err)
+		}
+	})
+}
+
+func TestRenameKeepsVolumeConsistent(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		for i := 0; i < 4; i++ {
+			fl, _ := f.OpenFile(ctx, "/r", kernel.OCreat|kernel.ORdWr)
+			_, _ = fl.Write(ctx, pattern(testBlockSize, byte(i)), 0)
+			_ = fl.Close(ctx)
+			if err := f.Rename(ctx, "/r", "/r2"); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Remove(ctx, "/r2"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.SyncAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Fsck(ctx, f.Cache(), r.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("volume inconsistent after rename churn: %v", rep.Problems)
+		}
+	})
+}

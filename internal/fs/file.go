@@ -1,0 +1,245 @@
+package fs
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+)
+
+// File is an open regular file (or directory opened read-only). It
+// implements kernel.FileOps and the splice source/sink accessors.
+type File struct {
+	fs     *FS
+	ip     *Inode
+	closed bool
+}
+
+// FS returns the filesystem the file lives on.
+func (fl *File) FS() *FS { return fl.fs }
+
+// Inode returns the file's in-core inode.
+func (fl *File) Inode() *Inode { return fl.ip }
+
+// Dev returns the block device backing the file.
+func (fl *File) Dev() buf.Device { return fl.fs.dev }
+
+// BufCache returns the buffer cache the file's I/O goes through.
+func (fl *File) BufCache() *buf.Cache { return fl.fs.cache }
+
+// Read implements kernel.FileOps: it copies up to len(p) bytes starting
+// at off out of the buffer cache, issuing device reads (with one-block
+// read-ahead, as the BSD read path does) on misses. Holes read as
+// zeros.
+func (fl *File) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
+	if fl.closed {
+		return 0, kernel.ErrBadFD
+	}
+	ip := fl.ip
+	ip.lock(ctx)
+	defer ip.unlock()
+
+	if off >= ip.size {
+		return 0, nil
+	}
+	if max := ip.size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	bsize := int64(fl.fs.BlockSize())
+	done := 0
+	for done < len(p) {
+		lblk := (off + int64(done)) / bsize
+		boff := (off + int64(done)) % bsize
+		n := int(bsize - boff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		pblk, err := ip.bmap(ctx, lblk, false, false)
+		if err != nil {
+			return done, err
+		}
+		if pblk == 0 {
+			// Hole: zero fill.
+			for i := 0; i < n; i++ {
+				p[done+i] = 0
+			}
+			done += n
+			continue
+		}
+		// Read-ahead the next logical block if the file continues.
+		rablk := int64(-1)
+		if (lblk+1)*bsize < ip.size {
+			if rp, err := ip.bmap(ctx, lblk+1, false, false); err == nil && rp != 0 {
+				rablk = int64(rp)
+			}
+		}
+		b, err := fl.fs.cache.Breada(ctx, fl.fs.dev, int64(pblk), rablk)
+		if err != nil {
+			return done, err
+		}
+		copy(p[done:done+n], b.Data[boff:])
+		fl.fs.cache.Brelse(ctx, b)
+		done += n
+	}
+	return done, nil
+}
+
+// Write implements kernel.FileOps. Full-block writes allocate without
+// zero fill and overwrite in place; partial blocks read-modify-write
+// (or zero-fill on fresh allocation). Writes are delayed (bdwrite):
+// data reaches the device on eviction or fsync, as in the BSD cache.
+func (fl *File) Write(ctx kernel.Ctx, p []byte, off int64) (int, error) {
+	if fl.closed {
+		return 0, kernel.ErrBadFD
+	}
+	if fl.ip.mode == ModeDir {
+		return 0, kernel.ErrIsDir
+	}
+	ip := fl.ip
+	ip.lock(ctx)
+	defer ip.unlock()
+
+	bsize := int64(fl.fs.BlockSize())
+	done := 0
+	for done < len(p) {
+		pos := off + int64(done)
+		lblk := pos / bsize
+		boff := pos % bsize
+		n := int(bsize - boff)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		full := boff == 0 && n == int(bsize)
+
+		var b *buf.Buf
+		if full {
+			pblk, err := ip.bmap(ctx, lblk, true, false)
+			if err != nil {
+				return done, err
+			}
+			b = fl.fs.cache.Getblk(ctx, fl.fs.dev, int64(pblk))
+		} else {
+			// Partial block: preserve existing contents. Fresh blocks
+			// are zero-filled by the allocating bmap, matching the
+			// standard write path.
+			existing, err := ip.bmap(ctx, lblk, false, false)
+			if err != nil {
+				return done, err
+			}
+			if existing == 0 {
+				pblk, err := ip.bmap(ctx, lblk, true, true)
+				if err != nil {
+					return done, err
+				}
+				b, err = fl.fs.cache.Bread(ctx, fl.fs.dev, int64(pblk))
+				if err != nil {
+					return done, err
+				}
+			} else {
+				b, err = fl.fs.cache.Bread(ctx, fl.fs.dev, int64(existing))
+				if err != nil {
+					return done, err
+				}
+			}
+		}
+		copy(b.Data[boff:], p[done:done+n])
+		fl.fs.cache.Bdwrite(ctx, b)
+		done += n
+		if pos+int64(n) > ip.size {
+			ip.size = pos + int64(n)
+			ip.dirty = true
+		}
+	}
+	return done, nil
+}
+
+// Size implements kernel.FileOps.
+func (fl *File) Size(ctx kernel.Ctx) (int64, error) {
+	if fl.closed {
+		return 0, kernel.ErrBadFD
+	}
+	return fl.ip.size, nil
+}
+
+// Sync implements kernel.FileOps: every dirty block of this file is
+// forced to the device (writes issued back to back, then awaited) and
+// the inode is written back.
+func (fl *File) Sync(ctx kernel.Ctx) error {
+	if fl.closed {
+		return kernel.ErrBadFD
+	}
+	ip := fl.ip
+	ip.lock(ctx)
+	defer ip.unlock()
+
+	bsize := int64(fl.fs.BlockSize())
+	nblocks := (ip.size + bsize - 1) / bsize
+	blknos := make([]int64, 0, nblocks+2)
+	for l := int64(0); l < nblocks; l++ {
+		pblk, err := ip.bmap(ctx, l, false, false)
+		if err != nil {
+			return err
+		}
+		if pblk != 0 {
+			blknos = append(blknos, int64(pblk))
+		}
+	}
+	if ip.indir != 0 {
+		blknos = append(blknos, int64(ip.indir))
+	}
+	if ip.dindir != 0 {
+		blknos = append(blknos, int64(ip.dindir))
+	}
+	if _, err := fl.fs.cache.FlushBlocks(ctx, fl.fs.dev, blknos); err != nil {
+		return err
+	}
+	if ip.dirty {
+		if err := fl.fs.iupdate(ctx, ip); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements kernel.FileOps.
+func (fl *File) Close(ctx kernel.Ctx) error {
+	if fl.closed {
+		return kernel.ErrBadFD
+	}
+	fl.closed = true
+	return fl.fs.iput(ctx, fl.ip)
+}
+
+// ---- splice support (source/sink accessors) ----
+
+// SpliceSetSize extends the file size to n without touching data (the
+// destination of a whole-file splice is sized up front, when the block
+// table is built).
+func (fl *File) SpliceSetSize(ctx kernel.Ctx, n int64) {
+	ip := fl.ip
+	ip.lock(ctx)
+	if n > ip.size {
+		ip.size = n
+		ip.dirty = true
+	}
+	ip.unlock()
+}
+
+// SpliceMapRead builds the source block table: the physical block
+// numbers of the first nblocks logical blocks.
+func (fl *File) SpliceMapRead(ctx kernel.Ctx, nblocks int64) ([]uint32, error) {
+	ip := fl.ip
+	ip.lock(ctx)
+	defer ip.unlock()
+	return ip.PhysicalBlocks(ctx, nblocks, false)
+}
+
+// SpliceMapWrite builds the destination block table, allocating missing
+// blocks with the special bmap that skips zero-fill delayed writes
+// (§5.2).
+func (fl *File) SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, error) {
+	ip := fl.ip
+	ip.lock(ctx)
+	defer ip.unlock()
+	return ip.PhysicalBlocks(ctx, nblocks, true)
+}
+
+var _ kernel.FileOps = (*File)(nil)

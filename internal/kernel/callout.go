@@ -1,0 +1,124 @@
+package kernel
+
+// The callout list is the classic 4.3BSD mechanism for deferred kernel
+// work: timeout(fn, ticks) queues fn to run from softclock after the
+// given number of clock ticks. Entries are kept in a delta list, as in
+// the original, and fire with tick granularity.
+//
+// splice depends on this: the paper's read-completion handler schedules
+// the write side "by placing a reference to the write handler at the
+// head of the system callout list" (ticks == 0, firing at the next
+// softclock), which is what decouples the source and sink I/O access
+// periods.
+
+// Callout is a handle to a queued callout; it can be cancelled with
+// Untimeout.
+type Callout struct {
+	fn    func()
+	delta int // ticks after the previous entry
+	next  *Callout
+	fired bool
+	dead  bool
+}
+
+type calloutList struct {
+	head *Callout
+	n    int
+}
+
+func (cl *calloutList) empty() bool { return cl.head == nil }
+
+// Timeout queues fn to run from softclock after ticks clock ticks.
+// ticks <= 0 means the next softclock (the head of the callout list).
+func (k *Kernel) Timeout(fn func(), ticks int) *Callout {
+	if fn == nil {
+		panic("kernel: Timeout with nil fn")
+	}
+	if ticks < 0 {
+		ticks = 0
+	}
+	c := &Callout{fn: fn}
+	cl := &k.callouts
+	cl.n++
+
+	// Insert into the delta list.
+	var prev *Callout
+	cur := cl.head
+	rem := ticks
+	for cur != nil && rem >= cur.delta {
+		rem -= cur.delta
+		prev = cur
+		cur = cur.next
+	}
+	c.delta = rem
+	c.next = cur
+	if cur != nil {
+		cur.delta -= rem
+	}
+	if prev == nil {
+		cl.head = c
+	} else {
+		prev.next = c
+	}
+	return c
+}
+
+// Untimeout cancels a queued callout. Returns false if it already fired
+// or was already cancelled.
+func (k *Kernel) Untimeout(c *Callout) bool {
+	if c == nil || c.fired || c.dead {
+		return false
+	}
+	cl := &k.callouts
+	var prev *Callout
+	for cur := cl.head; cur != nil; prev, cur = cur, cur.next {
+		if cur != c {
+			continue
+		}
+		if cur.next != nil {
+			cur.next.delta += cur.delta
+		}
+		if prev == nil {
+			cl.head = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		c.dead = true
+		cl.n--
+		return true
+	}
+	return false
+}
+
+// PendingCallouts reports the number of queued callouts.
+func (k *Kernel) PendingCallouts() int { return k.callouts.n }
+
+// softclock fires every callout due this tick. Handlers run at
+// interrupt level: each dispatch charges CalloutDispatchCost as stolen
+// time, and handlers must not sleep.
+func (k *Kernel) softclock() {
+	cl := &k.callouts
+	if cl.head == nil {
+		return
+	}
+	// One decrement of the head per tick, as in 4.3BSD hardclock.
+	if cl.head.delta > 0 {
+		cl.head.delta--
+	}
+	// Collect all entries due now (delta zero at the head). Handlers
+	// may queue new callouts; those are inserted for future ticks and
+	// must not fire in this pass, so detach first.
+	var due []*Callout
+	for cl.head != nil && cl.head.delta == 0 {
+		c := cl.head
+		cl.head = c.next
+		c.next = nil
+		c.fired = true
+		cl.n--
+		due = append(due, c)
+	}
+	for _, c := range due {
+		k.StealCPU(k.cfg.CalloutDispatchCost)
+		c.fn()
+	}
+}

@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"sort"
+	"testing"
+
+	"kdp/internal/sim"
+)
+
+// TestCalloutOrderProperty queues random timeouts (with random
+// cancellations) and verifies the invariants the delta list guarantees:
+// every surviving entry fires exactly once, no cancelled entry fires,
+// firing ticks never decrease, entries with equal requested ticks fire
+// FIFO, and nothing fires before its requested tick. (Exact firing
+// ticks can slip when 0-tick entries occupy the list head — the same
+// quirk the historical delta list has — so the property does not pin
+// absolute ticks.)
+func TestCalloutOrderProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		r := sim.NewRand(seed)
+		k := testKernel()
+
+		type co struct {
+			tick  int
+			seq   int
+			asked int
+		}
+		var fired []co
+		var handles []*Callout
+		asked := make([]int, 0, 80)
+		n := 30 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			ticks := r.Intn(40)
+			seq := i
+			ticksCopy := ticks
+			h := k.Timeout(func() {
+				fired = append(fired, co{int(k.Ticks()), seq, ticksCopy})
+			}, ticks)
+			handles = append(handles, h)
+			asked = append(asked, ticks)
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/5; i++ {
+			idx := r.Intn(n)
+			if k.Untimeout(handles[idx]) {
+				cancelled[idx] = true
+			}
+		}
+
+		k.Spawn("idle", func(p *Proc) { p.SleepFor(2 * sim.Second) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(fired) != n-len(cancelled) {
+			t.Fatalf("seed %d: fired %d, want %d", seed, len(fired), n-len(cancelled))
+		}
+		seen := map[int]bool{}
+		lastTick := 0
+		for i, f := range fired {
+			if cancelled[f.seq] {
+				t.Fatalf("seed %d: cancelled entry %d fired", seed, f.seq)
+			}
+			if seen[f.seq] {
+				t.Fatalf("seed %d: entry %d fired twice", seed, f.seq)
+			}
+			seen[f.seq] = true
+			if f.tick < lastTick {
+				t.Fatalf("seed %d: firing ticks decreased at %d: %v", seed, i, fired)
+			}
+			lastTick = f.tick
+			min := asked[f.seq]
+			if min < 1 {
+				min = 1
+			}
+			if f.tick < min {
+				t.Fatalf("seed %d: entry %d fired at tick %d before its request %d",
+					seed, f.seq, f.tick, asked[f.seq])
+			}
+		}
+		// FIFO among equal requested ticks.
+		byAsk := map[int][]int{}
+		for _, f := range fired {
+			byAsk[f.asked] = append(byAsk[f.asked], f.seq)
+		}
+		for ask, seqs := range byAsk {
+			if !sort.IntsAreSorted(seqs) {
+				t.Fatalf("seed %d: entries asking %d ticks fired out of FIFO: %v", seed, ask, seqs)
+			}
+		}
+	}
+}
+
+// TestCalloutReentrantQueueing: a handler queueing a ticks=0 callout
+// sees it fire on the NEXT softclock, never the current one.
+func TestCalloutReentrantQueueing(t *testing.T) {
+	k := testKernel()
+	var ticksSeen []int64
+	depth := 0
+	var chain func()
+	chain = func() {
+		ticksSeen = append(ticksSeen, k.Ticks())
+		depth++
+		if depth < 5 {
+			k.Timeout(chain, 0)
+		}
+	}
+	k.Timeout(chain, 0)
+	k.Spawn("idle", func(p *Proc) { p.SleepFor(200 * sim.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticksSeen) != 5 {
+		t.Fatalf("chain fired %d times", len(ticksSeen))
+	}
+	for i := 1; i < len(ticksSeen); i++ {
+		if ticksSeen[i] != ticksSeen[i-1]+1 {
+			t.Fatalf("re-queued callout did not wait for the next tick: %v", ticksSeen)
+		}
+	}
+}

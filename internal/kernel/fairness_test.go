@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"testing"
+
+	"kdp/internal/sim"
+)
+
+// These tests pin down the scheduler behaviour Table 1's RAM row rests
+// on: the round-robin quantum is charged to whoever holds the CPU in
+// either mode, but preemption waits for a user-mode boundary — so a
+// copier that burns kernel time in syscalls shares the CPU ~50/50 with
+// a pure computer, instead of hogging it.
+
+func TestKernelHeavyProcSharesCPU(t *testing.T) {
+	k := testKernel()
+	// "copier": long kernel bursts with a tiny user-mode window between
+	// syscalls, like cp on the RAM disk.
+	copier := k.Spawn("copier", func(p *Proc) {
+		for i := 0; i < 400; i++ {
+			p.UseK(4 * sim.Millisecond)
+			p.Compute(20 * sim.Microsecond)
+		}
+	})
+	var testElapsed sim.Duration
+	tester := k.Spawn("tester", func(p *Proc) {
+		t0 := p.Now()
+		for i := 0; i < 80; i++ {
+			p.Compute(10 * sim.Millisecond)
+		}
+		testElapsed = p.Now().Sub(t0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = copier
+	_ = tester
+	// 800ms of compute against an equally hungry kernel-mode peer:
+	// round-robin fairness means ~2x elapsed (plus switching costs).
+	slowdown := float64(testElapsed) / float64(800*sim.Millisecond)
+	if slowdown < 1.7 || slowdown > 2.4 {
+		t.Fatalf("slowdown = %.2f, want ~2.0 (fair sharing with a kernel-heavy peer)", slowdown)
+	}
+}
+
+func TestSleepingProcPreemptsOnWakeup(t *testing.T) {
+	// An I/O-bound proc (sleep, short kernel burst, sleep) steals only
+	// its burst time from a computer: the computer's slowdown tracks
+	// the burst duty cycle, not round-robin halving.
+	k := testKernel()
+	ch := new(int)
+	// Device: wakes the I/O proc every 5ms.
+	var tick func()
+	ticks := 0
+	tick = func() {
+		ticks++
+		k.Wakeup(ch)
+		if ticks < 200 {
+			k.Engine().Schedule(5*sim.Millisecond, "dev", tick)
+		}
+	}
+	k.Engine().Schedule(5*sim.Millisecond, "dev", tick)
+
+	k.Spawn("io", func(p *Proc) {
+		for i := 0; i < 190; i++ {
+			_ = p.Sleep(ch, PRIBIO)
+			p.UseK(1 * sim.Millisecond) // 20% duty cycle
+		}
+	})
+	var testElapsed sim.Duration
+	k.Spawn("cpu", func(p *Proc) {
+		t0 := p.Now()
+		for i := 0; i < 70; i++ {
+			p.Compute(10 * sim.Millisecond)
+		}
+		testElapsed = p.Now().Sub(t0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slowdown := float64(testElapsed) / float64(700*sim.Millisecond)
+	if slowdown < 1.1 || slowdown > 1.5 {
+		t.Fatalf("slowdown = %.2f, want ~1.25 (duty-cycle stealing, not halving)", slowdown)
+	}
+}
+
+func TestQuantumPreemptionDefersToUserBoundary(t *testing.T) {
+	// A proc in one long kernel-mode burst is never preempted even
+	// when its quantum expires; the switch happens at its next
+	// user-mode instant.
+	k := testKernel()
+	var burstEnd sim.Time
+	k.Spawn("kern", func(p *Proc) {
+		p.UseK(350 * sim.Millisecond) // 3.5 quanta
+		burstEnd = p.Now()
+		p.Compute(50 * sim.Millisecond)
+	})
+	k.Spawn("user", func(p *Proc) {
+		p.Compute(100 * sim.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if burstEnd > sim.Time(360*sim.Millisecond) {
+		t.Fatalf("kernel burst interrupted: ended at %v", burstEnd)
+	}
+}
+
+func TestEqualPriorityFIFOWithinRunQueue(t *testing.T) {
+	k := testKernel()
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Compute(sim.Millisecond)
+			order = append(order, name)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "p1" || order[1] != "p2" || order[2] != "p3" {
+		t.Fatalf("run order %v, want FIFO", order)
+	}
+}
+
+func TestInterruptLoadSlowsEveryone(t *testing.T) {
+	// Splice-style interrupt work steals uniformly: two computers both
+	// stretch by the stolen fraction.
+	k := testKernel()
+	done := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("cpu", func(p *Proc) {
+			p.Compute(500 * sim.Millisecond)
+			done[i] = p.Now()
+		})
+	}
+	// 20% interrupt load: 2ms every 10ms.
+	var steal func()
+	n := 0
+	steal = func() {
+		k.Interrupt(func() { k.StealCPU(2 * sim.Millisecond) })
+		n++
+		if n < 150 {
+			k.Engine().Schedule(10*sim.Millisecond, "intr", steal)
+		}
+	}
+	k.Engine().Schedule(10*sim.Millisecond, "intr", steal)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1s of combined compute at ~80% availability: ~1.25s+.
+	last := done[0]
+	if done[1] > last {
+		last = done[1]
+	}
+	if last < sim.Time(1200*sim.Millisecond) {
+		t.Fatalf("interrupt load not felt: finished at %v", last)
+	}
+}

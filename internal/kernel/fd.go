@@ -1,0 +1,415 @@
+package kernel
+
+import (
+	"sort"
+	"strings"
+
+	"kdp/internal/sim"
+)
+
+// Errno-style errors shared across the I/O stack.
+var (
+	ErrNoEnt      = errorString("no such file or directory")
+	ErrBadFD      = errorString("bad file descriptor")
+	ErrInval      = errorString("invalid argument")
+	ErrExist      = errorString("file exists")
+	ErrIsDir      = errorString("is a directory")
+	ErrNotDir     = errorString("not a directory")
+	ErrNoSpace    = errorString("no space left on device")
+	ErrNxIO       = errorString("no such device or address")
+	ErrROFS       = errorString("read-only file system")
+	ErrOpNotSupp  = errorString("operation not supported")
+	ErrFileTooBig = errorString("file too large")
+	ErrWouldBlock = errorString("operation would block")
+	ErrIO         = errorString("I/O error")
+)
+
+// Open flags, fcntl commands and the FASYNC bit, in the spirit of the
+// Ultrix interface the paper extends.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreat  = 0x100
+	OTrunc  = 0x200
+	OAppend = 0x400
+
+	FSetFL = 1 // fcntl: set status flags
+	FGetFL = 2 // fcntl: get status flags
+
+	FAsync = 0x1000 // asynchronous splice operation (fcntl F_SETFL)
+)
+
+// FileOps is the per-object file interface: regular files, character
+// devices and sockets all implement it. Offsets are managed by the
+// descriptor layer; objects that have no notion of offset ignore it.
+//
+// Read/Write move bytes between the caller's buffer and the object,
+// charging device and cache costs internally; the user<->kernel copy
+// cost is charged by the system-call layer on top.
+type FileOps interface {
+	Read(ctx Ctx, b []byte, off int64) (int, error)
+	Write(ctx Ctx, b []byte, off int64) (int, error)
+	Size(ctx Ctx) (int64, error)
+	Sync(ctx Ctx) error
+	Close(ctx Ctx) error
+}
+
+// FDesc is an open-file descriptor table entry.
+type FDesc struct {
+	ops    FileOps
+	offset int64
+	flags  int
+}
+
+// Ops returns the underlying file object.
+func (f *FDesc) Ops() FileOps { return f.ops }
+
+// Flags returns the descriptor status flags (including FAsync).
+func (f *FDesc) Flags() int { return f.flags }
+
+// Offset returns the current file offset.
+func (f *FDesc) Offset() int64 { return f.offset }
+
+// Advance moves the file offset by n (used by splice, which consumes
+// from the descriptor like read/write do).
+func (f *FDesc) Advance(n int64) { f.offset += n }
+
+// FileSystem is the mountable-filesystem interface (implemented by
+// internal/fs).
+type FileSystem interface {
+	// OpenFile resolves a path relative to the filesystem root.
+	OpenFile(ctx Ctx, path string, flags int) (FileOps, error)
+	// Remove unlinks a file.
+	Remove(ctx Ctx, path string) error
+	// SyncAll flushes all dirty state to the underlying device.
+	SyncAll(ctx Ctx) error
+}
+
+type mountEntry struct {
+	prefix string
+	fs     FileSystem
+}
+
+type devEntry struct {
+	path string
+	open func(ctx Ctx) (FileOps, error)
+}
+
+// Mount attaches a filesystem at the given path prefix (e.g. "/d0").
+// Longest-prefix match wins at lookup time.
+func (k *Kernel) Mount(prefix string, fs FileSystem) {
+	if !strings.HasPrefix(prefix, "/") {
+		panic("kernel: mount prefix must be absolute")
+	}
+	k.mounts = append(k.mounts, mountEntry{prefix: strings.TrimRight(prefix, "/"), fs: fs})
+	sort.SliceStable(k.mounts, func(i, j int) bool {
+		return len(k.mounts[i].prefix) > len(k.mounts[j].prefix)
+	})
+}
+
+// RegisterDev registers a device special file (e.g. "/dev/speaker"); an
+// open of exactly that path calls the opener.
+func (k *Kernel) RegisterDev(path string, open func(ctx Ctx) (FileOps, error)) {
+	k.devs = append(k.devs, devEntry{path: path, open: open})
+}
+
+// lookup resolves an absolute path to either a device opener or a
+// (filesystem, relative-path) pair.
+func (k *Kernel) lookup(path string) (dev *devEntry, fs FileSystem, rel string, err error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, nil, "", ErrNoEnt
+	}
+	for i := range k.devs {
+		if k.devs[i].path == path {
+			return &k.devs[i], nil, "", nil
+		}
+	}
+	for _, m := range k.mounts {
+		if path == m.prefix {
+			return nil, m.fs, "/", nil
+		}
+		if strings.HasPrefix(path, m.prefix+"/") {
+			return nil, m.fs, path[len(m.prefix):], nil
+		}
+	}
+	return nil, nil, "", ErrNoEnt
+}
+
+// installFD places ops in the lowest free descriptor slot.
+func (p *Proc) installFD(ops FileOps, flags int) int {
+	for i, f := range p.fds {
+		if f == nil {
+			p.fds[i] = &FDesc{ops: ops, flags: flags}
+			return i
+		}
+	}
+	p.fds = append(p.fds, &FDesc{ops: ops, flags: flags})
+	return len(p.fds) - 1
+}
+
+// FD returns the descriptor table entry for fd.
+func (p *Proc) FD(fd int) (*FDesc, error) {
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return nil, ErrBadFD
+	}
+	return p.fds[fd], nil
+}
+
+// InstallFile installs an already-open file object (sockets, test
+// fixtures) into the descriptor table and returns its fd.
+func (p *Proc) InstallFile(ops FileOps, flags int) int {
+	return p.installFD(ops, flags)
+}
+
+// syscallEnter charges the fixed trap cost and counts the call.
+func (p *Proc) syscallEnter() {
+	p.nsys++
+	p.UseK(p.k.cfg.SyscallCost)
+}
+
+// ChargeSyscall charges the fixed system-call trap cost; used by
+// syscalls implemented outside this package (splice).
+func (p *Proc) ChargeSyscall() { p.syscallEnter() }
+
+// closeAllFDs closes every open descriptor; called from the process's
+// own goroutine at exit, since closing may sleep.
+func (p *Proc) closeAllFDs() {
+	for fd, f := range p.fds {
+		if f != nil {
+			_ = p.k.closeFD(p, fd)
+		}
+	}
+}
+
+// Open opens path with the given flags and returns a descriptor,
+// resolving device special files and mounted filesystems.
+func (p *Proc) Open(path string, flags int) (int, error) {
+	p.syscallEnter()
+	dev, fsys, rel, err := p.k.lookup(path)
+	if err != nil {
+		return -1, err
+	}
+	var ops FileOps
+	if dev != nil {
+		ops, err = dev.open(p.Ctx())
+	} else {
+		ops, err = fsys.OpenFile(p.Ctx(), rel, flags)
+	}
+	if err != nil {
+		return -1, err
+	}
+	fd := p.installFD(ops, flags&^(OCreat|OTrunc))
+	if flags&OAppend != 0 {
+		if sz, serr := ops.Size(p.Ctx()); serr == nil {
+			p.fds[fd].offset = sz
+		}
+	}
+	return fd, nil
+}
+
+// Close closes a descriptor.
+func (p *Proc) Close(fd int) error {
+	p.syscallEnter()
+	return p.k.closeFD(p, fd)
+}
+
+func (k *Kernel) closeFD(p *Proc, fd int) error {
+	f, err := p.FD(fd)
+	if err != nil {
+		return err
+	}
+	p.fds[fd] = nil
+	return f.ops.Close(p.Ctx())
+}
+
+// Read reads up to len(b) bytes at the current offset, charging the
+// kernel-to-user copy for the bytes moved. Returns 0, nil at EOF.
+func (p *Proc) Read(fd int, b []byte) (int, error) {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.flags&0x3 == OWrOnly {
+		return 0, ErrBadFD
+	}
+	n, err := f.ops.Read(p.Ctx(), b, f.offset)
+	if n > 0 {
+		p.UseK(p.k.cfg.CopyCost(n)) // copyout
+		f.offset += int64(n)
+	}
+	return n, err
+}
+
+// Write writes len(b) bytes at the current offset, charging the
+// user-to-kernel copy.
+func (p *Proc) Write(fd int, b []byte) (int, error) {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.flags&0x3 == ORdOnly {
+		return 0, ErrBadFD
+	}
+	if len(b) > 0 {
+		p.UseK(p.k.cfg.CopyCost(len(b))) // copyin
+	}
+	n, err := f.ops.Write(p.Ctx(), b, f.offset)
+	if n > 0 {
+		f.offset += int64(n)
+	}
+	return n, err
+}
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Lseek repositions the file offset.
+func (p *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.offset
+	case SeekEnd:
+		sz, serr := f.ops.Size(p.Ctx())
+		if serr != nil {
+			return 0, serr
+		}
+		base = sz
+	default:
+		return 0, ErrInval
+	}
+	if base+off < 0 {
+		return 0, ErrInval
+	}
+	f.offset = base + off
+	return f.offset, nil
+}
+
+// Fcntl implements F_GETFL/F_SETFL; setting FAsync is how a caller
+// requests asynchronous splice operation, per the paper's interface.
+func (p *Proc) Fcntl(fd int, cmd int, arg int) (int, error) {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch cmd {
+	case FGetFL:
+		return f.flags, nil
+	case FSetFL:
+		f.flags = (f.flags & 0x3) | (arg &^ 0x3)
+		return 0, nil
+	default:
+		return 0, ErrInval
+	}
+}
+
+// Fsync forces the file's dirty blocks to stable storage and waits.
+func (p *Proc) Fsync(fd int) error {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return err
+	}
+	return f.ops.Sync(p.Ctx())
+}
+
+// FileSize returns the current size of the open file (fstat st_size).
+func (p *Proc) FileSize(fd int) (int64, error) {
+	p.syscallEnter()
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.ops.Size(p.Ctx())
+}
+
+// Unlink removes a file by path.
+func (p *Proc) Unlink(path string) error {
+	p.syscallEnter()
+	dev, fsys, rel, err := p.k.lookup(path)
+	if err != nil {
+		return err
+	}
+	if dev != nil {
+		return ErrInval
+	}
+	return fsys.Remove(p.Ctx(), rel)
+}
+
+// CopyCharge exposes the user/kernel copy cost for n bytes, for
+// subsystems (sockets) that move data to user space themselves.
+func (k *Kernel) CopyCharge(n int) sim.Duration { return k.cfg.CopyCost(n) }
+
+// StatInfo is the stat(2)-style result of Proc.Stat.
+type StatInfo struct {
+	Size  int64
+	IsDir bool
+}
+
+// StatFS is optionally implemented by mounted filesystems that can
+// report path metadata.
+type StatFS interface {
+	StatPath(ctx Ctx, path string) (StatInfo, error)
+}
+
+// RenameFS is optionally implemented by filesystems supporting rename.
+type RenameFS interface {
+	RenamePath(ctx Ctx, oldPath, newPath string) error
+}
+
+// Stat returns metadata for path.
+func (p *Proc) Stat(path string) (StatInfo, error) {
+	p.syscallEnter()
+	dev, fsys, rel, err := p.k.lookup(path)
+	if err != nil {
+		return StatInfo{}, err
+	}
+	if dev != nil {
+		return StatInfo{}, nil // device special files have no size
+	}
+	sf, ok := fsys.(StatFS)
+	if !ok {
+		return StatInfo{}, ErrOpNotSupp
+	}
+	return sf.StatPath(p.Ctx(), rel)
+}
+
+// Rename moves oldPath to newPath; both must live on the same mounted
+// filesystem (there is no cross-device rename, as on the real system).
+func (p *Proc) Rename(oldPath, newPath string) error {
+	p.syscallEnter()
+	dev1, fs1, rel1, err := p.k.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	dev2, fs2, rel2, err := p.k.lookup(newPath)
+	if err != nil {
+		return err
+	}
+	if dev1 != nil || dev2 != nil {
+		return ErrInval
+	}
+	if fs1 != fs2 {
+		return ErrInval // EXDEV
+	}
+	rf, ok := fs1.(RenameFS)
+	if !ok {
+		return ErrOpNotSupp
+	}
+	return rf.RenamePath(p.Ctx(), rel1, rel2)
+}

@@ -1,0 +1,532 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"kdp/internal/sim"
+)
+
+// ErrDeadlock is returned by Run when live processes remain but neither
+// runnable work nor pending events exist.
+var ErrDeadlock = errors.New("kernel: deadlock: sleeping processes with no pending events")
+
+// ErrWatchdog is returned by Run when Config.MaxRunTime is exceeded.
+var ErrWatchdog = errors.New("kernel: watchdog: MaxRunTime exceeded")
+
+// Kernel is the simulated machine: one CPU, a scheduler, the callout
+// list, and the system-call surface. Construct with New, add processes
+// with Spawn, then drive with Run.
+type Kernel struct {
+	cfg    Config
+	engine *sim.Engine
+	rand   *sim.Rand
+
+	procs   []*Proc
+	nextPid int
+	alive   int
+	holds   int // kernel-side keepalive holds (active splices, busy devices)
+
+	runq        []*Proc
+	current     *Proc
+	lastRun     *Proc
+	needResched bool
+	quantumLeft int
+
+	sleepq map[any][]*Proc
+
+	callouts calloutList
+	ticks    int64
+	clockOn  bool
+	nextTick sim.Time
+
+	mounts []mountEntry
+	devs   []devEntry
+
+	// accounting
+	idleTime   sim.Duration
+	intrTime   sim.Duration
+	switchTime sim.Duration
+	nSwitches  int64
+	nIntr      int64
+
+	tracer func(t sim.Time, what string)
+}
+
+// New builds a kernel from the given configuration.
+func New(cfg Config) *Kernel {
+	if cfg.HZ <= 0 {
+		panic("kernel: Config.HZ must be positive")
+	}
+	k := &Kernel{
+		cfg:     cfg,
+		engine:  sim.NewEngine(),
+		rand:    sim.NewRand(cfg.Seed),
+		nextPid: 1,
+		sleepq:  make(map[any][]*Proc),
+	}
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() *Config { return &k.cfg }
+
+// Engine returns the underlying event engine. Device models schedule
+// their completions on it.
+func (k *Kernel) Engine() *sim.Engine { return k.engine }
+
+// Rand returns the machine's deterministic PRNG.
+func (k *Kernel) Rand() *sim.Rand { return k.rand }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.engine.Now() }
+
+// Ticks returns the number of hardclock ticks since boot.
+func (k *Kernel) Ticks() int64 { return k.ticks }
+
+// SetTracer installs a callback invoked with scheduler-level trace
+// lines; nil disables tracing.
+func (k *Kernel) SetTracer(fn func(t sim.Time, what string)) { k.tracer = fn }
+
+func (k *Kernel) trace(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(k.engine.Now(), fmt.Sprintf(format, args...))
+	}
+}
+
+// DurationToTicks converts a duration to a whole number of clock ticks,
+// rounding up (a callout always waits at least one tick boundary).
+func (k *Kernel) DurationToTicks(d sim.Duration) int {
+	tick := k.cfg.TickDuration()
+	n := int((d + tick - 1) / tick)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Spawn creates a new process whose body is fn and places it on the run
+// queue. The body runs when the scheduler selects it during Run.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if fn == nil {
+		panic("kernel: Spawn with nil body")
+	}
+	p := &Proc{
+		k:       k,
+		pid:     k.nextPid,
+		name:    name,
+		state:   ProcRunnable,
+		pri:     PUSER,
+		basePri: PUSER,
+		resume:  make(chan struct{}),
+		parked:  make(chan struct{}),
+		exited:  make(chan struct{}),
+		body:    fn,
+	}
+	k.nextPid++
+	k.procs = append(k.procs, p)
+	k.alive++
+	k.runq = append(k.runq, p)
+	go procMain(p)
+	return p
+}
+
+// procMain is the goroutine body hosting a process. Descriptor teardown
+// happens here, in process context, because closing a file can sleep
+// (inode writeback); only then does the goroutine park with reqExit.
+func procMain(p *Proc) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicVal = r
+		}
+		if p.panicVal == nil {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						p.panicVal = r
+					}
+				}()
+				p.closeAllFDs()
+			}()
+		}
+		p.req = reqExit
+		p.parked <- struct{}{}
+		// never resumed again
+	}()
+	p.body(p)
+}
+
+// Hold marks kernel-side work in progress (an active splice, a busy
+// device queue) that must keep the simulation running even if every
+// process has exited. Pair with Release.
+func (k *Kernel) Hold() { k.holds++ }
+
+// Release drops a Hold.
+func (k *Kernel) Release() {
+	k.holds--
+	if k.holds < 0 {
+		panic("kernel: Release without Hold")
+	}
+}
+
+// StealCPU charges d at interrupt level: the clock advances and the
+// time is accounted as interrupt time, delaying whatever was running.
+func (k *Kernel) StealCPU(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	k.engine.Consume(d)
+	k.intrTime += d
+}
+
+// Interrupt models taking a device interrupt: the fixed interrupt cost
+// is charged, then fn runs at interrupt level (it may call StealCPU for
+// additional handler work but must not sleep).
+func (k *Kernel) Interrupt(fn func()) {
+	k.nIntr++
+	k.StealCPU(k.cfg.InterruptCost)
+	fn()
+}
+
+// Sleepers reports how many processes are blocked on wchan.
+func (k *Kernel) Sleepers(wchan any) int { return len(k.sleepq[wchan]) }
+
+// Wakeup makes every process sleeping on wchan runnable, as 4.3BSD
+// wakeup(). Safe to call from any context.
+func (k *Kernel) Wakeup(wchan any) {
+	list := k.sleepq[wchan]
+	if len(list) == 0 {
+		return
+	}
+	delete(k.sleepq, wchan)
+	for _, p := range list {
+		k.makeRunnable(p, p.sleepPri)
+	}
+}
+
+// WakeupOne wakes only the longest-sleeping process on wchan.
+func (k *Kernel) WakeupOne(wchan any) {
+	list := k.sleepq[wchan]
+	if len(list) == 0 {
+		return
+	}
+	p := list[0]
+	if len(list) == 1 {
+		delete(k.sleepq, wchan)
+	} else {
+		k.sleepq[wchan] = list[1:]
+	}
+	k.makeRunnable(p, p.sleepPri)
+}
+
+func (k *Kernel) makeRunnable(p *Proc, pri int) {
+	if p.state == ProcExited {
+		return
+	}
+	p.state = ProcRunnable
+	p.pri = pri
+	p.wchan = nil
+	k.runq = append(k.runq, p)
+	if k.current != nil && pri < k.current.pri {
+		k.needResched = true
+	}
+	k.trace("wakeup %s pri=%d", p.name, pri)
+}
+
+// unsleep removes p from its sleep queue (signal interruption).
+func (k *Kernel) unsleep(p *Proc) {
+	list := k.sleepq[p.wchan]
+	for i, q := range list {
+		if q == p {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(k.sleepq, p.wchan)
+	} else {
+		k.sleepq[p.wchan] = list
+	}
+}
+
+// pickNext removes and returns the best runnable process: lowest
+// numeric priority, FIFO among equals.
+func (k *Kernel) pickNext() *Proc {
+	best := -1
+	for i, p := range k.runq {
+		if best < 0 || p.pri < k.runq[best].pri {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	p := k.runq[best]
+	k.runq = append(k.runq[:best], k.runq[best+1:]...)
+	return p
+}
+
+// otherRunnable reports whether any queued process has priority at or
+// better than pri.
+func (k *Kernel) otherRunnable(pri int) bool {
+	for _, p := range k.runq {
+		if p.pri <= pri {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives the machine until every process has exited and no
+// kernel-side holds remain. It returns ErrDeadlock if live processes
+// are all asleep with nothing pending, or ErrWatchdog if MaxRunTime is
+// exceeded.
+func (k *Kernel) Run() error {
+	k.startClock()
+	for {
+		if k.cfg.MaxRunTime > 0 && sim.Duration(k.engine.Now()) > k.cfg.MaxRunTime {
+			return ErrWatchdog
+		}
+		k.engine.RunDue()
+		if k.alive == 0 && k.holds == 0 {
+			return nil
+		}
+		p := k.current
+		if p == nil {
+			p = k.pickNext()
+		}
+		if p == nil {
+			// Idle: advance to the next event. If the only pending
+			// event is our own hardclock and the callout list is
+			// empty, nothing can ever wake the sleepers: deadlock.
+			clockEvents := 0
+			if k.clockOn {
+				clockEvents = 1
+			}
+			if k.alive > 0 && k.holds == 0 && k.callouts.empty() &&
+				k.engine.Pending() == clockEvents && k.anySignalsPending() == false {
+				return ErrDeadlock
+			}
+			t0 := k.engine.Now()
+			if !k.engine.RunNext() {
+				if k.alive == 0 {
+					return nil
+				}
+				return ErrDeadlock
+			}
+			k.idleTime += k.engine.Now().Sub(t0)
+			continue
+		}
+		k.runStep(p)
+	}
+}
+
+// anySignalsPending reports whether any live process has an undelivered
+// signal (which could still unblock an interruptible sleeper).
+func (k *Kernel) anySignalsPending() bool {
+	for _, p := range k.procs {
+		if p.state != ProcExited && p.sigPending != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runStep gives the CPU to p for one step: either serving its pending
+// CPU-use request or resuming its goroutine until it parks again.
+func (k *Kernel) runStep(p *Proc) {
+	if k.lastRun != p {
+		if k.lastRun != nil {
+			k.engine.Consume(k.cfg.ContextSwitchCost)
+			k.switchTime += k.cfg.ContextSwitchCost
+			k.nSwitches++
+		}
+		k.lastRun = p
+		k.quantumLeft = k.cfg.QuantumTicks
+		k.trace("switch to %s", p.name)
+	}
+	k.current = p
+	p.state = ProcRunning
+
+	if p.useRem > 0 {
+		k.serveUse(p)
+		return // either completed (current stays p) or preempted
+	}
+
+	// Resume the process goroutine until it parks with a request.
+	p.resume <- struct{}{}
+	<-p.parked
+
+	switch p.req {
+	case reqUse:
+		// Served on the next loop iteration (current remains p).
+	case reqSleep:
+		k.sleepq[p.wchan] = append(k.sleepq[p.wchan], p)
+		p.state = ProcSleeping
+		p.pri = p.sleepPri
+		p.nvcsw++
+		k.current = nil
+		k.trace("sleep %s pri=%d", p.name, p.sleepPri)
+	case reqYield:
+		p.state = ProcRunnable
+		p.nvcsw++
+		k.runq = append(k.runq, p)
+		k.current = nil
+	case reqExit:
+		k.reapProc(p)
+	default:
+		panic(fmt.Sprintf("kernel: proc %q parked with unexpected request %d", p.name, p.req))
+	}
+	p.req = reqNone
+}
+
+func (k *Kernel) reapProc(p *Proc) {
+	p.state = ProcExited
+	k.alive--
+	k.current = nil
+	if k.lastRun == p {
+		k.lastRun = nil
+	}
+	if p.itimer != nil {
+		p.itimer.stop(k)
+		p.itimer = nil
+	}
+	close(p.exited)
+	k.Wakeup(p) // anyone waiting on the proc itself
+	k.trace("exit %s", p.name)
+	if p.panicVal != nil {
+		panic(p.panicVal)
+	}
+}
+
+// serveUse advances virtual time while charging CPU to p, interleaving
+// any events that come due (device completions, clock ticks). User-mode
+// time is preemptible; kernel-mode time runs to completion (interrupts
+// still steal time on top).
+func (k *Kernel) serveUse(p *Proc) {
+	if !p.useKernel {
+		// Returning to user mode: priority reverts to the base user
+		// priority and pending signals are delivered.
+		p.pri = p.basePri
+		if p.sigPending != 0 {
+			k.deliverSignals(p)
+		}
+	}
+	for p.useRem > 0 {
+		k.engine.RunDue()
+		if !p.useKernel && k.needResched && k.otherRunnable(p.pri) {
+			k.preempt(p)
+			return
+		}
+		next, haveNext := k.engine.NextEventTime()
+		now := k.engine.Now()
+		end := now.Add(p.useRem)
+		if !haveNext || next >= end {
+			k.engine.Consume(p.useRem)
+			k.chargeUse(p, p.useRem)
+			p.useRem = 0
+			break
+		}
+		delta := next.Sub(now)
+		if delta < 0 {
+			delta = 0
+		}
+		k.engine.AdvanceTo(next)
+		k.chargeUse(p, delta)
+		p.useRem -= delta
+	}
+	if p.useRem == 0 {
+		k.engine.RunDue()
+		if k.needResched && !p.useKernel && k.otherRunnable(p.pri) {
+			k.preempt(p)
+		}
+	}
+}
+
+func (k *Kernel) chargeUse(p *Proc, d sim.Duration) {
+	if p.useKernel {
+		p.stime += d
+	} else {
+		p.utime += d
+	}
+}
+
+func (k *Kernel) preempt(p *Proc) {
+	p.state = ProcRunnable
+	p.nicsw++
+	k.runq = append(k.runq, p)
+	k.current = nil
+	k.needResched = false
+	k.trace("preempt %s (rem %v)", p.name, p.useRem)
+}
+
+// startClock arms the periodic hardclock.
+func (k *Kernel) startClock() {
+	if k.clockOn {
+		return
+	}
+	k.clockOn = true
+	k.nextTick = k.engine.Now().Add(k.cfg.TickDuration())
+	k.engine.Schedule(k.cfg.TickDuration(), "hardclock", k.hardclock)
+}
+
+// scheduleNextTick arms the next hardclock at a fixed absolute cadence:
+// the hardware timer does not drift because handlers burned CPU.
+func (k *Kernel) scheduleNextTick() {
+	k.nextTick = k.nextTick.Add(k.cfg.TickDuration())
+	delay := k.nextTick.Sub(k.engine.Now())
+	if delay < 0 {
+		delay = 0
+	}
+	k.engine.Schedule(delay, "hardclock", k.hardclock)
+}
+
+// hardclock is the 100Hz (by default) clock interrupt: it advances the
+// tick count, runs softclock (the callout list), and implements
+// round-robin preemption for equal-priority user processes.
+func (k *Kernel) hardclock() {
+	k.ticks++
+	k.softclock()
+	// Charge the quantum to whoever holds the CPU, in either mode (as
+	// 4.3BSD charges p_cpu); preemption itself still waits for the
+	// next user-mode boundary.
+	if k.current != nil {
+		k.quantumLeft--
+		if k.quantumLeft <= 0 {
+			k.quantumLeft = k.cfg.QuantumTicks
+			if k.otherRunnable(k.current.pri) {
+				k.needResched = true
+			}
+		}
+	}
+	if k.alive > 0 || k.holds > 0 || !k.callouts.empty() {
+		k.scheduleNextTick()
+	} else {
+		k.clockOn = false
+	}
+}
+
+// CPUStats is a snapshot of machine-wide CPU accounting.
+type CPUStats struct {
+	Now        sim.Time
+	Idle       sim.Duration
+	Interrupt  sim.Duration
+	Switching  sim.Duration
+	Switches   int64
+	Interrupts int64
+	Ticks      int64
+}
+
+// Stats returns machine-wide CPU accounting counters.
+func (k *Kernel) Stats() CPUStats {
+	return CPUStats{
+		Now:        k.engine.Now(),
+		Idle:       k.idleTime,
+		Interrupt:  k.intrTime,
+		Switching:  k.switchTime,
+		Switches:   k.nSwitches,
+		Interrupts: k.nIntr,
+		Ticks:      k.ticks,
+	}
+}

@@ -1,0 +1,273 @@
+package kernel
+
+import (
+	"fmt"
+
+	"kdp/internal/sim"
+)
+
+// Scheduling priorities, straight out of 4.3BSD. Numerically lower is
+// more urgent. Sleeps at priority below PZERO are uninterruptible by
+// signals.
+const (
+	PSWP   = 0
+	PINOD  = 10
+	PRIBIO = 20
+	PSOCK  = 24
+	PZERO  = 25
+	PWAIT  = 30
+	PSLEP  = 40
+	PUSER  = 50
+)
+
+// ProcState enumerates the lifecycle states of a simulated process.
+type ProcState int
+
+// Process states.
+const (
+	ProcEmbryo   ProcState = iota // created, never run
+	ProcRunnable                  // on the run queue
+	ProcRunning                   // currently owns the CPU
+	ProcSleeping                  // blocked on a wait channel
+	ProcExited                    // terminated
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcEmbryo:
+		return "embryo"
+	case ProcRunnable:
+		return "runnable"
+	case ProcRunning:
+		return "running"
+	case ProcSleeping:
+		return "sleeping"
+	case ProcExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// reqKind identifies why a process goroutine parked.
+type reqKind int
+
+const (
+	reqNone  reqKind = iota
+	reqUse           // charge CPU time (possibly preemptible)
+	reqSleep         // block on wchan
+	reqYield         // voluntarily give up the CPU
+	reqExit          // terminate
+)
+
+// ErrIntr is returned by interruptible sleeps broken by a signal, in
+// the spirit of EINTR.
+var ErrIntr = errorString("interrupted system call")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Proc is a simulated process. Its body runs on a dedicated goroutine,
+// but only one goroutine (either the kernel's Run loop or exactly one
+// process body) is ever executing at a time: the body parks at every
+// point where virtual time must advance or the process must block, and
+// the kernel decides when it resumes. This makes the simulation
+// deterministic while letting process code read like a normal program.
+type Proc struct {
+	k    *Kernel
+	pid  int
+	name string
+
+	state    ProcState
+	pri      int // current sleep/run priority
+	basePri  int // priority when computing in user mode
+	wchan    any // sleep channel when state == ProcSleeping
+	wakeErr  error
+	sleepSig bool // sleeping interruptibly
+
+	// park/resume handshake
+	resume chan struct{}
+	parked chan struct{}
+	req    reqKind
+
+	// pending CPU-use request
+	useRem    sim.Duration
+	useKernel bool
+
+	// pending sleep request
+	sleepPri int
+
+	// signals
+	sigPending uint32
+	sigHandler [numSig]func(*Proc, Signal)
+	itimer     *itimer
+
+	// file descriptors
+	fds []*FDesc
+
+	// accounting
+	utime sim.Duration // user-mode CPU consumed
+	stime sim.Duration // kernel-mode CPU consumed
+	nsys  int64        // syscall count
+	nvcsw int64        // voluntary context switches (blocked)
+	nicsw int64        // involuntary context switches (preempted)
+
+	exited   chan struct{} // closed when the body returns
+	body     func(*Proc)
+	panicVal any // panic recovered from the body, re-raised by the kernel
+}
+
+// Pid returns the process id.
+func (p *Proc) Pid() int { return p.pid }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.k.engine.Now() }
+
+// UserTime returns the user-mode CPU time this process has consumed.
+func (p *Proc) UserTime() sim.Duration { return p.utime }
+
+// SysTime returns the kernel-mode CPU time this process has consumed.
+func (p *Proc) SysTime() sim.Duration { return p.stime }
+
+// Syscalls returns the number of system calls the process has made.
+func (p *Proc) Syscalls() int64 { return p.nsys }
+
+// ContextSwitches returns (voluntary, involuntary) context switch
+// counts.
+func (p *Proc) ContextSwitches() (voluntary, involuntary int64) {
+	return p.nvcsw, p.nicsw
+}
+
+// park hands control back to the kernel loop and blocks until the
+// kernel resumes this process.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Use charges d of CPU time to the process. Kernel-mode time is not
+// preemptible by the scheduler (interrupts still steal time); user-mode
+// time is subject to round-robin preemption and priority preemption on
+// wakeup. Use returns only after the full duration has been charged.
+func (p *Proc) Use(d sim.Duration, kernelMode bool) {
+	if d <= 0 {
+		return
+	}
+	p.assertRunning("Use")
+	p.useRem = d
+	p.useKernel = kernelMode
+	p.req = reqUse
+	p.park()
+}
+
+// UseK charges kernel-mode (non-preemptible) CPU time.
+func (p *Proc) UseK(d sim.Duration) { p.Use(d, true) }
+
+// Compute charges user-mode CPU time; this is how workloads model
+// computation.
+func (p *Proc) Compute(d sim.Duration) { p.Use(d, false) }
+
+// Sleep blocks the process on wchan at the given priority until another
+// context calls Kernel.Wakeup(wchan). Sleeps at priority above PZERO
+// are interruptible: a posted signal breaks the sleep and Sleep returns
+// ErrIntr. Mirrors 4.3BSD sleep().
+func (p *Proc) Sleep(wchan any, pri int) error {
+	if wchan == nil {
+		panic("kernel: Sleep on nil wchan")
+	}
+	p.assertRunning("Sleep")
+	if pri > PZERO && p.sigPending != 0 {
+		return ErrIntr
+	}
+	p.wchan = wchan
+	p.sleepPri = pri
+	p.sleepSig = pri > PZERO
+	p.wakeErr = nil
+	p.req = reqSleep
+	p.park()
+	return p.wakeErr
+}
+
+// Yield gives up the CPU voluntarily; the process goes to the tail of
+// the run queue.
+func (p *Proc) Yield() {
+	p.assertRunning("Yield")
+	p.req = reqYield
+	p.park()
+}
+
+// SleepFor blocks the process for the given virtual duration using the
+// callout list (like tsleep with a timeout and no wakeup).
+func (p *Proc) SleepFor(d sim.Duration) {
+	ch := new(int)
+	k := p.k
+	ticks := k.DurationToTicks(d)
+	k.Timeout(func() { k.Wakeup(ch) }, ticks)
+	// Uninterruptible: purely a timing primitive.
+	_ = p.Sleep(ch, PSLEP-30) // below PZERO: not signal-interruptible
+}
+
+// exit terminates the process from inside its own goroutine.
+func (p *Proc) exitSelf() {
+	p.req = reqExit
+	p.parked <- struct{}{}
+	// never resumed
+}
+
+func (p *Proc) assertRunning(op string) {
+	if p.k.current != p {
+		panic(fmt.Sprintf("kernel: %s called on proc %q which is not current (state %v)", op, p.name, p.state))
+	}
+}
+
+// Ctx is the execution-context abstraction shared by process context
+// and interrupt context. Buffer-cache and driver code takes a Ctx so
+// the same functions can be called from a system call (may sleep) or
+// from an interrupt/callout handler (must not sleep) — the distinction
+// the paper's modified bread/getblk exist to manage.
+type Ctx interface {
+	// Kern returns the kernel.
+	Kern() *Kernel
+	// Use charges kernel-mode CPU time to this context.
+	Use(d sim.Duration)
+	// CanSleep reports whether this context may block.
+	CanSleep() bool
+	// Sleep blocks on wchan (only when CanSleep). pri follows the BSD
+	// convention.
+	Sleep(wchan any, pri int) error
+}
+
+// procCtx adapts Proc to Ctx (kernel-mode charging).
+type procCtx struct{ p *Proc }
+
+func (c procCtx) Kern() *Kernel                  { return c.p.k }
+func (c procCtx) Use(d sim.Duration)             { c.p.UseK(d) }
+func (c procCtx) CanSleep() bool                 { return true }
+func (c procCtx) Sleep(wchan any, pri int) error { return c.p.Sleep(wchan, pri) }
+
+// Ctx returns the process's kernel execution context.
+func (p *Proc) Ctx() Ctx { return procCtx{p} }
+
+// intrCtx is the interrupt-level execution context: time is stolen from
+// whatever was running, and sleeping is forbidden.
+type intrCtx struct{ k *Kernel }
+
+func (c intrCtx) Kern() *Kernel      { return c.k }
+func (c intrCtx) Use(d sim.Duration) { c.k.StealCPU(d) }
+func (c intrCtx) CanSleep() bool     { return false }
+func (c intrCtx) Sleep(wchan any, pri int) error {
+	panic("kernel: sleep attempted at interrupt level")
+}
+
+// IntrCtx returns the kernel's interrupt-level context.
+func (k *Kernel) IntrCtx() Ctx { return intrCtx{k} }

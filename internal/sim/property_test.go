@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestEventOrderProperty drives the engine with random schedules and
+// cancellations and checks events fire exactly in (time, insertion)
+// order, matching a reference sort.
+func TestEventOrderProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := NewRand(seed)
+		e := NewEngine()
+
+		type ev struct {
+			when Time
+			seq  int
+		}
+		var expected []ev
+		var fired []ev
+		var handles []*Event
+		n := 50 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			delay := Duration(r.Int63n(int64(100 * Millisecond)))
+			seq := i
+			when := e.Now().Add(delay)
+			h := e.Schedule(delay, "p", func() {
+				fired = append(fired, ev{when, seq})
+			})
+			handles = append(handles, h)
+			expected = append(expected, ev{when, seq})
+		}
+		// Cancel a random subset.
+		cancelled := map[int]bool{}
+		for i := 0; i < n/4; i++ {
+			idx := r.Intn(n)
+			if e.Cancel(handles[idx]) {
+				cancelled[idx] = true
+			}
+		}
+		var want []ev
+		for i, x := range expected {
+			if !cancelled[i] {
+				want = append(want, x)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].when != want[b].when {
+				return want[a].when < want[b].when
+			}
+			return want[a].seq < want[b].seq
+		})
+
+		for e.RunNext() {
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("seed %d: fired %d, want %d", seed, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d: event %d fired out of order: %+v vs %+v", seed, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestClockMonotoneProperty: however events interleave with Consume and
+// AdvanceTo, the clock never moves backwards.
+func TestClockMonotoneProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := NewRand(seed)
+		e := NewEngine()
+		last := e.Now()
+		check := func() {
+			if e.Now() < last {
+				t.Fatalf("seed %d: clock went backwards: %v -> %v", seed, last, e.Now())
+			}
+			last = e.Now()
+		}
+		for i := 0; i < 200; i++ {
+			switch r.Intn(4) {
+			case 0:
+				e.Schedule(Duration(r.Int63n(int64(Millisecond))), "x", check)
+			case 1:
+				e.Consume(Duration(r.Int63n(int64(100 * Microsecond))))
+				check()
+			case 2:
+				e.RunNext()
+				check()
+			case 3:
+				e.RunDue()
+				check()
+			}
+		}
+	}
+}

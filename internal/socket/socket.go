@@ -1,0 +1,347 @@
+// Package socket provides datagram (UDP-style) sockets over a simulated
+// shared link, supporting the paper's socket-to-socket splices for the
+// UDP transport protocol (§5.1).
+//
+// Sockets implement kernel.FileOps (read/write move whole datagrams,
+// charging user copies at the syscall layer) and the splice Source and
+// Sink interfaces structurally: a splice sink transmits each chunk as a
+// datagram; a splice source delivers received datagrams as they arrive,
+// entirely at interrupt level.
+package socket
+
+import (
+	"fmt"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// NetParams describes the simulated link all sockets of one Net share.
+type NetParams struct {
+	// Bandwidth is the serialization rate in bytes per second (a
+	// 10Mb/s Ethernet moves ~1.25MB/s).
+	Bandwidth float64
+	// Latency is the propagation delay from transmit-complete to
+	// receive interrupt.
+	Latency sim.Duration
+	// PerPacketCost is the protocol-processing CPU charge per packet
+	// on each side (UDP/IP input and output processing).
+	PerPacketCost sim.Duration
+	// RcvBufBytes bounds each socket's receive queue; datagrams
+	// arriving beyond it are dropped, as UDP does.
+	RcvBufBytes int
+}
+
+// Ethernet10 returns parameters for the era's 10Mb/s shared Ethernet.
+func Ethernet10() NetParams {
+	return NetParams{
+		Bandwidth:     1.25e6,
+		Latency:       600 * sim.Microsecond,
+		PerPacketCost: 120 * sim.Microsecond,
+		RcvBufBytes:   64 << 10,
+	}
+}
+
+// Loopback returns parameters for fast in-machine delivery.
+func Loopback() NetParams {
+	return NetParams{
+		Bandwidth:     16e6,
+		Latency:       50 * sim.Microsecond,
+		PerPacketCost: 60 * sim.Microsecond,
+		RcvBufBytes:   64 << 10,
+	}
+}
+
+type packet struct {
+	data []byte
+	from int
+	eof  bool
+}
+
+type txRequest struct {
+	pkt    packet
+	dst    int
+	onSent func()
+}
+
+// Net is a simulated network: a shared medium connecting every socket
+// created on it. Transmissions serialize on the link FIFO.
+type Net struct {
+	k     *kernel.Kernel
+	p     NetParams
+	socks map[int]*Socket
+
+	txq    []txRequest
+	txBusy bool
+
+	sent, delivered, dropped int64
+}
+
+// NewNet creates a network on machine k.
+func NewNet(k *kernel.Kernel, p NetParams) *Net {
+	if p.Bandwidth <= 0 {
+		panic("socket: bandwidth must be positive")
+	}
+	if p.RcvBufBytes <= 0 {
+		p.RcvBufBytes = 64 << 10
+	}
+	return &Net{k: k, p: p, socks: make(map[int]*Socket)}
+}
+
+// Stats reports network counters: packets sent, delivered, dropped.
+func (n *Net) Stats() (sent, delivered, dropped int64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// transmit queues a packet for the shared link.
+func (n *Net) transmit(req txRequest) {
+	n.txq = append(n.txq, req)
+	if !n.txBusy {
+		n.txBusy = true
+		n.k.Hold()
+		n.txNext()
+	}
+}
+
+func (n *Net) txNext() {
+	if len(n.txq) == 0 {
+		n.txBusy = false
+		n.k.Release()
+		return
+	}
+	req := n.txq[0]
+	n.txq = n.txq[1:]
+	ser := sim.BytesAt(int64(len(req.pkt.data)), n.p.Bandwidth)
+	n.k.Engine().Schedule(ser, "net:tx", func() {
+		n.sent++
+		// Sender-side completion: the datagram is on the wire.
+		n.k.Interrupt(func() {
+			n.k.StealCPU(n.p.PerPacketCost)
+			if req.onSent != nil {
+				req.onSent()
+			}
+		})
+		// Propagation, then receive interrupt at the destination.
+		pkt := req.pkt
+		dst := req.dst
+		n.k.Engine().Schedule(n.p.Latency, "net:rx", func() {
+			n.k.Interrupt(func() {
+				n.k.StealCPU(n.p.PerPacketCost)
+				n.deliver(dst, pkt)
+			})
+		})
+		n.txNext()
+	})
+}
+
+func (n *Net) deliver(port int, pkt packet) {
+	s, ok := n.socks[port]
+	if !ok || s.closed {
+		n.dropped++
+		return
+	}
+	if s.rcvBytes+len(pkt.data) > n.p.RcvBufBytes {
+		n.dropped++
+		return
+	}
+	n.delivered++
+	s.rcvBytes += len(pkt.data)
+	s.rcvq = append(s.rcvq, pkt)
+	s.serveWaiters()
+}
+
+// Socket is a datagram endpoint bound to a port on its Net.
+type Socket struct {
+	net    *Net
+	port   int
+	peer   int // connected destination port (for write/splice sink)
+	closed bool
+
+	rcvq     []packet
+	rcvBytes int
+
+	pendingMax     int
+	pendingDeliver func([]byte, bool, error)
+
+	sent, rcvd int64
+}
+
+// NewSocket binds a datagram socket to port.
+func (n *Net) NewSocket(port int) (*Socket, error) {
+	if _, taken := n.socks[port]; taken {
+		return nil, kernel.ErrExist
+	}
+	s := &Socket{net: n, port: port, peer: -1}
+	n.socks[port] = s
+	return s, nil
+}
+
+// Connect sets the default destination port for writes.
+func (s *Socket) Connect(port int) { s.peer = port }
+
+// Port returns the bound port.
+func (s *Socket) Port() int { return s.port }
+
+// Counters returns datagrams sent and received by this socket.
+func (s *Socket) Counters() (sent, rcvd int64) { return s.sent, s.rcvd }
+
+// QueuedDatagrams reports datagrams waiting in the receive queue.
+func (s *Socket) QueuedDatagrams() int { return len(s.rcvq) }
+
+func (s *Socket) String() string {
+	return fmt.Sprintf("udp:%d", s.port)
+}
+
+// serveWaiters hands queued data to a pending splice read and wakes
+// blocked readers. Runs at interrupt level.
+func (s *Socket) serveWaiters() {
+	if s.pendingDeliver != nil && (len(s.rcvq) > 0 || s.closed) {
+		deliver := s.pendingDeliver
+		s.pendingDeliver = nil
+		data, eof := s.takeDatagram(s.pendingMax)
+		deliver(data, eof, nil)
+	}
+	s.net.k.Wakeup(s)
+}
+
+// takeDatagram pops the next datagram (or its first max bytes; the rest
+// of the datagram is discarded, as recvfrom does).
+func (s *Socket) takeDatagram(max int) (data []byte, eof bool) {
+	for len(s.rcvq) > 0 {
+		pkt := s.rcvq[0]
+		s.rcvq = s.rcvq[1:]
+		s.rcvBytes -= len(pkt.data)
+		if pkt.eof {
+			return nil, true
+		}
+		s.rcvd++
+		d := pkt.data
+		if max < len(d) {
+			d = d[:max]
+		}
+		return d, false
+	}
+	return nil, s.closed
+}
+
+// sendTo transmits one datagram toward port dst.
+func (s *Socket) sendTo(dst int, data []byte, eof bool, onSent func()) {
+	cp := append([]byte(nil), data...) // the wire owns a copy (mbuf)
+	s.sent++
+	s.net.transmit(txRequest{
+		pkt:    packet{data: cp, from: s.port, eof: eof},
+		dst:    dst,
+		onSent: onSent,
+	})
+}
+
+// ---- kernel.FileOps ----
+
+// Read implements kernel.FileOps: blocks for the next datagram;
+// zero-length return means the peer shut down.
+func (s *Socket) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
+	for len(s.rcvq) == 0 {
+		if s.closed {
+			return 0, nil
+		}
+		if err := ctx.Sleep(s, kernel.PSOCK+1); err != nil {
+			return 0, err
+		}
+	}
+	data, eofMark := s.takeDatagram(len(p))
+	if eofMark {
+		return 0, nil
+	}
+	copy(p, data)
+	return len(data), nil
+}
+
+// Write implements kernel.FileOps: sends one datagram to the connected
+// peer and returns when it has been handed to the link.
+func (s *Socket) Write(ctx kernel.Ctx, p []byte, off int64) (int, error) {
+	if s.closed {
+		return 0, kernel.ErrBadFD
+	}
+	if s.peer < 0 {
+		return 0, kernel.ErrInval
+	}
+	sentCh := false
+	s.sendTo(s.peer, p, false, func() {
+		sentCh = true
+		s.net.k.Wakeup(&sentCh)
+	})
+	for !sentCh {
+		if !ctx.CanSleep() {
+			break
+		}
+		if err := ctx.Sleep(&sentCh, kernel.PSOCK); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Size implements kernel.FileOps.
+func (s *Socket) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
+
+// Sync implements kernel.FileOps.
+func (s *Socket) Sync(ctx kernel.Ctx) error { return nil }
+
+// Close implements kernel.FileOps: the port is released and an EOF
+// marker is sent to the connected peer so spliced relays terminate.
+func (s *Socket) Close(ctx kernel.Ctx) error {
+	if s.closed {
+		return nil
+	}
+	if s.peer >= 0 {
+		s.sendTo(s.peer, nil, true, nil)
+	}
+	s.closed = true
+	delete(s.net.socks, s.port)
+	s.serveWaiters()
+	return nil
+}
+
+// ---- splice endpoints ----
+
+// SpliceWrite implements the splice Sink interface: each chunk is sent
+// as one datagram; done fires when the link has accepted it, which is
+// the sink-side flow control.
+func (s *Socket) SpliceWrite(data []byte, done func(error)) {
+	if s.closed {
+		done(kernel.ErrBadFD)
+		return
+	}
+	if s.peer < 0 {
+		done(kernel.ErrInval)
+		return
+	}
+	s.sendTo(s.peer, data, false, func() { done(nil) })
+}
+
+// SpliceRead implements the splice Source interface: the next datagram
+// is delivered immediately if queued, otherwise on its receive
+// interrupt.
+func (s *Socket) SpliceRead(max int, deliver func([]byte, bool, error)) {
+	if len(s.rcvq) > 0 || s.closed {
+		data, eof := s.takeDatagram(max)
+		deliver(data, eof, nil)
+		return
+	}
+	if s.pendingDeliver != nil {
+		deliver(nil, false, kernel.ErrWouldBlock)
+		return
+	}
+	s.pendingMax = max
+	s.pendingDeliver = deliver
+}
+
+// CancelSpliceRead withdraws a parked splice read (splice interrupt
+// path); the deliver callback will never run.
+func (s *Socket) CancelSpliceRead() bool {
+	if s.pendingDeliver == nil {
+		return false
+	}
+	s.pendingDeliver = nil
+	return true
+}

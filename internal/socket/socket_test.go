@@ -1,0 +1,267 @@
+package socket
+
+import (
+	"bytes"
+	"testing"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+func newK() *kernel.Kernel {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 600 * sim.Second
+	return kernel.New(cfg)
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	a, err := n.NewSocket(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.NewSocket(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Connect(2000)
+	msg := []byte("hello datagram world")
+	var got []byte
+	k.Spawn("recv", func(p *kernel.Proc) {
+		fd := p.InstallFile(b, kernel.ORdWr)
+		buf := make([]byte, 100)
+		rn, err := p.Read(fd, buf)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		got = append([]byte(nil), buf[:rn]...)
+	})
+	k.Spawn("send", func(p *kernel.Proc) {
+		fd := p.InstallFile(a, kernel.ORdWr)
+		if _, err := p.Write(fd, msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDatagramBoundariesPreserved(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	a, _ := n.NewSocket(1)
+	b, _ := n.NewSocket(2)
+	a.Connect(2)
+	var sizes []int
+	k.Spawn("recv", func(p *kernel.Proc) {
+		fd := p.InstallFile(b, kernel.ORdOnly)
+		buf := make([]byte, 4096)
+		for i := 0; i < 3; i++ {
+			rn, err := p.Read(fd, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			sizes = append(sizes, rn)
+		}
+	})
+	k.Spawn("send", func(p *kernel.Proc) {
+		fd := p.InstallFile(a, kernel.OWrOnly)
+		for _, sz := range []int{100, 900, 33} {
+			if _, err := p.Write(fd, make([]byte, sz)); err != nil {
+				t.Errorf("write %d: %v", sz, err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 100 || sizes[1] != 900 || sizes[2] != 33 {
+		t.Fatalf("datagram sizes %v, want [100 900 33]", sizes)
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	a, _ := n.NewSocket(1)
+	b, _ := n.NewSocket(2)
+	a.Connect(2)
+	sawEOF := false
+	k.Spawn("recv", func(p *kernel.Proc) {
+		fd := p.InstallFile(b, kernel.ORdOnly)
+		buf := make([]byte, 64)
+		for {
+			rn, err := p.Read(fd, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if rn == 0 {
+				sawEOF = true
+				return
+			}
+		}
+	})
+	k.Spawn("send", func(p *kernel.Proc) {
+		fd := p.InstallFile(a, kernel.OWrOnly)
+		_, _ = p.Write(fd, []byte("bye"))
+		_ = p.Close(fd)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEOF {
+		t.Fatal("receiver never saw EOF after peer close")
+	}
+}
+
+func TestLinkSerializationPacesTransfers(t *testing.T) {
+	// 10 x 8KB over a 1.25MB/s Ethernet needs >= 64ms of serialization.
+	k := newK()
+	n := NewNet(k, Ethernet10())
+	a, _ := n.NewSocket(1)
+	b, _ := n.NewSocket(2)
+	a.Connect(2)
+	var elapsed sim.Duration
+	k.Spawn("recv", func(p *kernel.Proc) {
+		fd := p.InstallFile(b, kernel.ORdOnly)
+		buf := make([]byte, 8192)
+		for i := 0; i < 10; i++ {
+			if _, err := p.Read(fd, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}
+	})
+	k.Spawn("send", func(p *kernel.Proc) {
+		fd := p.InstallFile(a, kernel.OWrOnly)
+		t0 := p.Now()
+		for i := 0; i < 10; i++ {
+			if _, err := p.Write(fd, make([]byte, 8192)); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 60*sim.Millisecond {
+		t.Fatalf("10x8KB sent in %v; link not serializing", elapsed)
+	}
+}
+
+func TestReceiveBufferOverflowDrops(t *testing.T) {
+	k := newK()
+	p := Loopback()
+	p.RcvBufBytes = 4096
+	n := NewNet(k, p)
+	a, _ := n.NewSocket(1)
+	if _, err := n.NewSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	a.Connect(2)
+	k.Spawn("send", func(pr *kernel.Proc) {
+		fd := pr.InstallFile(a, kernel.OWrOnly)
+		for i := 0; i < 10; i++ { // 10KB into a 4KB rcv buffer, no reader
+			_, _ = pr.Write(fd, make([]byte, 1024))
+		}
+		pr.SleepFor(100 * sim.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, dropped := n.Stats()
+	if dropped == 0 {
+		t.Fatal("no drops despite overflowing receive buffer")
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	if _, err := n.NewSocket(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewSocket(7); err != kernel.ErrExist {
+		t.Fatalf("duplicate bind: %v, want ErrExist", err)
+	}
+}
+
+func TestWriteWithoutPeerRejected(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	a, _ := n.NewSocket(9)
+	k.Spawn("w", func(p *kernel.Proc) {
+		fd := p.InstallFile(a, kernel.OWrOnly)
+		if _, err := p.Write(fd, []byte("x")); err != kernel.ErrInval {
+			t.Errorf("unconnected write: %v, want ErrInval", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceSourceDeliversOnArrival(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Loopback())
+	a, _ := n.NewSocket(1)
+	b, _ := n.NewSocket(2)
+	a.Connect(2)
+	var deliveredAt sim.Time
+	var deliveredLen int
+	// Arm the splice-source read before any data exists.
+	b.SpliceRead(8192, func(data []byte, eof bool, err error) {
+		deliveredAt = k.Now()
+		deliveredLen = len(data)
+	})
+	k.Spawn("send", func(p *kernel.Proc) {
+		p.SleepFor(30 * sim.Millisecond)
+		fd := p.InstallFile(a, kernel.OWrOnly)
+		_, _ = p.Write(fd, make([]byte, 500))
+		p.SleepFor(30 * sim.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredLen != 500 {
+		t.Fatalf("delivered %d bytes", deliveredLen)
+	}
+	if deliveredAt < sim.Time(30*sim.Millisecond) {
+		t.Fatalf("delivered before send at %v", deliveredAt)
+	}
+}
+
+func TestSpliceSinkCompletionAfterSerialization(t *testing.T) {
+	k := newK()
+	n := NewNet(k, Ethernet10())
+	a, _ := n.NewSocket(1)
+	if _, err := n.NewSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	a.Connect(2)
+	var doneAt sim.Time
+	k.Spawn("idle", func(p *kernel.Proc) { p.SleepFor(sim.Second) })
+	k.Engine().Schedule(0, "kick", func() {
+		a.SpliceWrite(make([]byte, 12500), func(err error) {
+			if err != nil {
+				t.Errorf("sink: %v", err)
+			}
+			doneAt = k.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 12500 bytes at 1.25MB/s = 10ms of serialization.
+	if doneAt < sim.Time(9*sim.Millisecond) {
+		t.Fatalf("sink completion at %v, want >= ~10ms", doneAt)
+	}
+}

@@ -1,0 +1,492 @@
+package splice
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+)
+
+// Splice implements the system call: move size bytes (or EOF for the
+// rest of the source) from the object open on srcFD to the object open
+// on dstFD, entirely inside the kernel. If either descriptor has the
+// FASYNC status flag set (fcntl F_SETFL), the call returns as soon as
+// the transfer is set up and the caller receives SIGIO on completion;
+// otherwise it blocks until the data has been moved and returns the
+// byte count.
+func Splice(p *kernel.Proc, srcFD, dstFD int, size int64) (int64, error) {
+	n, _, err := SpliceOpts(p, srcFD, dstFD, size, Options{})
+	return n, err
+}
+
+// SpliceOpts is Splice with explicit flow-control options, returning a
+// Handle for observing an asynchronous transfer.
+func SpliceOpts(p *kernel.Proc, srcFD, dstFD int, size int64, opts Options) (int64, *Handle, error) {
+	p.ChargeSyscall()
+	if size < 0 && size != EOF {
+		return 0, nil, kernel.ErrInval
+	}
+	sfd, err := p.FD(srcFD)
+	if err != nil {
+		return 0, nil, err
+	}
+	dfd, err := p.FD(dstFD)
+	if err != nil {
+		return 0, nil, err
+	}
+	async := (sfd.Flags()|dfd.Flags())&kernel.FAsync != 0
+
+	d := &desc{
+		k:      p.Kernel(),
+		opts:   opts.withDefaults(),
+		async:  async,
+		caller: p,
+	}
+
+	srcFile, srcIsFile := sfd.Ops().(FileLike)
+	dstFile, dstIsFile := dfd.Ops().(FileLike)
+	source, srcIsSource := sfd.Ops().(Source)
+	sink, dstIsSink := dfd.Ops().(Sink)
+
+	switch {
+	case srcIsFile && dstIsFile:
+		d.mode = modeFileFile
+		d.srcFile, d.dstFile = srcFile, dstFile
+		if err := d.setupFileFile(p, sfd, dfd, size); err != nil {
+			return 0, nil, err
+		}
+	case srcIsFile && dstIsSink:
+		d.mode = modeFileSink
+		d.srcFile, d.sink = srcFile, sink
+		if err := d.setupFileSink(p, sfd, size); err != nil {
+			return 0, nil, err
+		}
+	case srcIsSource && dstIsSink:
+		d.mode = modeSourceSink
+		d.source, d.sink = source, sink
+		if err := d.setupSourceSink(p, size); err != nil {
+			return 0, nil, err
+		}
+	case srcIsSource && dstIsFile:
+		d.mode = modeSourceFile
+		d.source, d.dstFile = source, dstFile
+		if err := d.setupSourceFile(p, dfd, size); err != nil {
+			return 0, nil, err
+		}
+	default:
+		return 0, nil, kernel.ErrOpNotSupp
+	}
+
+	h := &Handle{d: d}
+	if d.done {
+		// Degenerate transfer (zero bytes): already complete.
+		return d.moved, h, d.err
+	}
+	if async {
+		// The caller continues in user mode; the transfer proceeds on
+		// device interrupts and the callout list. The scheduled size is
+		// returned when known; an until-EOF transfer from a sizeless
+		// source reports zero (poll the Handle or wait for SIGIO).
+		if d.total == EOF {
+			return 0, h, nil
+		}
+		return d.total, h, nil
+	}
+	return d.wait(p, sfd, dfd)
+}
+
+// wait blocks a synchronous caller until the splice drains. A signal
+// interrupts the splice: new reads stop, in-flight I/O drains, and the
+// call returns the partial count with ErrIntr, matching "until ... the
+// operation is interrupted by the caller".
+func (d *desc) wait(p *kernel.Proc, sfd, dfd *kernel.FDesc) (int64, *Handle, error) {
+	h := &Handle{d: d}
+	interrupted := false
+	for !d.done {
+		pri := kernel.PSLEP
+		if interrupted {
+			// Already interrupted: drain uninterruptibly, otherwise
+			// the still-pending signal would spin the sleep forever.
+			pri = kernel.PRIBIO
+		}
+		if err := p.Sleep(d, pri); err == kernel.ErrIntr && !interrupted {
+			interrupted = true
+			d.stopped = true
+			d.abandonIdleWork()
+		}
+	}
+	d.advanceOffsets(sfd, dfd)
+	if d.err != nil {
+		return d.moved, h, d.err
+	}
+	if interrupted {
+		return d.moved, h, kernel.ErrIntr
+	}
+	return d.moved, h, nil
+}
+
+// abandonIdleWork cancels work that would otherwise never complete
+// after the splice has been stopped: a source read parked waiting for
+// data that may never come, and source→file staging state. In-flight
+// device I/O is left to drain normally.
+func (d *desc) abandonIdleWork() {
+	if d.readOutstanding {
+		if rc, ok := d.source.(readCanceller); ok && rc.CancelSpliceRead() {
+			d.readOutstanding = false
+			d.pendingReads--
+		}
+	}
+	if d.mode == modeSourceFile {
+		if d.sfHdr != nil {
+			d.cache.Brelse(d.k.IntrCtx(), d.sfHdr)
+			d.sfHdr = nil
+		}
+		d.sfStash = nil
+	}
+	if d.pendingReads == 0 && d.pendingWrites == 0 {
+		d.complete()
+	}
+}
+
+func (d *desc) advanceOffsets(sfd, dfd *kernel.FDesc) {
+	switch d.mode {
+	case modeFileFile:
+		sfd.Advance(d.moved)
+		dfd.Advance(d.moved)
+	case modeFileSink:
+		sfd.Advance(d.moved)
+	case modeSourceFile:
+		dfd.Advance(d.moved)
+	}
+}
+
+// Handle observes a splice in flight (useful mainly for FASYNC
+// transfers and tests; the paper's interface is SIGIO).
+type Handle struct{ d *desc }
+
+// Done reports whether the transfer has completed.
+func (h *Handle) Done() bool { return h.d.done }
+
+// Err returns the transfer error, if any (valid once Done).
+func (h *Handle) Err() error { return h.d.err }
+
+// Moved returns the number of bytes moved so far.
+func (h *Handle) Moved() int64 { return h.d.moved }
+
+// Stats returns the transfer's activity counters.
+func (h *Handle) Stats() Stats { return h.d.stats }
+
+// Wait blocks p until the transfer completes, delivering any signals
+// that arrive in the meantime (including this transfer's own SIGIO).
+func (h *Handle) Wait(p *kernel.Proc) error {
+	for !h.d.done {
+		if err := p.Sleep(h.d, kernel.PSLEP); err == kernel.ErrIntr {
+			p.DeliverSignals()
+		}
+	}
+	p.DeliverSignals()
+	return h.d.err
+}
+
+// ---- file → file block engine ----
+
+// setupFileFile prepares the descriptor per §5.2: determine the size
+// from the source gnode, build the physical block tables for source
+// (bmap) and destination (special allocating bmap), and prime the read
+// pipeline. Both descriptors' offsets must be block aligned.
+func (d *desc) setupFileFile(p *kernel.Proc, sfd, dfd *kernel.FDesc, size int64) error {
+	ctx := p.Ctx()
+	d.cache = d.srcFile.BufCache()
+	if d.dstFile.BufCache() != d.cache {
+		return kernel.ErrInval // one system buffer cache per machine
+	}
+	d.bsize = int64(d.cache.BlockSize())
+	srcOff, dstOff := sfd.Offset(), dfd.Offset()
+	if srcOff%d.bsize != 0 || dstOff%d.bsize != 0 {
+		return kernel.ErrInval
+	}
+
+	srcSize, err := d.srcFile.Size(ctx)
+	if err != nil {
+		return err
+	}
+	avail := srcSize - srcOff
+	if avail < 0 {
+		avail = 0
+	}
+	if size == EOF || size > avail {
+		size = avail
+	}
+	d.total = size
+	d.startOff = srcOff
+	d.dstOff = dstOff
+	if size == 0 {
+		d.done = true
+		return nil
+	}
+	d.nblocks = (size + d.bsize - 1) / d.bsize
+	d.lastBytes = int(size - (d.nblocks-1)*d.bsize)
+
+	srcStart := srcOff / d.bsize
+	full, err := d.srcFile.SpliceMapRead(ctx, srcStart+d.nblocks)
+	if err != nil {
+		return err
+	}
+	d.srcTable = full[srcStart:]
+
+	dstStart := dstOff / d.bsize
+	full, err = d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
+	if err != nil {
+		return err
+	}
+	d.dstTable = full[dstStart:]
+	d.dstFile.SpliceSetSize(ctx, dstOff+size)
+
+	// "At this point, all information necessary to proceed with an
+	// asynchronous data transfer has been stored in the splice
+	// descriptor, and user-mode execution of the calling process may
+	// be resumed." (§5.2)
+	d.rateStart = d.k.Now()
+	d.k.Hold()
+	if d.async {
+		d.advanceOffsets(sfd, dfd)
+	}
+	d.startReads(ctx)
+	return nil
+}
+
+// blockBytes returns the transfer length of logical block lblk.
+func (d *desc) blockBytes(lblk int64) int {
+	if lblk == d.nblocks-1 {
+		return d.lastBytes
+	}
+	return int(d.bsize)
+}
+
+// startReads issues up to RefillBatch asynchronous reads (§5.5). It
+// runs from process context during priming and from interrupt context
+// afterwards; it never sleeps once priming is done.
+func (d *desc) startReads(ctx kernel.Ctx) {
+	if d.stopped || d.done {
+		return
+	}
+	for i := 0; i < d.opts.RefillBatch && d.nextRead < d.nblocks; i++ {
+		lblk := d.nextRead
+		if d.opts.RateBytesPerSec > 0 && !d.rateAdmit(d.blockBytes(lblk)) {
+			// Pacing: over budget; the callout list retries next tick.
+			d.armRetry()
+			return
+		}
+		pblk := d.srcTable[lblk]
+		d.nextRead++
+		d.pendingReads++
+		d.stats.ReadsIssued++
+		if d.pendingReads > d.stats.PeakReads {
+			d.stats.PeakReads = d.pendingReads
+		}
+		if pblk == 0 {
+			// Hole in the source: synthesize a zero-filled block. The
+			// header is not part of the cache pool, so releasing goes
+			// through the header path in the write side.
+			hdr := d.cache.AllocHeader(d.srcFile.Dev(), 0)
+			hdr.Data = make([]byte, d.blockBytes(lblk))
+			hdr.Bcount = d.blockBytes(lblk)
+			hdr.Flags |= buf.BDone
+			hdr.SpliceDesc = d
+			hdr.SpliceLblk = lblk
+			d.readDone(d.k, hdr)
+			continue
+		}
+		hit, err := d.cache.StartRead(ctx, d.srcFile.Dev(), int64(pblk), d, lblk, d.readDone)
+		if err != nil {
+			// No buffer available without sleeping: back off and retry
+			// from the callout list next tick.
+			d.nextRead--
+			d.pendingReads--
+			d.stats.ReadsIssued--
+			d.armRetry()
+			return
+		}
+		if hit {
+			d.stats.CacheHits++
+		}
+	}
+}
+
+// rateAdmit checks the pacing budget and charges n bytes against it.
+// One refill batch of slack lets the pipeline pre-buffer at start-up.
+func (d *desc) rateAdmit(n int) bool {
+	elapsed := d.k.Now().Sub(d.rateStart)
+	budget := elapsed.Seconds()*d.opts.RateBytesPerSec +
+		float64(d.opts.RefillBatch)*float64(d.bsize)
+	if float64(d.rateScheduled)+float64(n) > budget {
+		return false
+	}
+	d.rateScheduled += int64(n)
+	return true
+}
+
+// armRetry schedules a flow-control retry on the next clock tick.
+func (d *desc) armRetry() {
+	if d.retryArmed || d.stopped {
+		return
+	}
+	d.retryArmed = true
+	d.k.Timeout(func() {
+		d.retryArmed = false
+		d.startReads(d.k.IntrCtx())
+	}, 1)
+}
+
+// readDone is the read-side B_CALL handler (§5.3): invoked at interrupt
+// level when a source block arrives, it schedules the write side by
+// placing it at the head of the system callout list.
+func (d *desc) readDone(k *kernel.Kernel, b *buf.Buf) {
+	d.handlerCharge()
+	d.pendingReads--
+	if d.err != nil {
+		d.dropReadBuf(b)
+		d.fail(d.err)
+		return
+	}
+	if b.Flags&buf.BError != 0 {
+		err := b.Err
+		if err == nil {
+			err = kernel.ErrNxIO
+		}
+		d.dropReadBuf(b)
+		d.fail(err)
+		return
+	}
+	// From here the block counts as a pending write: it is queued for
+	// the write side (via the callout list) until its device write
+	// completes. Counting it here keeps the flow-control watermarks
+	// honest about blocks parked in the callout queue.
+	d.pendingWrites++
+	if d.pendingWrites > d.stats.PeakWrites {
+		d.stats.PeakWrites = d.pendingWrites
+	}
+	d.stats.Callouts++
+	k.Timeout(func() { d.writeSide(b) }, 0)
+}
+
+// dropReadBuf releases a read-side buffer outside the normal path.
+func (d *desc) dropReadBuf(b *buf.Buf) {
+	if b.Flags&buf.BNoMem != 0 {
+		d.cache.ReleaseHeader(b)
+		return
+	}
+	d.cache.Brelse(d.k.IntrCtx(), b)
+}
+
+// writeSide runs from the callout list with a locked buffer containing
+// valid source data (§5.4). It obtains a memory-less buffer header for
+// the destination block, aliases the data pointer so both buffers share
+// one data area, installs the write-completion handler, and starts an
+// asynchronous write.
+func (d *desc) writeSide(b *buf.Buf) {
+	d.handlerCharge()
+	if d.err != nil {
+		d.dropReadBuf(b)
+		d.pendingWrites--
+		d.fail(d.err)
+		return
+	}
+	switch d.mode {
+	case modeFileFile:
+		d.writeSideFile(b)
+	case modeFileSink:
+		d.writeSideSink(b)
+	default:
+		panic("splice: writeSide in stream mode")
+	}
+}
+
+func (d *desc) writeSideFile(b *buf.Buf) {
+	lblk := b.SpliceLblk
+	n := d.blockBytes(lblk)
+	hdr := d.cache.AllocHeader(d.dstFile.Dev(), int64(d.dstTable[lblk]))
+	hdr.Bcount = n
+	if d.opts.NoShare {
+		// Ablation: allocate real memory and copy between cache
+		// buffers, charging the kernel bcopy.
+		hdr.Data = make([]byte, n)
+		copy(hdr.Data, b.Data[:n])
+		d.k.StealCPU(d.k.Config().BcopyCost(n))
+		d.stats.Copied++
+	} else {
+		// The paper's path: "the data pointer in the new buffer header
+		// is ... altered to point to the same address the data pointer
+		// in the read-side buffer does, so both buffers share a common
+		// data area. We thus avoid copying between cache buffers."
+		hdr.Data = b.Data
+		d.stats.Shared++
+	}
+	hdr.SplicePeer = b
+	hdr.SpliceDesc = d
+	hdr.SpliceLblk = lblk
+	hdr.Flags &^= buf.BRead | buf.BDone
+	hdr.Flags |= buf.BCall
+	hdr.Iodone = d.writeDone
+	d.stats.WritesIssued++
+	d.dstFile.Dev().Strategy(hdr)
+}
+
+// writeDone is the write-completion handler (§5.4): it releases the
+// source buffer and the write header, then applies flow control (§5.5).
+func (d *desc) writeDone(k *kernel.Kernel, hdr *buf.Buf) {
+	d.handlerCharge()
+	n := hdr.Bcount
+	failed := hdr.Flags&buf.BError != 0
+	werr := hdr.Err
+
+	peer := hdr.SplicePeer
+	if peer != nil {
+		d.dropReadBuf(peer)
+	}
+	d.cache.ReleaseHeader(hdr)
+	d.pendingWrites--
+
+	if failed {
+		if werr == nil {
+			werr = kernel.ErrNxIO
+		}
+		d.fail(werr)
+		return
+	}
+	d.moved += int64(n)
+	d.stats.BytesMoved += int64(n)
+	d.afterWrite()
+}
+
+// afterWrite finishes the transfer or refills the read pipeline.
+func (d *desc) afterWrite() {
+	if d.err != nil || d.stopped {
+		if d.pendingReads == 0 && d.pendingWrites == 0 {
+			d.complete()
+		}
+		return
+	}
+	if d.sourceExhausted() && d.pendingReads == 0 && d.pendingWrites == 0 {
+		d.complete()
+		return
+	}
+	// Rate-based flow control: "If the number of pending reads and the
+	// number of pending writes drop below pre-specified watermarks
+	// (currently 3 and 5, respectively), the write handler will issue
+	// up to five additional reads."
+	if d.pendingReads < d.opts.ReadWatermark && d.pendingWrites < d.opts.WriteWatermark {
+		d.startReads(d.k.IntrCtx())
+	}
+	if d.sourceExhausted() && d.pendingReads == 0 && d.pendingWrites == 0 {
+		d.complete()
+	}
+}
+
+// sourceExhausted reports that no further reads will be issued.
+func (d *desc) sourceExhausted() bool {
+	switch d.mode {
+	case modeSourceSink:
+		return d.streamEOF
+	default:
+		return d.nextRead >= d.nblocks
+	}
+}

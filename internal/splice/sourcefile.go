@@ -1,0 +1,233 @@
+package splice
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+)
+
+// source → file splice: an extension beyond the paper's prototype
+// (which supported file→file, socket→socket and framebuffer→socket).
+// Incoming chunks are staged into destination cache buffers — the one
+// place a copy is unavoidable, since network data arrives in
+// arbitrarily sized packets that must be marshalled into aligned
+// blocks — and each full block is written with the same asynchronous
+// B_CALL machinery as the block engine.
+//
+// The transfer size must be bounded: splice sizes the destination
+// mapping up front (as §5.2 does from the source gnode), and an
+// unbounded network source has no size to take.
+
+// setupSourceFile prepares a source → file transfer of exactly size
+// bytes.
+func (d *desc) setupSourceFile(p *kernel.Proc, dfd *kernel.FDesc, size int64) error {
+	if size == EOF || size <= 0 {
+		return kernel.ErrInval // must be bounded; see above
+	}
+	ctx := p.Ctx()
+	d.cache = d.dstFile.BufCache()
+	d.bsize = int64(d.cache.BlockSize())
+	dstOff := dfd.Offset()
+	if dstOff%d.bsize != 0 {
+		return kernel.ErrInval
+	}
+	d.total = size
+	d.dstOff = dstOff
+	d.nblocks = (size + d.bsize - 1) / d.bsize
+
+	dstStart := dstOff / d.bsize
+	full, err := d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
+	if err != nil {
+		return err
+	}
+	d.dstTable = full[dstStart:]
+	d.dstFile.SpliceSetSize(ctx, dstOff+size)
+
+	d.rateStart = d.k.Now()
+	d.k.Hold()
+	if d.async {
+		dfd.Advance(size)
+	}
+	d.pumpSourceToFile()
+	return nil
+}
+
+// pumpSourceToFile issues the next source read unless stalled on
+// staging or sink backpressure.
+func (d *desc) pumpSourceToFile() {
+	if d.stopped || d.done || d.streamEOF || d.readOutstanding || len(d.sfStash) > 0 {
+		return
+	}
+	if d.pendingWrites >= d.opts.WriteWatermark {
+		return // resumed from write completion
+	}
+	remaining := d.total - d.sfReceived
+	if remaining <= 0 {
+		return
+	}
+	max := int(d.bsize)
+	if remaining < int64(max) {
+		max = int(remaining)
+	}
+	d.readOutstanding = true
+	d.pendingReads++
+	d.stats.ReadsIssued++
+	d.source.SpliceRead(max, func(data []byte, eof bool, err error) {
+		d.handlerCharge()
+		d.readOutstanding = false
+		d.pendingReads--
+		if err != nil {
+			d.sfAbort(err)
+			return
+		}
+		if eof {
+			d.streamEOF = true
+		}
+		if len(data) > 0 {
+			d.sfConsume(data)
+			return
+		}
+		d.sfMaybeFinish()
+	})
+}
+
+// sfConsume stages incoming bytes into destination block buffers,
+// flushing each block as it fills. On a momentarily unavailable buffer
+// the remainder is stashed and retried from the callout list.
+func (d *desc) sfConsume(data []byte) {
+	for len(data) > 0 && d.err == nil && !d.stopped {
+		if d.sfHdr == nil {
+			blk := d.sfReceived / d.bsize
+			hdr, err := d.cache.GetblkNB(d.k.IntrCtx(), d.dstFile.Dev(), int64(d.dstTable[blk]))
+			if err != nil {
+				// No buffer without sleeping: stash and retry next tick.
+				d.sfStash = append(d.sfStash, data...)
+				d.armSFRetry()
+				return
+			}
+			d.sfHdr = hdr
+			d.sfFill = 0
+		}
+		n := int(d.bsize) - d.sfFill
+		if n > len(data) {
+			n = len(data)
+		}
+		copy(d.sfHdr.Data[d.sfFill:], data[:n])
+		d.k.StealCPU(d.k.Config().BcopyCost(n)) // mbuf → cache buffer
+		d.sfFill += n
+		d.sfReceived += int64(n)
+		data = data[n:]
+		if int64(d.sfFill) == d.bsize || d.sfReceived == d.total {
+			d.sfFlushBlock()
+		}
+	}
+	if d.err != nil || d.stopped {
+		d.sfMaybeFinish()
+		return
+	}
+	d.sfMaybeFinish()
+	d.pumpSourceToFile()
+}
+
+// sfFlushBlock writes the current staging buffer asynchronously.
+func (d *desc) sfFlushBlock() {
+	hdr := d.sfHdr
+	d.sfHdr = nil
+	hdr.Bcount = d.sfFill
+	d.sfFill = 0
+	hdr.SpliceDesc = d
+	hdr.Flags &^= buf.BRead | buf.BDone
+	hdr.Flags |= buf.BCall
+	hdr.Iodone = d.sfWriteDone
+	d.pendingWrites++
+	d.stats.WritesIssued++
+	d.stats.Copied++
+	if d.pendingWrites > d.stats.PeakWrites {
+		d.stats.PeakWrites = d.pendingWrites
+	}
+	d.dstFile.Dev().Strategy(hdr)
+}
+
+// sfWriteDone completes one staged block write.
+func (d *desc) sfWriteDone(k *kernel.Kernel, hdr *buf.Buf) {
+	d.handlerCharge()
+	failed := hdr.Flags&buf.BError != 0
+	werr := hdr.Err
+	n := hdr.Bcount
+	d.cache.Brelse(k.IntrCtx(), hdr)
+	d.pendingWrites--
+	if failed {
+		if werr == nil {
+			werr = kernel.ErrNxIO
+		}
+		d.sfAbort(werr)
+		return
+	}
+	d.moved += int64(n)
+	d.stats.BytesMoved += int64(n)
+	d.sfMaybeFinish()
+	if !d.done {
+		d.sfDrainStash()
+		d.pumpSourceToFile()
+	}
+}
+
+// armSFRetry retries stash draining from the callout list.
+func (d *desc) armSFRetry() {
+	if d.retryArmed || d.stopped {
+		return
+	}
+	d.retryArmed = true
+	d.k.Timeout(func() {
+		d.retryArmed = false
+		d.sfDrainStash()
+		d.pumpSourceToFile()
+	}, 1)
+}
+
+// sfDrainStash re-feeds stashed bytes through the staging path.
+func (d *desc) sfDrainStash() {
+	if len(d.sfStash) == 0 {
+		return
+	}
+	data := d.sfStash
+	d.sfStash = nil
+	d.sfConsume(data)
+}
+
+// sfAbort releases staging state and fails the splice.
+func (d *desc) sfAbort(err error) {
+	if d.sfHdr != nil {
+		d.cache.Brelse(d.k.IntrCtx(), d.sfHdr)
+		d.sfHdr = nil
+	}
+	d.sfStash = nil
+	d.fail(err)
+}
+
+// sfMaybeFinish completes the transfer once everything received has
+// been written, or once the source hit EOF short of the requested size.
+func (d *desc) sfMaybeFinish() {
+	if d.done {
+		return
+	}
+	if d.err != nil || d.stopped {
+		if d.sfHdr != nil {
+			d.cache.Brelse(d.k.IntrCtx(), d.sfHdr)
+			d.sfHdr = nil
+		}
+		d.sfStash = nil
+		if d.pendingReads == 0 && d.pendingWrites == 0 {
+			d.complete()
+		}
+		return
+	}
+	finished := d.sfReceived >= d.total || (d.streamEOF && !d.readOutstanding)
+	if finished && d.sfHdr != nil && d.sfFill > 0 {
+		// Short EOF with a partial block staged: flush it.
+		d.sfFlushBlock()
+		return
+	}
+	if finished && d.pendingReads == 0 && d.pendingWrites == 0 && len(d.sfStash) == 0 && d.sfHdr == nil {
+		d.complete()
+	}
+}

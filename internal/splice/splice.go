@@ -1,0 +1,239 @@
+// Package splice implements the paper's contribution: a system call
+// that establishes a fast in-kernel data pathway between two I/O
+// objects named by file descriptors, moving data asynchronously and
+// without user-process intervention.
+//
+// The implementation mirrors the paper's §5 exactly:
+//
+//   - A dynamically allocated splice descriptor holds all transfer
+//     state, so I/O proceeds without the calling process's context.
+//   - For file endpoints, the complete table of physical block numbers
+//     is built up front by successive bmap() calls; the destination is
+//     mapped with a special bmap that skips zero-fill delayed writes.
+//   - The read side uses a modified bread with the biowait removed: an
+//     async read with a B_CALL completion handler.
+//   - The read handler schedules the write side by placing it at the
+//     head of the system callout list, decoupling the I/O access
+//     periods of the source and sink devices.
+//   - The write side obtains a buffer header with no data memory (the
+//     modified getblk) and aliases its data pointer to the read-side
+//     buffer, so no copy occurs between cache buffers.
+//   - The write-completion handler releases both buffers and restarts
+//     reads under rate-based flow control: when pending reads and
+//     pending writes drop below the watermarks (3 and 5), up to five
+//     additional reads are issued.
+//
+// Sources and sinks beyond regular files (character devices, sockets,
+// the framebuffer) participate through the small Source and Sink
+// interfaces, which are satisfied structurally by internal/dev and
+// internal/socket.
+package splice
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// EOF is the special size value requesting that the splice run until
+// the source reaches end of file (SPLICE_EOF in the paper).
+const EOF int64 = -1
+
+// Default flow-control parameters from the paper (§5.5): "If the number
+// of pending reads and the number of pending writes drop below
+// pre-specified watermarks (currently 3 and 5, respectively), the write
+// handler will issue up to five additional reads."
+const (
+	DefaultReadWatermark  = 3
+	DefaultWriteWatermark = 5
+	DefaultRefillBatch    = 5
+)
+
+// Options tunes a splice. The zero value selects the paper's defaults.
+type Options struct {
+	// ReadWatermark, WriteWatermark and RefillBatch control the
+	// rate-based flow control; zero selects the defaults (3, 5, 5).
+	ReadWatermark  int
+	WriteWatermark int
+	RefillBatch    int
+
+	// NoShare disables write-side buffer-header data aliasing: the
+	// write side allocates real memory and copies between cache
+	// buffers. Exists to measure what sharing buys (ablation C).
+	NoShare bool
+
+	// RateBytesPerSec, when positive, paces the transfer inside the
+	// kernel: reads are issued so the average transfer rate tracks the
+	// target (with one refill batch of start-up slack), using the
+	// callout list as the pacing clock. This implements the paper's
+	// continuous-media follow-up direction — steady kernel-paced
+	// delivery without per-block process wakeups — as an alternative
+	// to the §4 technique of small synchronous quanta timed by the
+	// application.
+	RateBytesPerSec float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadWatermark <= 0 {
+		o.ReadWatermark = DefaultReadWatermark
+	}
+	if o.WriteWatermark <= 0 {
+		o.WriteWatermark = DefaultWriteWatermark
+	}
+	if o.RefillBatch <= 0 {
+		o.RefillBatch = DefaultRefillBatch
+	}
+	return o
+}
+
+// FileLike is the view of a regular file the splice engine needs; it is
+// satisfied by *fs.File.
+type FileLike interface {
+	Dev() buf.Device
+	BufCache() *buf.Cache
+	Size(ctx kernel.Ctx) (int64, error)
+	SpliceMapRead(ctx kernel.Ctx, nblocks int64) ([]uint32, error)
+	SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, error)
+	SpliceSetSize(ctx kernel.Ctx, n int64)
+}
+
+// Sink consumes spliced data at interrupt level: character devices,
+// sockets and the framebuffer implement it. done must be invoked
+// exactly once when the sink has consumed the bytes and the underlying
+// buffer may be reused; it may be called synchronously or later from an
+// interrupt or callout.
+type Sink interface {
+	SpliceWrite(data []byte, done func(err error))
+}
+
+// Source produces spliced data at interrupt level (sockets, the
+// framebuffer). deliver must be invoked exactly once per SpliceRead —
+// synchronously if data is waiting, or later when it arrives; eof
+// reports that no further data will ever arrive.
+type Source interface {
+	SpliceRead(max int, deliver func(data []byte, eof bool, err error))
+}
+
+// readCanceller is optionally implemented by Sources that can withdraw
+// a parked SpliceRead; an interrupted splice uses it so a source that
+// never delivers (an idle socket) cannot wedge the drain.
+type readCanceller interface {
+	// CancelSpliceRead withdraws the pending read, if any; the deliver
+	// callback will then never be invoked. Reports whether a read was
+	// cancelled.
+	CancelSpliceRead() bool
+}
+
+// Stats describes the activity of one splice.
+type Stats struct {
+	BytesMoved   int64
+	ReadsIssued  int64
+	WritesIssued int64
+	CacheHits    int64 // source blocks found valid in the buffer cache
+	Shared       int64 // write buffers that aliased read-side data
+	Copied       int64 // write buffers that required a kernel copy
+	Callouts     int64 // write-side dispatches through the callout list
+	PeakReads    int   // maximum reads in flight at once
+	PeakWrites   int   // maximum writes in flight at once
+}
+
+// desc is the splice descriptor (§5.2): all state needed to run the
+// transfer without the calling process.
+type desc struct {
+	k     *kernel.Kernel
+	cache *buf.Cache
+	opts  Options
+
+	mode spliceMode
+
+	// File endpoints (block engine and file→sink).
+	srcFile  FileLike
+	dstFile  FileLike
+	srcTable []uint32
+	dstTable []uint32
+	bsize    int64
+
+	// Endpoint interfaces (stream engine).
+	source Source
+	sink   Sink
+
+	total       int64 // bytes to move (after EOF resolution); -1 if EOF on a Source
+	startOff    int64 // source byte offset of the transfer
+	dstOff      int64 // destination byte offset (block engine: block aligned)
+	srcStartBlk int64 // first source logical block covered by srcTable
+	nblocks     int64 // logical blocks to transfer (file source)
+	nextRead    int64 // next table index to issue
+	lastBytes   int   // bytes in the final block
+
+	// Stream-engine state (source → sink).
+	streamEOF       bool
+	readOutstanding bool
+	streamScheduled int64
+
+	// Rate-pacing state (Options.RateBytesPerSec).
+	rateStart     sim.Time
+	rateScheduled int64 // bytes admitted to the pipeline so far
+
+	// Source→file staging state.
+	sfHdr      *buf.Buf // destination block buffer being filled
+	sfFill     int      // bytes staged into sfHdr
+	sfReceived int64    // bytes taken from the source
+	sfStash    []byte   // bytes awaiting a staging buffer
+
+	pendingReads  int
+	pendingWrites int
+	moved         int64
+	err           error
+	stopped       bool // no further reads (interrupt/abort)
+	done          bool
+	retryArmed    bool
+
+	async  bool
+	caller *kernel.Proc
+
+	onDone func() // optional completion hook (facade/examples)
+
+	stats Stats
+}
+
+type spliceMode int
+
+const (
+	modeFileFile spliceMode = iota
+	modeFileSink
+	modeSourceSink
+	modeSourceFile
+)
+
+// handlerCharge charges one handler execution at interrupt level.
+func (d *desc) handlerCharge() {
+	d.k.StealCPU(d.k.Config().SpliceHandlerCost)
+}
+
+// complete finishes the splice: releases the kernel hold, posts SIGIO
+// to an async caller, and wakes a synchronous waiter.
+func (d *desc) complete() {
+	if d.done {
+		return
+	}
+	d.done = true
+	d.k.Release()
+	if d.async && d.caller != nil {
+		d.k.Post(d.caller, kernel.SIGIO)
+	}
+	d.k.Wakeup(d)
+	if d.onDone != nil {
+		d.onDone()
+	}
+}
+
+// fail records the first error and stops issuing new work.
+func (d *desc) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	d.stopped = true
+	if d.pendingReads == 0 && d.pendingWrites == 0 {
+		d.complete()
+	}
+}

@@ -1,0 +1,188 @@
+package splice
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+)
+
+// This file holds the byte-stream endpoints of the splice engine:
+// file → sink (playing a file to a device or socket, the paper's movie
+// example) and source → sink (socket-to-socket and framebuffer-to-
+// socket splices, §5.1). The read side for file sources reuses the
+// block engine; sink delivery replaces the write side.
+
+// setupFileSink prepares a file → sink transfer. Byte offsets and sizes
+// are arbitrary: the source is read a block at a time and the sink
+// receives the byte range each block contributes.
+func (d *desc) setupFileSink(p *kernel.Proc, sfd *kernel.FDesc, size int64) error {
+	ctx := p.Ctx()
+	d.cache = d.srcFile.BufCache()
+	d.bsize = int64(d.cache.BlockSize())
+	srcOff := sfd.Offset()
+
+	srcSize, err := d.srcFile.Size(ctx)
+	if err != nil {
+		return err
+	}
+	avail := srcSize - srcOff
+	if avail < 0 {
+		avail = 0
+	}
+	if size == EOF || size > avail {
+		size = avail
+	}
+	d.total = size
+	d.startOff = srcOff
+	if size == 0 {
+		d.done = true
+		return nil
+	}
+	startBlk := srcOff / d.bsize
+	endBlk := (srcOff + size + d.bsize - 1) / d.bsize
+	d.srcStartBlk = startBlk
+	d.nblocks = endBlk - startBlk
+	d.lastBytes = int(d.bsize) // unused in sink mode; blockBytes not called
+
+	full, err := d.srcFile.SpliceMapRead(ctx, endBlk)
+	if err != nil {
+		return err
+	}
+	d.srcTable = full[startBlk:]
+
+	d.rateStart = d.k.Now()
+	d.k.Hold()
+	if d.async {
+		sfd.Advance(d.total)
+	}
+	d.startReads(ctx)
+	return nil
+}
+
+// writeSideSink delivers one source block's contribution to the sink,
+// still sharing the read-side buffer's data area (the sink sees a slice
+// of it; the buffer is released when the sink signals completion).
+func (d *desc) writeSideSink(b *buf.Buf) {
+	lblk := b.SpliceLblk
+	absStart := (d.srcStartBlk + lblk) * d.bsize
+	lo := d.startOff - absStart
+	if lo < 0 {
+		lo = 0
+	}
+	hi := d.startOff + d.total - absStart
+	if hi > d.bsize {
+		hi = d.bsize
+	}
+	slice := b.Data[lo:hi]
+	d.stats.WritesIssued++
+	d.stats.Shared++
+	d.sink.SpliceWrite(slice, func(err error) {
+		d.handlerCharge()
+		d.dropReadBuf(b)
+		d.pendingWrites--
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.moved += int64(len(slice))
+		d.stats.BytesMoved += int64(len(slice))
+		d.afterWrite()
+	})
+}
+
+// ---- source → sink stream engine ----
+
+// setupSourceSink starts a relay between two endpoint objects. size may
+// be EOF to run until the source is exhausted.
+func (d *desc) setupSourceSink(p *kernel.Proc, size int64) error {
+	d.total = size
+	if size == 0 {
+		d.done = true
+		return nil
+	}
+	d.k.Hold()
+	d.pumpSource()
+	return nil
+}
+
+// pumpSource issues the next read from the source unless the transfer
+// is bounded and fully scheduled, the sink is above its watermark, or a
+// read is already outstanding.
+func (d *desc) pumpSource() {
+	if d.stopped || d.done || d.streamEOF || d.readOutstanding {
+		return
+	}
+	if d.pendingWrites >= d.opts.WriteWatermark {
+		return // sink backpressure; resumed from the done callback
+	}
+	max := 8192
+	if d.total != EOF {
+		remaining := d.total - d.streamScheduled
+		if remaining <= 0 {
+			return
+		}
+		if remaining < int64(max) {
+			max = int(remaining)
+		}
+	}
+	d.readOutstanding = true
+	d.pendingReads++
+	d.stats.ReadsIssued++
+	d.source.SpliceRead(max, func(data []byte, eof bool, err error) {
+		d.handlerCharge()
+		d.readOutstanding = false
+		d.pendingReads--
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		if len(data) > 0 {
+			d.streamScheduled += int64(len(data))
+			d.stats.Callouts++
+			d.k.Timeout(func() { d.streamWrite(data) }, 0)
+		}
+		if eof {
+			d.streamEOF = true
+		}
+		if d.streamEOF || (d.total != EOF && d.streamScheduled >= d.total) {
+			d.maybeCompleteStream()
+			return
+		}
+		d.pumpSource()
+	})
+}
+
+// streamWrite pushes one chunk into the sink from the callout list.
+func (d *desc) streamWrite(data []byte) {
+	d.handlerCharge()
+	if d.err != nil || d.stopped || d.done {
+		d.maybeCompleteStream()
+		return
+	}
+	d.pendingWrites++
+	d.stats.WritesIssued++
+	d.sink.SpliceWrite(data, func(err error) {
+		d.handlerCharge()
+		d.pendingWrites--
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.moved += int64(len(data))
+		d.stats.BytesMoved += int64(len(data))
+		d.maybeCompleteStream()
+		if !d.done {
+			d.pumpSource()
+		}
+	})
+}
+
+// maybeCompleteStream completes a stream splice once nothing remains in
+// flight and no more data will be scheduled.
+func (d *desc) maybeCompleteStream() {
+	finished := d.streamEOF || d.stopped || d.err != nil ||
+		(d.total != EOF && d.streamScheduled >= d.total)
+	if finished && d.pendingReads == 0 && d.pendingWrites == 0 &&
+		(d.err != nil || d.stopped || d.moved >= d.streamScheduled) {
+		d.complete()
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload implements the programs of the paper's evaluation
+// (§6): the CPU-bound test program whose slowdown measures CPU
+// availability, the read/write copier cp, and the splice copier scp —
+// plus the file pre-creation and cache cold-start steps the methodology
+// requires.
+package workload
+
+import (
+	"kdp/internal/buf"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/splice"
+)
+
+// MakeFile creates path holding n bytes of a deterministic pattern,
+// written through the normal write path (8KB at a time).
+func MakeFile(p *kernel.Proc, path string, n int64, seed byte) error {
+	fd, err := p.Open(path, kernel.OCreat|kernel.OWrOnly|kernel.OTrunc)
+	if err != nil {
+		return err
+	}
+	const chunk = 8192
+	buf := make([]byte, chunk)
+	for off := int64(0); off < n; off += chunk {
+		m := int64(chunk)
+		if off+m > n {
+			m = n - off
+		}
+		for i := int64(0); i < m; i++ {
+			v := off + i
+			buf[i] = byte(v>>8) ^ byte(v)*5 ^ seed
+		}
+		if _, err := p.Write(fd, buf[:m]); err != nil {
+			_ = p.Close(fd)
+			return err
+		}
+	}
+	if err := p.Fsync(fd); err != nil {
+		_ = p.Close(fd)
+		return err
+	}
+	return p.Close(fd)
+}
+
+// ColdStart produces the paper's "read cache cold start condition" by
+// flushing and invalidating every cached block of the given devices.
+func ColdStart(p *kernel.Proc, cache *buf.Cache, devs ...buf.Device) error {
+	for _, d := range devs {
+		if err := cache.InvalidateDev(p.Ctx(), d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestProgramResult reports a CPU-availability measurement.
+type TestProgramResult struct {
+	Ops     int
+	Elapsed sim.Duration
+}
+
+// RunTestProgram executes the CPU-bound test program: ops operations of
+// opCost user-mode compute each, and reports how long the fixed set of
+// operations took. Comparing the elapsed time across environments
+// yields the slowdown factors of Table 1.
+func RunTestProgram(p *kernel.Proc, ops int, opCost sim.Duration) TestProgramResult {
+	start := p.Now()
+	for i := 0; i < ops; i++ {
+		p.Compute(opCost)
+	}
+	return TestProgramResult{Ops: ops, Elapsed: p.Now().Sub(start)}
+}
+
+// CopyMode selects the copy implementation.
+type CopyMode int
+
+// Copy modes.
+const (
+	CopyReadWrite CopyMode = iota // cp: read()/write() through user space
+	CopySplice                    // scp: one splice() system call
+)
+
+func (m CopyMode) String() string {
+	if m == CopySplice {
+		return "scp"
+	}
+	return "cp"
+}
+
+// CopySpec describes one file copy.
+type CopySpec struct {
+	Src, Dst string
+	Mode     CopyMode
+	// BufSize is cp's user buffer (st_blksize, 8KB on the measured
+	// system).
+	BufSize int
+	// LoopCost models cp's user-mode loop overhead per buffer: the
+	// check-count-and-call-again code between read() and write(). This
+	// is also the window where the scheduler can preempt cp.
+	LoopCost sim.Duration
+	// Fsync forces write-through at the end, as the paper's CP
+	// methodology does ("calling fsync() on the destination file for
+	// CP").
+	Fsync bool
+	// SpliceOptions tunes scp's flow control (zero = paper defaults).
+	SpliceOptions splice.Options
+}
+
+// DefaultCopySpec returns the paper's configuration for copying src to
+// dst in the given mode.
+func DefaultCopySpec(src, dst string, mode CopyMode) CopySpec {
+	return CopySpec{
+		Src: src, Dst: dst, Mode: mode,
+		BufSize:  8192,
+		LoopCost: 25 * sim.Microsecond,
+		Fsync:    mode == CopyReadWrite,
+	}
+}
+
+// CopyResult reports one completed copy.
+type CopyResult struct {
+	Bytes   int64
+	Elapsed sim.Duration
+	Splice  splice.Stats // valid for CopySplice
+}
+
+// ThroughputKBs returns the copy throughput in kilobytes per second.
+func (r CopyResult) ThroughputKBs() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Elapsed.Seconds()
+}
+
+// Copy performs one copy according to spec and reports bytes moved and
+// elapsed virtual time.
+func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
+	start := p.Now()
+	src, err := p.Open(spec.Src, kernel.ORdOnly)
+	if err != nil {
+		return CopyResult{}, err
+	}
+	dst, err := p.Open(spec.Dst, kernel.OCreat|kernel.OWrOnly|kernel.OTrunc)
+	if err != nil {
+		_ = p.Close(src)
+		return CopyResult{}, err
+	}
+	res := CopyResult{}
+	switch spec.Mode {
+	case CopyReadWrite:
+		buf := make([]byte, spec.BufSize)
+		for {
+			n, err := p.Read(src, buf)
+			if err != nil {
+				return res, err
+			}
+			if n == 0 {
+				break
+			}
+			if spec.LoopCost > 0 {
+				p.Compute(spec.LoopCost)
+			}
+			w, err := p.Write(dst, buf[:n])
+			if err != nil {
+				return res, err
+			}
+			res.Bytes += int64(w)
+		}
+		if spec.Fsync {
+			if err := p.Fsync(dst); err != nil {
+				return res, err
+			}
+		}
+	case CopySplice:
+		n, h, err := splice.SpliceOpts(p, src, dst, splice.EOF, spec.SpliceOptions)
+		if err != nil {
+			return res, err
+		}
+		res.Bytes = n
+		res.Splice = h.Stats()
+	default:
+		return res, kernel.ErrInval
+	}
+	if err := p.Close(src); err != nil {
+		return res, err
+	}
+	if err := p.Close(dst); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now().Sub(start)
+	return res, nil
+}
+
+// LoopCopy repeatedly copies src to dst (re-establishing a cold cache
+// for the source each round) until *stop becomes true, returning the
+// number of completed rounds and total bytes. It keeps the copy load
+// present for the whole lifetime of a concurrently running test
+// program, as the Table 1 environments require.
+func LoopCopy(p *kernel.Proc, spec CopySpec, cache *buf.Cache, devs []buf.Device, stop *bool) (rounds int, bytes int64, err error) {
+	for !*stop {
+		if err := ColdStart(p, cache, devs...); err != nil {
+			return rounds, bytes, err
+		}
+		if *stop {
+			break
+		}
+		res, err := Copy(p, spec)
+		if err != nil {
+			return rounds, bytes, err
+		}
+		rounds++
+		bytes += res.Bytes
+		if err := p.Unlink(spec.Dst); err != nil {
+			return rounds, bytes, err
+		}
+	}
+	return rounds, bytes, nil
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"testing"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+type rig struct {
+	k     *kernel.Kernel
+	cache *buf.Cache
+	disks [2]*disk.Disk
+}
+
+func newRig(t *testing.T, mk func(int64, int) disk.Params) *rig {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 3600 * sim.Second
+	k := kernel.New(cfg)
+	r := &rig{k: k, cache: buf.NewCache(k, 400, 8192)}
+	for i := range r.disks {
+		d := disk.New(k, mk(1024, 8192))
+		d.SetCache(r.cache)
+		if _, err := fs.Mkfs(d, 64); err != nil {
+			t.Fatal(err)
+		}
+		r.disks[i] = d
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T, fn func(p *kernel.Proc)) {
+	t.Helper()
+	r.k.Spawn("w", func(p *kernel.Proc) {
+		for i, d := range r.disks {
+			f, err := fs.Mount(p.Ctx(), r.cache, d)
+			if err != nil {
+				t.Errorf("mount: %v", err)
+				return
+			}
+			r.k.Mount([]string{"/a", "/b"}[i], f)
+		}
+		fn(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeFileDeterministicContents(t *testing.T) {
+	r := newRig(t, disk.RAMDisk)
+	r.run(t, func(p *kernel.Proc) {
+		if err := MakeFile(p, "/a/f", 100000, 9); err != nil {
+			t.Fatalf("makefile: %v", err)
+		}
+		fd, err := p.Open("/a/f", kernel.ORdOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := p.FileSize(fd); sz != 100000 {
+			t.Fatalf("size = %d", sz)
+		}
+		buf := make([]byte, 1000)
+		if _, err := p.Read(fd, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range buf {
+			want := byte(i>>8) ^ byte(i)*5 ^ 9
+			if b != want {
+				t.Fatalf("byte %d = %d, want %d", i, b, want)
+			}
+		}
+		_ = p.Close(fd)
+	})
+}
+
+func TestCopyModesProduceIdenticalFiles(t *testing.T) {
+	const size = 300000
+	for _, mode := range []CopyMode{CopyReadWrite, CopySplice} {
+		r := newRig(t, disk.RAMDisk)
+		r.run(t, func(p *kernel.Proc) {
+			if err := MakeFile(p, "/a/src", size, 4); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Copy(p, DefaultCopySpec("/a/src", "/b/dst", mode))
+			if err != nil {
+				t.Fatalf("%v copy: %v", mode, err)
+			}
+			if res.Bytes != size {
+				t.Fatalf("%v moved %d bytes", mode, res.Bytes)
+			}
+			if res.Elapsed <= 0 {
+				t.Fatalf("%v elapsed %v", mode, res.Elapsed)
+			}
+			// Compare byte-for-byte through the read path.
+			a, _ := p.Open("/a/src", kernel.ORdOnly)
+			b, _ := p.Open("/b/dst", kernel.ORdOnly)
+			ba, bb := make([]byte, 8192), make([]byte, 8192)
+			for {
+				na, _ := p.Read(a, ba)
+				nb, _ := p.Read(b, bb)
+				if na != nb {
+					t.Fatalf("%v copy length mismatch", mode)
+				}
+				if na == 0 {
+					break
+				}
+				for i := 0; i < na; i++ {
+					if ba[i] != bb[i] {
+						t.Fatalf("%v copy corrupted", mode)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSpliceCopyFasterThanReadWriteOnRAM(t *testing.T) {
+	const size = 2 << 20
+	measure := func(mode CopyMode) sim.Duration {
+		r := newRig(t, disk.RAMDisk)
+		var el sim.Duration
+		r.run(t, func(p *kernel.Proc) {
+			if err := MakeFile(p, "/a/src", size, 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := ColdStart(p, r.cache, r.disks[0], r.disks[1]); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Copy(p, DefaultCopySpec("/a/src", "/b/dst", mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			el = res.Elapsed
+		})
+		return el
+	}
+	scp := measure(CopySplice)
+	cp := measure(CopyReadWrite)
+	if float64(cp) < 1.3*float64(scp) {
+		t.Fatalf("scp (%v) should be much faster than cp (%v) on the RAM disk", scp, cp)
+	}
+}
+
+func TestRunTestProgramIdleBaseline(t *testing.T) {
+	r := newRig(t, disk.RAMDisk)
+	r.run(t, func(p *kernel.Proc) {
+		res := RunTestProgram(p, 50, 10*sim.Millisecond)
+		if res.Ops != 50 {
+			t.Fatalf("ops = %d", res.Ops)
+		}
+		// Idle machine: elapsed equals the pure compute time.
+		if res.Elapsed != 500*sim.Millisecond {
+			t.Fatalf("idle elapsed = %v, want exactly 500ms", res.Elapsed)
+		}
+	})
+}
+
+func TestLoopCopyStopsAndCleansUp(t *testing.T) {
+	r := newRig(t, disk.RAMDisk)
+	stop := false
+	var rounds int
+	r.k.Spawn("stopper", func(p *kernel.Proc) {
+		p.SleepFor(2 * sim.Second)
+		stop = true
+	})
+	r.run(t, func(p *kernel.Proc) {
+		if err := MakeFile(p, "/a/src", 1<<20, 4); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		rounds, _, err = LoopCopy(p, DefaultCopySpec("/a/src", "/b/dst", CopySplice),
+			r.cache, []buf.Device{r.disks[0], r.disks[1]}, &stop)
+		if err != nil {
+			t.Fatalf("loopcopy: %v", err)
+		}
+	})
+	if rounds < 2 {
+		t.Fatalf("rounds = %d, want several in 2s", rounds)
+	}
+}
+
+func TestColdStartForcesDeviceReads(t *testing.T) {
+	r := newRig(t, disk.RAMDisk)
+	r.run(t, func(p *kernel.Proc) {
+		if err := MakeFile(p, "/a/src", 1<<20, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := ColdStart(p, r.cache, r.disks[0]); err != nil {
+			t.Fatal(err)
+		}
+		before := r.disks[0].Stats().Reads
+		fd, _ := p.Open("/a/src", kernel.ORdOnly)
+		buf := make([]byte, 8192)
+		_, _ = p.Read(fd, buf)
+		_ = p.Close(fd)
+		if r.disks[0].Stats().Reads == before {
+			t.Fatal("read after cold start did not touch the device")
+		}
+	})
+}
+
+func TestCopyResultThroughput(t *testing.T) {
+	r := CopyResult{Bytes: 1024 * 1024, Elapsed: sim.Second}
+	if got := r.ThroughputKBs(); got != 1024 {
+		t.Fatalf("throughput = %v, want 1024", got)
+	}
+	if (CopyResult{}).ThroughputKBs() != 0 {
+		t.Fatal("zero elapsed should give zero throughput")
+	}
+}
+
+func TestCopyModeString(t *testing.T) {
+	if CopyReadWrite.String() != "cp" || CopySplice.String() != "scp" {
+		t.Fatal("mode names wrong")
+	}
+}

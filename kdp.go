@@ -1,0 +1,360 @@
+// Package kdp — Kernel Data Paths — is a deterministic, virtual-time
+// reproduction of the system described in Fall & Pasquale, "Exploiting
+// In-Kernel Data Paths to Improve I/O Throughput and CPU Availability"
+// (USENIX Winter 1993): a UNIX kernel mechanism, splice(), that
+// establishes fast in-kernel data pathways between I/O objects named by
+// file descriptors, moving data asynchronously and without user-process
+// intervention.
+//
+// The package simulates a 1992-class workstation (DecStation 5000/200
+// class) in virtual time: a kernel with processes, a priority scheduler
+// and the callout list; a 4.2BSD buffer cache; an FFS-style filesystem;
+// mechanical SCSI disk models (DEC RZ56 and RZ58) and a RAM disk;
+// datagram sockets over a simulated Ethernet; and character devices
+// (DACs, a framebuffer). On top of that substrate, Splice implements
+// the paper's mechanism exactly: per-file physical block tables built
+// by successive bmap() calls, asynchronous reads with B_CALL completion
+// handlers, write-side dispatch through the callout list, memory-less
+// write headers that alias the read buffer's data area, and rate-based
+// flow control with the paper's 3/5/5 watermarks.
+//
+// A machine is built with New, populated with processes via Spawn, and
+// driven to completion with Run; everything inside runs determinstically
+// in virtual time:
+//
+//	m := kdp.New(kdp.Config{
+//		Disks: []kdp.DiskSpec{
+//			{Mount: "/d0", Kind: kdp.DiskRZ58},
+//			{Mount: "/d1", Kind: kdp.DiskRZ58},
+//		},
+//	})
+//	m.Spawn("copy", func(p *kdp.Proc) {
+//		src, _ := p.Open("/d0/movie", kdp.ORdOnly)
+//		dst, _ := p.Open("/d1/copy", kdp.OCreat|kdp.OWrOnly)
+//		n, _ := kdp.Splice(p, src, dst, kdp.SpliceEOF)
+//		_ = n
+//	})
+//	if err := m.Run(); err != nil { ... }
+package kdp
+
+import (
+	"fmt"
+
+	"kdp/internal/buf"
+	"kdp/internal/dev"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/socket"
+	"kdp/internal/splice"
+)
+
+// Re-exported core types. Proc is the simulated process handle passed
+// to every process body; its methods are the system-call interface
+// (Open, Read, Write, Lseek, Fcntl, Fsync, Close, Pause, SetITimer,
+// Compute, ...).
+type (
+	// Proc is a simulated process.
+	Proc = kernel.Proc
+	// Signal is a UNIX-style signal number.
+	Signal = kernel.Signal
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a point in virtual time.
+	Time = sim.Time
+	// SpliceOptions tunes splice flow control (zero value = the
+	// paper's defaults: watermarks 3 and 5, refill batch 5).
+	SpliceOptions = splice.Options
+	// SpliceHandle observes an asynchronous splice.
+	SpliceHandle = splice.Handle
+	// SpliceStats counts one splice's activity.
+	SpliceStats = splice.Stats
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Open flags, fcntl commands and whence values (see the kernel
+// package).
+const (
+	ORdOnly = kernel.ORdOnly
+	OWrOnly = kernel.OWrOnly
+	ORdWr   = kernel.ORdWr
+	OCreat  = kernel.OCreat
+	OTrunc  = kernel.OTrunc
+	OAppend = kernel.OAppend
+
+	FSetFL = kernel.FSetFL
+	FGetFL = kernel.FGetFL
+	FAsync = kernel.FAsync
+
+	SeekSet = kernel.SeekSet
+	SeekCur = kernel.SeekCur
+	SeekEnd = kernel.SeekEnd
+)
+
+// Signals.
+const (
+	SIGIO   = kernel.SIGIO
+	SIGALRM = kernel.SIGALRM
+)
+
+// Sleep priorities (for Proc.Sleep; values above PZero are
+// signal-interruptible).
+const (
+	PZero = kernel.PZERO
+	PWait = kernel.PWAIT
+	PSlep = kernel.PSLEP
+)
+
+// SpliceEOF requests a splice until end of file (the paper's
+// SPLICE_EOF).
+const SpliceEOF = splice.EOF
+
+// Common errors.
+var (
+	ErrNoEnt   = kernel.ErrNoEnt
+	ErrBadFD   = kernel.ErrBadFD
+	ErrInval   = kernel.ErrInval
+	ErrExist   = kernel.ErrExist
+	ErrIntr    = kernel.ErrIntr
+	ErrNoSpace = kernel.ErrNoSpace
+)
+
+// DiskKind selects a device model.
+type DiskKind int
+
+// The three device types measured in the paper.
+const (
+	DiskRAM DiskKind = iota
+	DiskRZ58
+	DiskRZ56
+)
+
+// DiskSpec describes one disk with a freshly formatted filesystem,
+// mounted at Mount.
+type DiskSpec struct {
+	Mount string
+	Kind  DiskKind
+	// MB is the disk capacity in megabytes (default 16, the paper's
+	// RAM disk size).
+	MB int
+	// Interleave overrides the FFS allocation stride; 0 selects 2 for
+	// mechanical disks and 1 (dense) for the RAM disk.
+	Interleave int
+}
+
+// Config describes a machine.
+type Config struct {
+	// Disks lists the block devices (each formatted and mounted).
+	Disks []DiskSpec
+	// CacheMB sizes the buffer cache in megabytes (default 3.2MB, the
+	// measured system's cache — stored as 8KB buffers).
+	CacheMB float64
+	// Seed makes the machine's PRNG deterministic (default 1).
+	Seed uint64
+	// MaxRunTime aborts runaway simulations; zero means unlimited.
+	MaxRunTime Duration
+}
+
+// BlockSize is the filesystem and buffer-cache block size.
+const BlockSize = 8192
+
+// Machine is a booted simulated workstation.
+type Machine struct {
+	k     *kernel.Kernel
+	cache *buf.Cache
+	disks []*disk.Disk
+	fss   []*fs.FS
+	specs []DiskSpec
+}
+
+// New builds a machine: devices are created and formatted, and the
+// filesystems are mounted by a short-lived init process.
+func New(cfg Config) *Machine {
+	kcfg := kernel.DefaultConfig()
+	if cfg.Seed != 0 {
+		kcfg.Seed = cfg.Seed
+	}
+	kcfg.MaxRunTime = cfg.MaxRunTime
+	k := kernel.New(kcfg)
+
+	cacheMB := cfg.CacheMB
+	if cacheMB <= 0 {
+		cacheMB = 3.2
+	}
+	nbuf := int(cacheMB * 1024 * 1024 / BlockSize)
+	m := &Machine{k: k, cache: buf.NewCache(k, nbuf, BlockSize), specs: cfg.Disks}
+
+	for _, spec := range cfg.Disks {
+		mb := spec.MB
+		if mb <= 0 {
+			mb = 16
+		}
+		blocks := int64(mb) << 20 / BlockSize
+		var p disk.Params
+		switch spec.Kind {
+		case DiskRAM:
+			p = disk.RAMDisk(blocks, BlockSize)
+		case DiskRZ58:
+			p = disk.RZ58(blocks, BlockSize)
+		case DiskRZ56:
+			p = disk.RZ56(blocks, BlockSize)
+		default:
+			panic(fmt.Sprintf("kdp: unknown disk kind %d", spec.Kind))
+		}
+		d := disk.New(k, p)
+		d.SetCache(m.cache)
+		if _, err := fs.Mkfs(d, 256); err != nil {
+			panic("kdp: mkfs: " + err.Error())
+		}
+		m.disks = append(m.disks, d)
+	}
+
+	// Mount everything from an init process before user processes run.
+	m.fss = make([]*fs.FS, len(m.disks))
+	if len(m.disks) > 0 {
+		k.Spawn("init", func(p *kernel.Proc) {
+			for i, d := range m.disks {
+				f, err := fs.Mount(p.Ctx(), m.cache, d)
+				if err != nil {
+					panic("kdp: mount: " + err.Error())
+				}
+				il := m.specs[i].Interleave
+				if il == 0 {
+					il = 2
+					if m.specs[i].Kind == DiskRAM {
+						il = 1
+					}
+				}
+				f.SetInterleave(il)
+				m.fss[i] = f
+				k.Mount(m.specs[i].Mount, f)
+			}
+		})
+		if err := k.Run(); err != nil {
+			panic("kdp: boot: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Spawn adds a process to the machine; it runs when Run is called.
+func (m *Machine) Spawn(name string, body func(*Proc)) *Proc {
+	return m.k.Spawn(name, body)
+}
+
+// Run drives the machine until every process has exited and all
+// in-kernel work (async splices, device queues) has drained.
+func (m *Machine) Run() error { return m.k.Run() }
+
+// Now returns the machine's virtual time.
+func (m *Machine) Now() Time { return m.k.Now() }
+
+// Kernel exposes the underlying kernel (stats, tracing, advanced use).
+func (m *Machine) Kernel() *kernel.Kernel { return m.k }
+
+// BufferCache exposes the machine's buffer cache.
+func (m *Machine) BufferCache() *buf.Cache { return m.cache }
+
+// Disk returns the i'th configured disk.
+func (m *Machine) Disk(i int) *disk.Disk { return m.disks[i] }
+
+// FS returns the filesystem mounted from the i'th disk.
+func (m *Machine) FS(i int) *fs.FS { return m.fss[i] }
+
+// ColdCaches flushes and invalidates every cached disk block, giving
+// the cold-start condition the paper's measurements require. Must be
+// called from process context.
+func (m *Machine) ColdCaches(p *Proc) error {
+	for _, d := range m.disks {
+		if err := m.cache.InvalidateDev(p.Ctx(), d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Splice is the paper's system call: move size bytes (or SpliceEOF for
+// the rest of the source) between the objects open on srcFD and dstFD
+// entirely inside the kernel. With FASYNC set on either descriptor the
+// call returns immediately and SIGIO announces completion; otherwise it
+// blocks and returns the count moved.
+func Splice(p *Proc, srcFD, dstFD int, size int64) (int64, error) {
+	return splice.Splice(p, srcFD, dstFD, size)
+}
+
+// SpliceWithOptions is Splice with explicit flow-control options and an
+// observation handle.
+func SpliceWithOptions(p *Proc, srcFD, dstFD int, size int64, o SpliceOptions) (int64, *SpliceHandle, error) {
+	return splice.SpliceOpts(p, srcFD, dstFD, size, o)
+}
+
+// ---- device and network helpers ----
+
+// DACConfig configures a rate-paced output device (audio or video DAC).
+type DACConfig struct {
+	Path     string  // device special file, e.g. "/dev/speaker"
+	Rate     float64 // playback rate in bytes per second
+	BufBytes int     // device staging buffer (default 64KB)
+	Capture  bool    // retain played bytes for inspection
+}
+
+// AddDAC attaches a rate-paced output DAC and registers its device
+// file.
+func (m *Machine) AddDAC(cfg DACConfig) *dev.DAC {
+	return dev.NewDAC(m.k, dev.DACParams{
+		Path: cfg.Path, Rate: cfg.Rate, BufBytes: cfg.BufBytes, Capture: cfg.Capture,
+	})
+}
+
+// AddNull attaches /dev/null.
+func (m *Machine) AddNull() *dev.Null { return dev.NewNull(m.k) }
+
+// FramebufferConfig configures a frame-capture device.
+type FramebufferConfig struct {
+	Path       string
+	FrameBytes int
+	FPS        float64
+	Frames     int // 0 = unbounded
+}
+
+// AddFramebuffer attaches a frame source (for framebuffer-to-socket
+// splices).
+func (m *Machine) AddFramebuffer(cfg FramebufferConfig) *dev.Framebuffer {
+	return dev.NewFramebuffer(m.k, dev.FBParams{
+		Path: cfg.Path, FrameBytes: cfg.FrameBytes, FPS: cfg.FPS, Frames: cfg.Frames,
+	})
+}
+
+// AddPipe attaches an in-kernel pipe (bounded byte queue) that works as
+// both a splice source and sink, so spliced pathways can be chained
+// (file → pipe → socket). capacity 0 selects 64KB. path may be empty
+// for an anonymous pipe (use InstallFile on the returned object).
+func (m *Machine) AddPipe(path string, capacity int) *dev.Pipe {
+	return dev.NewPipe(m.k, path, capacity)
+}
+
+// NetKind selects a network model.
+type NetKind int
+
+// Network models.
+const (
+	NetEthernet10 NetKind = iota // 10Mb/s shared Ethernet
+	NetLoopback                  // fast in-machine delivery
+)
+
+// AddNet creates a simulated network on the machine.
+func (m *Machine) AddNet(kind NetKind) *socket.Net {
+	switch kind {
+	case NetLoopback:
+		return socket.NewNet(m.k, socket.Loopback())
+	default:
+		return socket.NewNet(m.k, socket.Ethernet10())
+	}
+}

@@ -1,0 +1,357 @@
+package kdp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kdp"
+)
+
+func twoDiskMachine(kind kdp.DiskKind) *kdp.Machine {
+	return kdp.New(kdp.Config{
+		Disks: []kdp.DiskSpec{
+			{Mount: "/d0", Kind: kind},
+			{Mount: "/d1", Kind: kind},
+		},
+		MaxRunTime: 600 * kdp.Second,
+	})
+}
+
+func TestFacadeSpliceCopy(t *testing.T) {
+	m := twoDiskMachine(kdp.DiskRAM)
+	const size = 200000
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, err := p.Open("/d0/f", kdp.OCreat|kdp.OWrOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for off := 0; off < size; off += kdp.BlockSize {
+			end := off + kdp.BlockSize
+			if end > size {
+				end = size
+			}
+			if _, err := p.Write(fd, want[off:end]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		_ = p.Close(fd)
+
+		src, _ := p.Open("/d0/f", kdp.ORdOnly)
+		dst, _ := p.Open("/d1/f", kdp.OCreat|kdp.OWrOnly)
+		n, err := kdp.Splice(p, src, dst, kdp.SpliceEOF)
+		if err != nil || n != size {
+			t.Errorf("splice: n=%d err=%v", n, err)
+			return
+		}
+		_ = p.Close(src)
+		_ = p.Close(dst)
+
+		got := make([]byte, size)
+		vfd, _ := p.Open("/d1/f", kdp.ORdOnly)
+		for off := 0; off < size; {
+			r, err := p.Read(vfd, got[off:])
+			if err != nil || r == 0 {
+				t.Errorf("verify read: r=%d err=%v", r, err)
+				return
+			}
+			off += r
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("facade splice corrupted data")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAsyncSpliceWithHandle(t *testing.T) {
+	m := twoDiskMachine(kdp.DiskRZ58)
+	const size = 10 * kdp.BlockSize
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d0/f", kdp.OCreat|kdp.OWrOnly)
+		chunk := make([]byte, kdp.BlockSize)
+		for i := 0; i < 10; i++ {
+			_, _ = p.Write(fd, chunk)
+		}
+		_ = p.Close(fd)
+		if err := m.ColdCaches(p); err != nil {
+			t.Errorf("cold caches: %v", err)
+			return
+		}
+
+		src, _ := p.Open("/d0/f", kdp.ORdOnly)
+		dst, _ := p.Open("/d1/f", kdp.OCreat|kdp.OWrOnly)
+		if _, err := p.Fcntl(src, kdp.FSetFL, kdp.FAsync); err != nil {
+			t.Errorf("fcntl: %v", err)
+			return
+		}
+		n, h, err := kdp.SpliceWithOptions(p, src, dst, kdp.SpliceEOF, kdp.SpliceOptions{})
+		if err != nil || n != size {
+			t.Errorf("async splice: n=%d err=%v", n, err)
+			return
+		}
+		if h.Done() {
+			t.Error("mechanical-disk splice finished synchronously")
+		}
+		if err := h.Wait(p); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		if h.Moved() != size {
+			t.Errorf("moved %d", h.Moved())
+		}
+		if st := h.Stats(); st.Shared != 10 || st.Callouts != 10 {
+			t.Errorf("stats: %+v", st)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDACAndSplice(t *testing.T) {
+	m := kdp.New(kdp.Config{
+		Disks:      []kdp.DiskSpec{{Mount: "/d", Kind: kdp.DiskRAM}},
+		MaxRunTime: 600 * kdp.Second,
+	})
+	dac := m.AddDAC(kdp.DACConfig{Path: "/dev/out", Rate: 1e6, Capture: true})
+	const size = 3 * kdp.BlockSize
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d/audio", kdp.OCreat|kdp.OWrOnly)
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		for off := 0; off < size; off += kdp.BlockSize {
+			_, _ = p.Write(fd, data[off:off+kdp.BlockSize])
+		}
+		_ = p.Close(fd)
+		src, _ := p.Open("/d/audio", kdp.ORdOnly)
+		snd, err := p.Open("/dev/out", kdp.OWrOnly)
+		if err != nil {
+			t.Errorf("open dac: %v", err)
+			return
+		}
+		if n, err := kdp.Splice(p, src, snd, kdp.SpliceEOF); err != nil || n != size {
+			t.Errorf("splice to DAC: n=%d err=%v", n, err)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dac.Played() != size {
+		t.Fatalf("DAC played %d, want %d", dac.Played(), size)
+	}
+	cap := dac.Captured()
+	for i := range cap {
+		if cap[i] != byte(i) {
+			t.Fatalf("captured byte %d wrong", i)
+		}
+	}
+}
+
+func TestFacadeNetworkRelay(t *testing.T) {
+	m := kdp.New(kdp.Config{
+		Disks:      []kdp.DiskSpec{{Mount: "/d", Kind: kdp.DiskRAM}},
+		MaxRunTime: 600 * kdp.Second,
+	})
+	net := m.AddNet(kdp.NetLoopback)
+	a, _ := net.NewSocket(1)
+	b, _ := net.NewSocket(2)
+	c, _ := net.NewSocket(3)
+	d, _ := net.NewSocket(4)
+	a.Connect(2)
+	c.Connect(4)
+
+	const total = 5 * 1000
+	var got int
+	m.Spawn("recv", func(p *kdp.Proc) {
+		fd := p.InstallFile(d, kdp.ORdOnly)
+		buf := make([]byte, 4096)
+		for got < total {
+			n, err := p.Read(fd, buf)
+			if err != nil || n == 0 {
+				break
+			}
+			got += n
+		}
+	})
+	m.Spawn("relay", func(p *kdp.Proc) {
+		in := p.InstallFile(b, kdp.ORdOnly)
+		out := p.InstallFile(c, kdp.OWrOnly)
+		if n, err := kdp.Splice(p, in, out, total); err != nil || n != total {
+			t.Errorf("relay: n=%d err=%v", n, err)
+		}
+	})
+	m.Spawn("send", func(p *kdp.Proc) {
+		fd := p.InstallFile(a, kdp.OWrOnly)
+		for i := 0; i < 5; i++ {
+			if _, err := p.Write(fd, make([]byte, 1000)); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("received %d, want %d", got, total)
+	}
+}
+
+func TestFacadeFramebuffer(t *testing.T) {
+	m := kdp.New(kdp.Config{
+		Disks:      []kdp.DiskSpec{{Mount: "/d", Kind: kdp.DiskRAM}},
+		MaxRunTime: 600 * kdp.Second,
+	})
+	fb := m.AddFramebuffer(kdp.FramebufferConfig{
+		Path: "/dev/fb", FrameBytes: 512, FPS: 100, Frames: 7,
+	})
+	null := m.AddNull()
+	m.Spawn("main", func(p *kdp.Proc) {
+		src, err := p.Open("/dev/fb", kdp.ORdOnly)
+		if err != nil {
+			t.Errorf("open fb: %v", err)
+			return
+		}
+		dst, _ := p.Open("/dev/null", kdp.OWrOnly)
+		n, err := kdp.Splice(p, src, dst, kdp.SpliceEOF)
+		if err != nil || n != 7*512 {
+			t.Errorf("fb splice: n=%d err=%v", n, err)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.CapturedFrames() != 7 {
+		t.Fatalf("captured %d frames", fb.CapturedFrames())
+	}
+	if null.BytesWritten() != 7*512 {
+		t.Fatalf("null got %d bytes", null.BytesWritten())
+	}
+}
+
+func TestFacadeChainedSpliceThroughPipe(t *testing.T) {
+	m := kdp.New(kdp.Config{
+		Disks:      []kdp.DiskSpec{{Mount: "/d", Kind: kdp.DiskRAM}},
+		MaxRunTime: 600 * kdp.Second,
+	})
+	pipe := m.AddPipe("/dev/pipe", 16<<10)
+	null := m.AddNull()
+	const size = 8 * kdp.BlockSize
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d/src", kdp.OCreat|kdp.OWrOnly)
+		for i := 0; i < 8; i++ {
+			_, _ = p.Write(fd, make([]byte, kdp.BlockSize))
+		}
+		_ = p.Close(fd)
+
+		src, _ := p.Open("/d/src", kdp.ORdOnly)
+		pin, _ := p.Open("/dev/pipe", kdp.OWrOnly)
+		pout, _ := p.Open("/dev/pipe", kdp.ORdOnly)
+		sink, _ := p.Open("/dev/null", kdp.OWrOnly)
+		_, _ = p.Fcntl(pout, kdp.FSetFL, kdp.FAsync)
+		_, h, err := kdp.SpliceWithOptions(p, pout, sink, size, kdp.SpliceOptions{})
+		if err != nil {
+			t.Errorf("drain splice: %v", err)
+			return
+		}
+		if n, err := kdp.Splice(p, src, pin, kdp.SpliceEOF); err != nil || n != size {
+			t.Errorf("feed splice: n=%d err=%v", n, err)
+			return
+		}
+		if err := h.Wait(p); err != nil {
+			t.Errorf("drain wait: %v", err)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if null.BytesWritten() != size {
+		t.Fatalf("chained pipeline delivered %d of %d bytes", null.BytesWritten(), size)
+	}
+	if in, out := pipe.Transferred(); in != size || out != size {
+		t.Fatalf("pipe counters in=%d out=%d", in, out)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() kdp.Time {
+		m := twoDiskMachine(kdp.DiskRZ56)
+		m.Spawn("main", func(p *kdp.Proc) {
+			fd, _ := p.Open("/d0/f", kdp.OCreat|kdp.OWrOnly)
+			for i := 0; i < 32; i++ {
+				_, _ = p.Write(fd, make([]byte, kdp.BlockSize))
+			}
+			_ = p.Close(fd)
+			_ = m.ColdCaches(p)
+			src, _ := p.Open("/d0/f", kdp.ORdOnly)
+			dst, _ := p.Open("/d1/f", kdp.OCreat|kdp.OWrOnly)
+			_, _ = kdp.Splice(p, src, dst, kdp.SpliceEOF)
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical machines diverged: %v vs %v", a, b)
+	}
+}
+
+func TestFacadeStatAndRename(t *testing.T) {
+	m := twoDiskMachine(kdp.DiskRAM)
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d0/f", kdp.OCreat|kdp.OWrOnly)
+		_, _ = p.Write(fd, make([]byte, 5000))
+		_ = p.Close(fd)
+		info, err := p.Stat("/d0/f")
+		if err != nil || info.Size != 5000 || info.IsDir {
+			t.Errorf("stat: %+v err=%v", info, err)
+		}
+		if err := p.Rename("/d0/f", "/d0/g"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		if _, err := p.Stat("/d0/f"); err != kdp.ErrNoEnt {
+			t.Errorf("stat old name: %v", err)
+		}
+		if info, err := p.Stat("/d0/g"); err != nil || info.Size != 5000 {
+			t.Errorf("stat new name: %+v err=%v", info, err)
+		}
+		// Cross-device rename is EXDEV-style invalid.
+		if err := p.Rename("/d0/g", "/d1/g"); err != kdp.ErrInval {
+			t.Errorf("cross-device rename: %v", err)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeStatsAccessors(t *testing.T) {
+	m := twoDiskMachine(kdp.DiskRAM)
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d0/f", kdp.OCreat|kdp.OWrOnly)
+		_, _ = p.Write(fd, make([]byte, kdp.BlockSize))
+		_ = p.Close(fd)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 3.2MB of 8KB buffers = 409 (truncated), the measured system's cache.
+	if m.BufferCache().NumBuffers() != 409 {
+		t.Fatalf("cache buffers = %d", m.BufferCache().NumBuffers())
+	}
+	if m.Disk(0).Stats().Writes == 0 && m.BufferCache().Stats().DelayedWrites == 0 {
+		t.Fatal("no write activity recorded anywhere")
+	}
+	if m.FS(0) == nil || m.Kernel() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

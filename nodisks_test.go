@@ -1,0 +1,30 @@
+package kdp_test
+
+import (
+	"testing"
+
+	"kdp"
+)
+
+func TestFacadeDisklessMachine(t *testing.T) {
+	m := kdp.New(kdp.Config{MaxRunTime: 10 * kdp.Second})
+	null := m.AddNull()
+	ran := false
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, err := p.Open("/dev/null", kdp.OWrOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := p.Write(fd, make([]byte, 100)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		ran = true
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || null.BytesWritten() != 100 {
+		t.Fatalf("diskless machine: ran=%v null=%d", ran, null.BytesWritten())
+	}
+}
