@@ -1,0 +1,33 @@
+# Development targets. `make ci` is the full gate run before merging.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench tables ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bounded randomized simulation checking (see README "Testing &
+# verification"); CHECK_SEEDS can be raised for a deeper sweep.
+CHECK_SEEDS ?= 25
+check:
+	$(GO) run ./cmd/kdpcheck -seeds $(CHECK_SEEDS)
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench/
+
+tables:
+	$(GO) run ./cmd/kdpbench
+
+ci: vet build race check

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,60 +24,78 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate only this table (1 or 2; 0 = both)")
-	sweep := flag.String("sweep", "", "run an ablation sweep: quantum, watermark, sharing, filesize, socket, rate, layout")
-	series := flag.Bool("series", false, "print the per-window availability time series instead of tables")
-	csvOut := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
-	disks := flag.String("disks", "RAM,RZ58,RZ56", "comma-separated device types")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "kdpbench:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the requested
+// benchmarks, and writes results to out.
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("kdpbench", flag.ContinueOnError)
+	fl.SetOutput(out)
+	table := fl.Int("table", 0, "regenerate only this table (1 or 2; 0 = both)")
+	sweep := fl.String("sweep", "", "run an ablation sweep: quantum, watermark, sharing, filesize, socket, rate, layout")
+	series := fl.Bool("series", false, "print the per-window availability time series instead of tables")
+	csvOut := fl.Bool("csv", false, "emit tables as CSV (for plotting)")
+	disks := fl.String("disks", "RAM,RZ58,RZ56", "comma-separated device types")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
 
 	kinds, err := parseDisks(*disks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdpbench:", err)
-		os.Exit(2)
+		return err
 	}
 
 	if *series {
 		for _, kind := range kinds {
-			fmt.Print(bench.RunSeries(kind))
-			fmt.Println()
+			fmt.Fprint(out, bench.RunSeries(kind))
+			fmt.Fprintln(out)
 		}
-		return
+		return nil
 	}
 
 	if *sweep != "" {
-		out, err := bench.RunSweep(*sweep, kinds)
+		res, err := bench.RunSweep(*sweep, kinds)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kdpbench:", err)
-			os.Exit(2)
+			return err
 		}
-		fmt.Print(out)
-		return
+		fmt.Fprint(out, res)
+		return nil
 	}
 
 	if *table == 0 || *table == 1 {
 		rows := bench.Table1(kinds)
 		if *csvOut {
-			fmt.Println("table,disk,f_cp,f_scp,improvement,pct_improve")
+			fmt.Fprintln(out, "table,disk,f_cp,f_scp,improvement,pct_improve")
 			for _, r := range rows {
-				fmt.Printf("1,%s,%.4f,%.4f,%.4f,%.1f\n", r.Disk, r.Fcp, r.Fscp, r.Improvement, r.PctImprove)
+				fmt.Fprintf(out, "1,%s,%.4f,%.4f,%.4f,%.1f\n", r.Disk, r.Fcp, r.Fscp, r.Improvement, r.PctImprove)
 			}
 		} else {
-			fmt.Print(bench.FormatTable1(rows))
-			fmt.Println()
+			fmt.Fprint(out, bench.FormatTable1(rows))
+			fmt.Fprintln(out)
 		}
 	}
 	if *table == 0 || *table == 2 {
 		rows := bench.Table2(kinds)
 		if *csvOut {
-			fmt.Println("table,disk,scp_kbs,cp_kbs,pct_improve")
+			fmt.Fprintln(out, "table,disk,scp_kbs,cp_kbs,pct_improve")
 			for _, r := range rows {
-				fmt.Printf("2,%s,%.1f,%.1f,%.1f\n", r.Disk, r.SCPKBs, r.CPKBs, r.PctImprove)
+				fmt.Fprintf(out, "2,%s,%.1f,%.1f,%.1f\n", r.Disk, r.SCPKBs, r.CPKBs, r.PctImprove)
 			}
 		} else {
-			fmt.Print(bench.FormatTable2(rows))
+			fmt.Fprint(out, bench.FormatTable2(rows))
 		}
 	}
+	return nil
 }
 
 func parseDisks(s string) ([]bench.DiskKind, error) {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestTableGolden checks the headline tables against golden output.
+// The simulation is fully deterministic, so the numbers are stable
+// across runs and machines; a diff here means a behavior change in the
+// modeled kernel, not flakiness.
+func TestTableGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size table runs in -short mode")
+	}
+	for _, tc := range []struct {
+		flag, golden string
+	}{
+		{"1", "testdata/table1.golden"},
+		{"2", "testdata/table2.golden"},
+	} {
+		var out bytes.Buffer
+		if err := run([]string{"-table", tc.flag}, &out); err != nil {
+			t.Fatalf("run -table %s: %v", tc.flag, err)
+		}
+		want, err := os.ReadFile(tc.golden)
+		if err != nil {
+			t.Fatalf("read golden: %v", err)
+		}
+		if out.String() != string(want) {
+			t.Errorf("table %s differs from %s:\ngot:\n%s\nwant:\n%s",
+				tc.flag, tc.golden, out.String(), want)
+		}
+	}
+}
+
+// TestTableDeterminism runs each table twice on fresh machines — and
+// under different GOMAXPROCS — and requires byte-identical output. The
+// discrete-event kernel must not leak host-scheduler nondeterminism
+// into results.
+func TestTableDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size table runs in -short mode")
+	}
+	genBoth := func() string {
+		var out bytes.Buffer
+		if err := run([]string{}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	first := genBoth()
+	runtime.GOMAXPROCS(8)
+	second := genBoth()
+	runtime.GOMAXPROCS(prev)
+
+	if first != second {
+		t.Errorf("table output differs between fresh machines / GOMAXPROCS 1 vs 8:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if !strings.Contains(first, "CPU Availability Factors") ||
+		!strings.Contains(first, "Mean Throughput Measurements") {
+		t.Errorf("output missing expected table headers:\n%s", first)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size table runs in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-table", "1", "-csv", "-disks", "RAM"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "table,disk,f_cp,f_scp,improvement,pct_improve\n") {
+		t.Errorf("missing CSV header:\n%s", got)
+	}
+	if !strings.Contains(got, "1,RAM,") {
+		t.Errorf("missing RAM row:\n%s", got)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray"},
+		{"-disks", "ZIP100"},
+		{"-sweep", "nonesuch"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q): expected error, got nil", args)
+		}
+	}
+}

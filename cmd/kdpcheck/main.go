@@ -1,0 +1,168 @@
+// Command kdpcheck drives the deterministic-simulation check harness
+// (internal/simcheck): randomized workloads over a full simulated
+// machine with cross-layer invariant checking at every scheduling
+// boundary, an in-memory content oracle, an end-of-run fsck, and
+// seed-replay verification.
+//
+// Usage:
+//
+//	kdpcheck -seeds 100            # sweep seeds 0..99, replay-verify each
+//	kdpcheck -seeds 100 -start 500 # sweep seeds 500..599
+//	kdpcheck -seed 39 -v           # run one seed, print the event log
+//	kdpcheck -seed 39 -minimize    # shrink a failing seed's op sequence
+//	kdpcheck -ops 200 -workers 3   # heavier per-seed workload
+//	kdpcheck -seed 3 -damage busy-on-freelist   # self-test the checkers
+//
+// A failing seed prints the violated invariant, the minimal failing op
+// subsequence (ddmin bisection), and the exact command to reproduce it.
+// Exit status is 1 if any seed fails, 2 on usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kdp/internal/simcheck"
+)
+
+// errFailed marks check failures (exit 1) as opposed to usage errors
+// (exit 2).
+var errFailed = errors.New("check failed")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFailed):
+		os.Exit(1)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	default:
+		fmt.Fprintln(os.Stderr, "kdpcheck:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: it parses args, executes the
+// requested checks, writes human-readable results to out, and returns
+// errFailed if any seed failed.
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("kdpcheck", flag.ContinueOnError)
+	fl.SetOutput(out)
+	var (
+		seeds    = fl.Int("seeds", 0, "sweep this many seeds starting at -start (default mode, 25 seeds)")
+		start    = fl.Uint64("start", 0, "first seed of the sweep")
+		seed     = fl.Int64("seed", -1, "run this single seed instead of a sweep")
+		ops      = fl.Int("ops", 60, "operations per seed")
+		workers  = fl.Int("workers", 0, "worker processes per seed (0 = derive 1-3 from the seed)")
+		verbose  = fl.Bool("v", false, "print the event log of every run")
+		minimize = fl.Bool("minimize", false, "with -seed: shrink a failing op sequence to a minimal repro")
+		noReplay = fl.Bool("noreplay", false, "skip the second run that verifies seed-replay determinism")
+		damage   = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key)")
+		damageAt = fl.Int("damage-after", 5, "with -damage: corrupt after this many ops")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
+
+	if *ops <= 0 {
+		return fmt.Errorf("-ops must be positive (got %d)", *ops)
+	}
+	switch *damage {
+	case "", "busy-on-freelist", "delwri-undone", "hash-key":
+	default:
+		return fmt.Errorf("unknown damage kind %q (busy-on-freelist, delwri-undone, hash-key)", *damage)
+	}
+	if *damage != "" && *seed < 0 {
+		return fmt.Errorf("-damage requires -seed")
+	}
+
+	if *seed >= 0 {
+		cfg := simcheck.Config{
+			Seed: uint64(*seed), Ops: *ops, Workers: *workers,
+			Damage: *damage, DamageAfter: *damageAt,
+		}
+		if *verbose {
+			cfg.Verbose = out
+		}
+		replay := !*noReplay && *damage == ""
+		return runOne(cfg, *minimize, replay, out)
+	}
+
+	n := *seeds
+	if n <= 0 {
+		n = 25
+	}
+	return runSweep(*start, n, *ops, *workers, *verbose, !*noReplay, out)
+}
+
+// runOne checks a single seed, minimizing on failure when asked.
+func runOne(cfg simcheck.Config, minimize, replay bool, out io.Writer) error {
+	res := simcheck.Run(cfg)
+	if res.Failed() {
+		fmt.Fprintf(out, "seed %d FAILED: %v\n", res.Seed, res.Violation)
+		if minimize {
+			min, idx := simcheck.Minimize(cfg)
+			fmt.Fprintf(out, "minimized to %d op(s), original indices %v\n", min.Ops, idx)
+			fmt.Fprintf(out, "minimal-run violation: %v\n", min.Violation)
+		}
+		fmt.Fprintf(out, "repro: %s\n", simcheck.ReproCommand(simcheck.Config{Seed: res.Seed, Ops: cfg.Ops, Workers: res.Workers}))
+		return errFailed
+	}
+	fmt.Fprintf(out, "seed %d ok: %d ops, %d workers, digest %016x\n", res.Seed, res.Ops, res.Workers, res.Digest)
+	if replay {
+		if err := simcheck.VerifyReplay(cfg.Seed); err != nil {
+			fmt.Fprintf(out, "seed %d REPLAY FAILED: %v\n", cfg.Seed, err)
+			return errFailed
+		}
+		fmt.Fprintf(out, "seed %d replay ok\n", cfg.Seed)
+	}
+	return nil
+}
+
+// runSweep checks seeds [start, start+n), reporting a one-line verdict
+// per seed and a summary. Every failing seed is minimized and printed
+// with its repro command; the sweep keeps going so one bad seed does
+// not hide another.
+func runSweep(start uint64, n, ops, workers int, verbose, replay bool, out io.Writer) error {
+	failed := 0
+	for i := 0; i < n; i++ {
+		s := start + uint64(i)
+		cfg := simcheck.Config{Seed: s, Ops: ops, Workers: workers}
+		if verbose {
+			cfg.Verbose = out
+		}
+		res := simcheck.Run(cfg)
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(out, "seed %d FAILED: %v\n", s, res.Violation)
+			min, idx := simcheck.Minimize(cfg)
+			fmt.Fprintf(out, "  minimized to %d op(s), original indices %v\n", min.Ops, idx)
+			fmt.Fprintf(out, "  repro: %s\n", simcheck.ReproCommand(simcheck.Config{Seed: s, Ops: ops, Workers: res.Workers}))
+			continue
+		}
+		if replay {
+			if err := simcheck.VerifyReplay(s); err != nil {
+				failed++
+				fmt.Fprintf(out, "seed %d REPLAY FAILED: %v\n", s, err)
+				continue
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(out, "FAIL: %d of %d seed(s) failed\n", failed, n)
+		return errFailed
+	}
+	mode := "run+replay"
+	if !replay {
+		mode = "run"
+	}
+	fmt.Fprintf(out, "ok: %d seed(s) [%d..%d] clean (%s, %d ops each)\n", n, start, start+uint64(n)-1, mode, ops)
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSweepSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seeds", "5"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 5 seed(s) [0..4] clean") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestSingleSeedVerbose(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "3", "-v", "-noreplay"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seed 3 ok", "fsck /d0 clean"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDamageSelfTest(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-seed", "3", "-damage", "busy-on-freelist"}, &out)
+	if !errors.Is(err, errFailed) {
+		t.Fatalf("damaged run: err = %v, want errFailed\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seed 3 FAILED", "invariant buf-free-busy", "repro:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"stray"}, &out); err == nil || errors.Is(err, errFailed) {
+		t.Errorf("stray argument: err = %v, want usage error", err)
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-damage", "hash-key"}, &out); err == nil || errors.Is(err, errFailed) {
+		t.Errorf("-damage without -seed: err = %v, want usage error", err)
+	}
+}

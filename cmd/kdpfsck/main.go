@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kdp/internal/bench"
@@ -20,9 +22,42 @@ import (
 	"kdp/internal/workload"
 )
 
+// errInconsistent reports a volume that fsck found problems with; the
+// process exits 1 (as fsck traditionally does) rather than 2 for a
+// usage error.
+var errInconsistent = errors.New("volume inconsistent")
+
 func main() {
-	corrupt := flag.String("corrupt", "", "inject corruption before checking: leak or crosslink")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case err == flag.ErrHelp:
+		os.Exit(0)
+	case errors.Is(err, errInconsistent):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "kdpfsck:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the workload and
+// checker, and writes the report to out.
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("kdpfsck", flag.ContinueOnError)
+	fl.SetOutput(out)
+	corrupt := fl.String("corrupt", "", "inject corruption before checking: leak or crosslink")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
+	switch *corrupt {
+	case "", "leak", "crosslink":
+	default:
+		return fmt.Errorf("unknown corruption %q", *corrupt)
+	}
 
 	s := bench.DefaultSetup(bench.RAM)
 	s.FileBytes = 2 << 20
@@ -51,16 +86,12 @@ func main() {
 		}
 
 		switch *corrupt {
-		case "":
 		case "leak":
 			// Mark a block near the end of the volume (past the test
 			// file's allocation) as in-use without any referent.
 			markBitmap(m, m.FSs[0].Super().TotalBlocks-5, true)
 		case "crosslink":
 			crossLink(m)
-		default:
-			fmt.Fprintf(os.Stderr, "kdpfsck: unknown corruption %q\n", *corrupt)
-			os.Exit(2)
 		}
 		if *corrupt != "" {
 			if err := m.Cache.InvalidateDev(p.Ctx(), m.Disks[0]); err != nil {
@@ -76,17 +107,17 @@ func main() {
 	})
 	m.Run()
 
-	fmt.Printf("volume: %d inodes (%d files, %d dirs), %d blocks in use\n",
+	fmt.Fprintf(out, "volume: %d inodes (%d files, %d dirs), %d blocks in use\n",
 		rep.Inodes, rep.Files, rep.Dirs, rep.UsedBlocks)
 	if rep.Clean() {
-		fmt.Println("clean: no inconsistencies found")
-		return
+		fmt.Fprintln(out, "clean: no inconsistencies found")
+		return nil
 	}
-	fmt.Printf("INCONSISTENT: %d problem(s)\n", len(rep.Problems))
+	fmt.Fprintf(out, "INCONSISTENT: %d problem(s)\n", len(rep.Problems))
 	for _, p := range rep.Problems {
-		fmt.Println("  -", p)
+		fmt.Fprintln(out, "  -", p)
 	}
-	os.Exit(1)
+	return errInconsistent
 }
 
 // markBitmap flips a bitmap bit directly on the media.

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCleanVolume(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean: no inconsistencies found") {
+		t.Errorf("expected clean verdict:\n%s", out.String())
+	}
+}
+
+func TestCorruptionsDetected(t *testing.T) {
+	for _, kind := range []string{"leak", "crosslink"} {
+		var out bytes.Buffer
+		err := run([]string{"-corrupt", kind}, &out)
+		if !errors.Is(err, errInconsistent) {
+			t.Errorf("-corrupt %s: want errInconsistent, got %v\n%s", kind, err, out.String())
+			continue
+		}
+		if !strings.Contains(out.String(), "INCONSISTENT") {
+			t.Errorf("-corrupt %s: expected INCONSISTENT report:\n%s", kind, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray"},
+		{"-corrupt", "gamma-rays"},
+	} {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil || errors.Is(err, errInconsistent) {
+			t.Errorf("run(%q): expected usage error, got %v", args, err)
+		}
+	}
+}

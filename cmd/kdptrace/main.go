@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kdp/internal/bench"
@@ -22,17 +23,35 @@ import (
 )
 
 func main() {
-	diskName := flag.String("disk", "RZ58", "disk type: RAM, RZ58 or RZ56")
-	kb := flag.Int64("kb", 64, "file size in kilobytes")
-	limit := flag.Int("n", 40, "maximum trace lines to print (0 = all)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "kdptrace:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the traced
+// splice, and writes the report and trace lines to out.
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("kdptrace", flag.ContinueOnError)
+	fl.SetOutput(out)
+	diskName := fl.String("disk", "RZ58", "disk type: RAM, RZ58 or RZ56")
+	kb := fl.Int64("kb", 64, "file size in kilobytes")
+	limit := fl.Int("n", 40, "maximum trace lines to print (0 = all)")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
 
 	kind, ok := map[string]bench.DiskKind{
 		"RAM": bench.RAM, "RZ58": bench.RZ58, "RZ56": bench.RZ56,
 	}[*diskName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "kdptrace: unknown disk %q\n", *diskName)
-		os.Exit(2)
+		return fmt.Errorf("unknown disk %q", *diskName)
 	}
 
 	s := bench.DefaultSetup(kind)
@@ -73,22 +92,23 @@ func main() {
 	})
 	m.Run()
 
-	fmt.Printf("splice of %dKB on %s: reads=%d writes=%d shared=%d callouts=%d peak=%d/%d\n",
+	fmt.Fprintf(out, "splice of %dKB on %s: reads=%d writes=%d shared=%d callouts=%d peak=%d/%d\n",
 		*kb, kind, stats.ReadsIssued, stats.WritesIssued, stats.Shared,
 		stats.Callouts, stats.PeakReads, stats.PeakWrites)
 	kst := m.K.Stats()
-	fmt.Printf("process rusage: user=%v sys=%v syscalls=%d ctxsw=%d/%d (vol/invol)\n",
+	fmt.Fprintf(out, "process rusage: user=%v sys=%v syscalls=%d ctxsw=%d/%d (vol/invol)\n",
 		usr, sys, nsys, nvol, ninv)
-	fmt.Printf("machine: interrupts=%d intr-cpu=%v switches=%d idle=%v\n\n",
+	fmt.Fprintf(out, "machine: interrupts=%d intr-cpu=%v switches=%d idle=%v\n\n",
 		kst.Interrupts, kst.Interrupt, kst.Switches, kst.Idle)
 	n := len(lines)
 	if *limit > 0 && n > *limit {
 		n = *limit
 	}
 	for _, l := range lines[:n] {
-		fmt.Println(l)
+		fmt.Fprintln(out, l)
 	}
 	if n < len(lines) {
-		fmt.Printf("... (%d more trace lines; use -n 0 for all)\n", len(lines)-n)
+		fmt.Fprintf(out, "... (%d more trace lines; use -n 0 for all)\n", len(lines)-n)
 	}
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RZ58", "-kb", "32", "-n", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "splice of 32KB on RZ58") {
+		t.Errorf("missing splice summary:\n%s", got)
+	}
+	if !strings.Contains(got, "process rusage:") || !strings.Contains(got, "machine: interrupts=") {
+		t.Errorf("missing accounting lines:\n%s", got)
+	}
+	// -n 2 with a real disk's interrupt traffic should truncate the trace.
+	if !strings.Contains(got, "more trace lines") {
+		t.Errorf("expected truncation notice with -n 2:\n%s", got)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	gen := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-disk", "RZ58", "-kb", "16", "-n", "0"}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Errorf("trace differs across fresh machines:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray"},
+		{"-disk", "MO"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q): expected error, got nil", args)
+		}
+	}
+}

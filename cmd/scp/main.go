@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kdp/internal/bench"
@@ -17,44 +18,62 @@ import (
 )
 
 func main() {
-	diskName := flag.String("disk", "RAM", "disk type: RAM, RZ58 or RZ56")
-	mb := flag.Int64("mb", 8, "file size in megabytes")
-	mode := flag.String("mode", "both", "copy mode: scp, cp or both")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "scp:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the requested
+// copies, and writes results to out.
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("scp", flag.ContinueOnError)
+	fl.SetOutput(out)
+	diskName := fl.String("disk", "RAM", "disk type: RAM, RZ58 or RZ56")
+	mb := fl.Int64("mb", 8, "file size in megabytes")
+	mode := fl.String("mode", "both", "copy mode: scp, cp or both")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	if fl.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
 
 	kind, ok := map[string]bench.DiskKind{
 		"RAM": bench.RAM, "RZ58": bench.RZ58, "RZ56": bench.RZ56,
 	}[*diskName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "scp: unknown disk %q\n", *diskName)
-		os.Exit(2)
+		return fmt.Errorf("unknown disk %q", *diskName)
 	}
 
 	s := bench.DefaultSetup(kind)
 	s.FileBytes = *mb << 20
 
-	run := func(m workload.CopyMode) {
+	copyOnce := func(m workload.CopyMode) {
 		res := bench.MeasureThroughput(s, m)
-		fmt.Printf("%-4s %2dMB on %-5s: %10v  %8.0f KB/s",
+		fmt.Fprintf(out, "%-4s %2dMB on %-5s: %10v  %8.0f KB/s",
 			m, *mb, kind, res.Elapsed, res.ThroughputKBs())
 		if m == workload.CopySplice {
 			st := res.Splice
-			fmt.Printf("  (reads=%d writes=%d shared=%d callouts=%d)",
+			fmt.Fprintf(out, "  (reads=%d writes=%d shared=%d callouts=%d)",
 				st.ReadsIssued, st.WritesIssued, st.Shared, st.Callouts)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	switch *mode {
 	case "scp":
-		run(workload.CopySplice)
+		copyOnce(workload.CopySplice)
 	case "cp":
-		run(workload.CopyReadWrite)
+		copyOnce(workload.CopyReadWrite)
 	case "both":
-		run(workload.CopySplice)
-		run(workload.CopyReadWrite)
+		copyOnce(workload.CopySplice)
+		copyOnce(workload.CopyReadWrite)
 	default:
-		fmt.Fprintf(os.Stderr, "scp: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBothModes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-mb", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "scp") || !strings.Contains(got, "cp") {
+		t.Errorf("expected both copy modes in output:\n%s", got)
+	}
+	if !strings.Contains(got, "KB/s") {
+		t.Errorf("expected throughput figures:\n%s", got)
+	}
+	if !strings.Contains(got, "reads=") {
+		t.Errorf("expected splice stats on the scp line:\n%s", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	gen := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-disk", "RZ58", "-mb", "1", "-mode", "scp"}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Errorf("output differs across fresh machines:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray"},
+		{"-disk", "FLOPPY"},
+		{"-mode", "mv"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q): expected error, got nil", args)
+		}
+	}
+}

@@ -66,6 +66,13 @@ type Buf struct {
 	SpliceDesc any
 	// SpliceLblk is the logical block number within the spliced file.
 	SpliceLblk int64
+	// SpliceN is the logical payload length of a splice write header.
+	// Splice always transfers whole physical blocks (Bcount) so the
+	// unused tail of a final partial block lands on disk as zeros —
+	// the same "bytes beyond EOF read back as zeros" invariant the
+	// ordinary write path maintains via zero-filled cache buffers —
+	// but only SpliceN bytes count toward the transfer.
+	SpliceN int
 	// SplicePeer links a write-side header to the read-side buffer
 	// whose data area it shares.
 	SplicePeer *Buf

@@ -562,6 +562,46 @@ func (c *Cache) flushDirtyAsync() {
 	}
 }
 
+// InvalidateBlocks drops any cached copies of the given physical blocks
+// of dev, writing delayed-write data out first. The splice write engine
+// uses it on the destination's block table: spliced data reaches disk
+// through memory-less headers, bypassing the cache, so a cached copy
+// left behind would shadow the new data on later reads — and a dirty
+// one would clobber it when eventually flushed.
+func (c *Cache) InvalidateBlocks(ctx kernel.Ctx, dev Device, blknos []int64) error {
+	if !ctx.CanSleep() {
+		panic("buf: InvalidateBlocks requires process context")
+	}
+	for _, bn := range blknos {
+		for {
+			b := c.incore(dev, bn)
+			if b == nil {
+				break
+			}
+			if b.Flags&BBusy != 0 {
+				b.Flags |= BWanted
+				if err := ctx.Sleep(b, kernel.PRIBIO+1); err != nil {
+					return err
+				}
+				continue // re-lookup: the buffer may have been recycled
+			}
+			if b.Flags&BDelwri != 0 {
+				if _, err := c.flushBufs(ctx, []*Buf{b}); err != nil {
+					return err
+				}
+				continue // re-check: the flush slept
+			}
+			c.freeRemove(b)
+			c.hashRemove(b)
+			b.Flags = BInval
+			b.Dev = nil
+			c.freePush(b, true)
+			break
+		}
+	}
+	return nil
+}
+
 // InvalidateDev drops every non-busy cached block of dev (dirty blocks
 // are written first), producing the "read cache cold start condition"
 // the paper's experiments require (§6.1).

@@ -1,0 +1,163 @@
+package buf
+
+import "fmt"
+
+// This file implements the buffer-cache invariant checker used by the
+// simcheck harness (internal/simcheck). The checks are structural —
+// they walk the hash table and free list without doing I/O or sleeping
+// — so they are callable from any context, including the kernel's
+// scheduling loop between events.
+//
+// Invariant catalog (buffer cache):
+//
+//	buf-free-link        free list forward/back pointers agree, count == nfree
+//	buf-free-busy        no buffer is both BBusy and on the free list
+//	buf-free-flag        onFree matches actual free-list membership
+//	buf-hash-key         a hashed buffer's (Dev, Blkno) matches its chain
+//	buf-hash-dup         at most one valid (non-BInval) buffer per (dev, blkno)
+//	buf-flag-wanted      BWanted only while BBusy (someone holds the buffer)
+//	buf-flag-delwri      BDelwri implies BDone and not BInval (dirty data is valid)
+//	buf-flag-call        BCall implies a non-nil Iodone handler
+//	buf-pool-account     nbuf == free buffers + busy hashed buffers
+//	buf-header-hashed    header-only (BNoMem) buffers never enter the hash
+//
+// A violation is reported as an *InvariantError naming the invariant.
+
+// InvariantError describes one violated buffer-cache invariant.
+type InvariantError struct {
+	Name   string // invariant identifier, e.g. "buf-free-busy"
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return "invariant " + e.Name + " violated: " + e.Detail
+}
+
+func violation(name, format string, args ...any) error {
+	return &InvariantError{Name: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckInvariants verifies the cache's structural invariants, returning
+// the first violation found (nil if the cache is consistent). It never
+// sleeps and performs no I/O.
+func (c *Cache) CheckInvariants() error {
+	// Free-list walk: link integrity, counts, flags.
+	seen := make(map[*Buf]bool, c.nfree)
+	n := 0
+	var prev *Buf
+	for b := c.freeHead; b != nil; b = b.freeNext {
+		if seen[b] {
+			return violation("buf-free-link", "free list cycle at %s", b)
+		}
+		seen[b] = true
+		n++
+		if b.freePrev != prev {
+			return violation("buf-free-link", "%s has freePrev=%p, want %p", b, b.freePrev, prev)
+		}
+		if !b.onFree {
+			return violation("buf-free-flag", "%s on free list with onFree=false", b)
+		}
+		if b.Flags&BBusy != 0 {
+			return violation("buf-free-busy", "busy buffer on free list: %s", b)
+		}
+		if err := checkBufFlags(b); err != nil {
+			return err
+		}
+		prev = b
+	}
+	if prev != c.freeTail {
+		return violation("buf-free-link", "freeTail=%p, want %p", c.freeTail, prev)
+	}
+	if n != c.nfree {
+		return violation("buf-free-link", "free list holds %d buffers, nfree says %d", n, c.nfree)
+	}
+
+	// Hash walk: chain keys, duplicate detection, busy accounting.
+	busy := 0
+	valid := make(map[devblk]*Buf)
+	for key, head := range c.hash {
+		for b := head; b != nil; b = b.hashNext {
+			if !b.hashed {
+				return violation("buf-hash-key", "%s on chain %s#%d with hashed=false", b, key.dev.DevName(), key.blk)
+			}
+			if b.Flags&BNoMem != 0 {
+				return violation("buf-header-hashed", "header-only buffer in hash: %s", b)
+			}
+			if (devblk{b.Dev, b.Blkno}) != key {
+				return violation("buf-hash-key", "%s hashed under chain %s#%d", b, key.dev.DevName(), key.blk)
+			}
+			if b.Flags&BInval == 0 {
+				if dup, ok := valid[key]; ok {
+					return violation("buf-hash-dup", "blocks %s and %s both valid for %s#%d", dup, b, key.dev.DevName(), key.blk)
+				}
+				valid[key] = b
+			}
+			if b.Flags&BBusy != 0 {
+				busy++
+				if b.onFree {
+					return violation("buf-free-busy", "busy hashed buffer claims free-list membership: %s", b)
+				}
+				if err := checkBufFlags(b); err != nil {
+					return err
+				}
+			} else if !b.onFree {
+				return violation("buf-pool-account", "idle hashed buffer not on free list: %s", b)
+			}
+		}
+	}
+	if c.nfree+busy != c.nbuf {
+		return violation("buf-pool-account", "free %d + busy %d != pool %d", c.nfree, busy, c.nbuf)
+	}
+	return nil
+}
+
+// checkBufFlags verifies per-buffer flag consistency.
+func checkBufFlags(b *Buf) error {
+	if b.Flags&BWanted != 0 && b.Flags&BBusy == 0 {
+		return violation("buf-flag-wanted", "BWanted without BBusy: %s", b)
+	}
+	if b.Flags&BDelwri != 0 {
+		if b.Flags&BDone == 0 {
+			return violation("buf-flag-delwri", "BDelwri without BDone: %s", b)
+		}
+		if b.Flags&BInval != 0 {
+			return violation("buf-flag-delwri", "BDelwri on invalid buffer: %s", b)
+		}
+	}
+	if b.Flags&BCall != 0 && b.Iodone == nil {
+		return violation("buf-flag-call", "BCall set with nil Iodone: %s", b)
+	}
+	return nil
+}
+
+// Damage deliberately corrupts one internal flag so the invariant
+// checker trips — the fault-injection side of the checker's own test
+// harness (simcheck's "corrupt one buffer-cache flag" acceptance
+// check). kind selects the corruption:
+//
+//	"busy-on-freelist"  set BBusy on the head of the free list
+//	"delwri-undone"     set BDelwri without BDone on a free buffer
+//	"hash-key"          change a hashed buffer's Blkno without rehashing
+//
+// It is exported for tests and the simcheck harness only; production
+// paths never call it.
+func (c *Cache) Damage(kind string) {
+	switch kind {
+	case "busy-on-freelist":
+		if c.freeHead != nil {
+			c.freeHead.Flags |= BBusy
+		}
+	case "delwri-undone":
+		if c.freeHead != nil {
+			c.freeHead.Flags |= BDelwri
+			c.freeHead.Flags &^= BDone
+		}
+	case "hash-key":
+		for _, b := range c.hash {
+			b.Blkno++
+			break
+		}
+	default:
+		panic("buf: unknown damage kind " + kind)
+	}
+}

@@ -235,11 +235,38 @@ func (fl *File) SpliceMapRead(ctx kernel.Ctx, nblocks int64) ([]uint32, error) {
 // SpliceMapWrite builds the destination block table, allocating missing
 // blocks with the special bmap that skips zero-fill delayed writes
 // (§5.2).
-func (fl *File) SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, error) {
+func (fl *File) SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, []bool, error) {
 	ip := fl.ip
 	ip.lock(ctx)
 	defer ip.unlock()
-	return ip.PhysicalBlocks(ctx, nblocks, true)
+	// Probe before allocating: blocks that are holes now will be
+	// freshly allocated below, and the write engine must know — a fresh
+	// block's unwritten tail must land on disk as zeros, while a
+	// pre-existing block's tail beyond the transfer must be preserved.
+	pre, err := ip.PhysicalBlocks(ctx, nblocks, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks, err := ip.PhysicalBlocks(ctx, nblocks, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	fresh := make([]bool, nblocks)
+	for i, pb := range pre {
+		fresh[i] = pb == 0 && blocks[i] != 0
+	}
+	// The write engine bypasses the buffer cache (memory-less headers
+	// straight to the driver), so cached copies of the destination
+	// blocks must be purged now: a clean one would shadow the spliced
+	// data on later reads, a dirty one would overwrite it on flush.
+	blknos := make([]int64, 0, len(blocks))
+	for _, pb := range blocks {
+		blknos = append(blknos, int64(pb))
+	}
+	if err := ip.fs.cache.InvalidateBlocks(ctx, ip.fs.dev, blknos); err != nil {
+		return nil, nil, err
+	}
+	return blocks, fresh, nil
 }
 
 var _ kernel.FileOps = (*File)(nil)

@@ -191,6 +191,15 @@ func (f *FS) iget(ctx kernel.Ctx, ino uint32) (*Inode, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bread may sleep: another process can have installed this inode
+	// while we waited for the table block (the classic iget race —
+	// without this re-check, two in-core copies of one inode would
+	// diverge and lose directory entries and size updates).
+	if ip, ok := f.inodes[ino]; ok {
+		f.cache.Brelse(ctx, b)
+		ip.refs++
+		return ip, nil
+	}
 	var di dinode
 	di.decode(b.Data[off:])
 	f.cache.Brelse(ctx, b)

@@ -448,9 +448,15 @@ func TestSpliceMapWriteAllocatesWithoutZeroFillIO(t *testing.T) {
 		ctx := p.Ctx()
 		fl, _ := f.OpenFile(ctx, "/dst", kernel.OCreat|kernel.ORdWr)
 		file := fl.(*File)
-		table, err := file.SpliceMapWrite(ctx, 32)
+		table, fresh, err := file.SpliceMapWrite(ctx, 32)
 		if err != nil {
 			t.Fatalf("map write: %v", err)
+		}
+		// Every block of a brand-new file is a fresh allocation.
+		for i, fr := range fresh {
+			if !fr {
+				t.Errorf("block %d of a new file not reported fresh", i)
+			}
 		}
 		// The special bmap must not create (zero-filled) cache buffers
 		// for any of the freshly allocated data blocks.

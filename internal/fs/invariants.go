@@ -1,0 +1,85 @@
+package fs
+
+import "fmt"
+
+// This file implements the filesystem's live invariant checker used by
+// the simcheck harness. Unlike Fsck — which reads the whole volume and
+// needs process context — CheckLive inspects only in-core state, so it
+// never sleeps and is callable between events from the kernel's
+// scheduling loop.
+//
+// Invariant catalog (filesystem, in-core):
+//
+//	fs-inode-key        the inode table key matches the inode's number
+//	fs-inode-refs       reference counts never go negative (refs == 0 is
+//	                    legal transiently while iput tears an inode down)
+//	fs-inode-mode       mode is file, directory, or free-pending-unlink
+//	fs-inode-size       file size is non-negative
+//	fs-ptr-bounds       every block pointer is 0 or inside the data region
+//	fs-ptr-dup          no data block claimed by two in-core inodes
+//	fs-super-counts     free-block/inode counters within volume bounds
+//
+// Cross-inode duplicate detection covers only in-core inodes; the full
+// on-disk check (bitmap cross-check, directory connectivity) is Fsck's
+// job and runs at end of workload, on a quiescent volume.
+
+func fsviolation(name, format string, args ...any) error {
+	return fmt.Errorf("invariant %s violated: %s", name, fmt.Sprintf(format, args...))
+}
+
+// CheckLive verifies the in-core filesystem invariants, returning the
+// first violation found (nil when consistent). It performs no I/O.
+func (f *FS) CheckLive() error {
+	claimed := make(map[uint32]uint32) // physical block -> claiming inode
+	checkPtr := func(ino, pblk uint32, what string) error {
+		if pblk == 0 {
+			return nil
+		}
+		if pblk < f.sb.DataStart || pblk >= f.sb.TotalBlocks {
+			return fsviolation("fs-ptr-bounds", "inode %d: %s block %d outside data region [%d,%d)",
+				ino, what, pblk, f.sb.DataStart, f.sb.TotalBlocks)
+		}
+		if prev, dup := claimed[pblk]; dup {
+			return fsviolation("fs-ptr-dup", "block %d claimed by inodes %d and %d", pblk, prev, ino)
+		}
+		claimed[pblk] = ino
+		return nil
+	}
+
+	for ino, ip := range f.inodes {
+		if ip.ino != ino {
+			return fsviolation("fs-inode-key", "table key %d holds inode %d", ino, ip.ino)
+		}
+		if ip.refs < 0 {
+			return fsviolation("fs-inode-refs", "inode %d in core with refs %d", ino, ip.refs)
+		}
+		// ModeFree appears transiently while iput tears down an
+		// unlinked inode; anything else is corruption.
+		if ip.mode != ModeFile && ip.mode != ModeDir && ip.mode != ModeFree {
+			return fsviolation("fs-inode-mode", "inode %d has invalid mode %d", ino, ip.mode)
+		}
+		if ip.size < 0 {
+			return fsviolation("fs-inode-size", "inode %d has negative size %d", ino, ip.size)
+		}
+		for _, pblk := range ip.direct {
+			if err := checkPtr(ino, pblk, "direct"); err != nil {
+				return err
+			}
+		}
+		if err := checkPtr(ino, ip.indir, "indirect"); err != nil {
+			return err
+		}
+		if err := checkPtr(ino, ip.dindir, "double-indirect"); err != nil {
+			return err
+		}
+	}
+
+	dataBlocks := f.sb.TotalBlocks - f.sb.DataStart
+	if f.sb.FreeBlocks > dataBlocks {
+		return fsviolation("fs-super-counts", "free blocks %d exceed data region %d", f.sb.FreeBlocks, dataBlocks)
+	}
+	if f.sb.FreeInodes > f.sb.NInodes {
+		return fsviolation("fs-super-counts", "free inodes %d exceed table size %d", f.sb.FreeInodes, f.sb.NInodes)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package kernel
+
+import "fmt"
+
+// This file implements the kernel-side invariant checker used by the
+// simcheck harness, plus the probe hook that lets the harness run
+// checks at every scheduling boundary.
+//
+// Invariant catalog (kernel):
+//
+//	kern-callout-delta   callout delta-list entries are non-negative and
+//	                     the walked length matches the stored count
+//	kern-runq-state      every run-queue entry is ProcRunnable, with no
+//	                     duplicates and without the current process
+//	kern-sleepq-state    every sleep-queue entry is ProcSleeping and its
+//	                     wchan matches the queue it sits on
+//	kern-proc-account    alive matches the number of non-exited processes
+//	kern-holds           the keepalive hold count is non-negative
+
+func kviolation(name, format string, args ...any) error {
+	return fmt.Errorf("invariant %s violated: %s", name, fmt.Sprintf(format, args...))
+}
+
+// CheckInvariants verifies the scheduler, sleep queues and callout list,
+// returning the first violation found (nil when consistent). It never
+// sleeps, so it is callable from any context.
+func (k *Kernel) CheckInvariants() error {
+	// Callout delta list.
+	n := 0
+	for c := k.callouts.head; c != nil; c = c.next {
+		if c.delta < 0 {
+			return kviolation("kern-callout-delta", "negative delta %d at entry %d", c.delta, n)
+		}
+		if c.fired || c.dead {
+			return kviolation("kern-callout-delta", "fired/cancelled entry still queued at %d", n)
+		}
+		n++
+		if n > k.callouts.n {
+			return kviolation("kern-callout-delta", "list longer than count %d", k.callouts.n)
+		}
+	}
+	if n != k.callouts.n {
+		return kviolation("kern-callout-delta", "list holds %d entries, count says %d", n, k.callouts.n)
+	}
+
+	// Run queue.
+	onq := make(map[*Proc]bool, len(k.runq))
+	for _, p := range k.runq {
+		if onq[p] {
+			return kviolation("kern-runq-state", "proc %q queued twice", p.name)
+		}
+		onq[p] = true
+		if p.state != ProcRunnable {
+			return kviolation("kern-runq-state", "proc %q on run queue in state %v", p.name, p.state)
+		}
+		if p == k.current {
+			return kviolation("kern-runq-state", "current proc %q also on run queue", p.name)
+		}
+	}
+
+	// Sleep queues.
+	for wchan, list := range k.sleepq {
+		if len(list) == 0 {
+			return kviolation("kern-sleepq-state", "empty sleep queue left behind for %T", wchan)
+		}
+		for _, p := range list {
+			if p.state != ProcSleeping {
+				return kviolation("kern-sleepq-state", "proc %q on sleep queue in state %v", p.name, p.state)
+			}
+			if p.wchan != wchan {
+				return kviolation("kern-sleepq-state", "proc %q sleeping on wrong queue", p.name)
+			}
+			if onq[p] {
+				return kviolation("kern-sleepq-state", "proc %q on both run and sleep queues", p.name)
+			}
+		}
+	}
+
+	// Process accounting.
+	live := 0
+	for _, p := range k.procs {
+		if p.state != ProcExited {
+			live++
+		}
+	}
+	if live != k.alive {
+		return kviolation("kern-proc-account", "%d live procs, alive says %d", live, k.alive)
+	}
+	if k.holds < 0 {
+		return kviolation("kern-holds", "negative hold count %d", k.holds)
+	}
+	return nil
+}
+
+// SetProbe installs fn to be invoked by Run at every scheduling boundary
+// (after due events fire, before the next process step). The simcheck
+// harness uses it to check invariants between events; nil disables the
+// probe. The probe must not sleep and must not mutate kernel state.
+func (k *Kernel) SetProbe(fn func()) { k.probe = fn }
+
+// Abort makes Run return err at the next scheduling boundary without
+// executing any further process steps. The simcheck harness calls it
+// when an invariant trips: every machine state after a violation is
+// untrustworthy, so the world halts rather than running on garbage.
+func (k *Kernel) Abort(err error) {
+	if k.abortErr == nil {
+		k.abortErr = err
+	}
+}

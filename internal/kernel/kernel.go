@@ -50,7 +50,9 @@ type Kernel struct {
 	nSwitches  int64
 	nIntr      int64
 
-	tracer func(t sim.Time, what string)
+	tracer   func(t sim.Time, what string)
+	probe    func() // invoked at every scheduling boundary (simcheck)
+	abortErr error  // set by Abort; Run returns it at the next boundary
 }
 
 // New builds a kernel from the given configuration.
@@ -289,6 +291,12 @@ func (k *Kernel) Run() error {
 			return ErrWatchdog
 		}
 		k.engine.RunDue()
+		if k.probe != nil {
+			k.probe()
+		}
+		if k.abortErr != nil {
+			return k.abortErr
+		}
 		if k.alive == 0 && k.holds == 0 {
 			return nil
 		}

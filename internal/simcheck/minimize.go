@@ -1,0 +1,68 @@
+package simcheck
+
+import "fmt"
+
+// Minimize shrinks a failing seed's op sequence to a locally minimal
+// failing subset by delta debugging (ddmin): repeatedly try dropping
+// chunks of the sequence, keeping any reduction that still fails, and
+// halve the chunk size when no chunk can be dropped. Because every op
+// is self-contained, any subsequence is a valid workload, and because
+// the simulation is deterministic, "still fails" is decidable by just
+// running it.
+//
+// It returns the final (minimal) failing result and the indices of the
+// surviving ops within the original generated sequence. If the seed
+// does not fail at all, the first return is the passing result and the
+// index list is nil.
+func Minimize(cfg Config) (*Result, []int) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 60
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1 + int(cfg.Seed%3)
+	}
+	full := genOps(cfg)
+	res := execute(cfg, full)
+	if !res.Failed() {
+		return res, nil
+	}
+
+	ops := full
+	chunk := (len(ops) + 1) / 2
+	for chunk >= 1 && len(ops) > 1 {
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := make([]*op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			if r := execute(cfg, candidate); r.Failed() {
+				ops = candidate
+				res = r
+				reduced = true
+				start -= chunk // retry the same window against the shrunk list
+			}
+		}
+		if !reduced {
+			chunk /= 2
+		}
+	}
+
+	idx := make([]int, len(ops))
+	for i, o := range ops {
+		idx[i] = o.idx
+	}
+	return res, idx
+}
+
+// ReproCommand renders the command line that reproduces a failing seed.
+func ReproCommand(cfg Config) string {
+	return fmt.Sprintf("go run ./cmd/kdpcheck -seed %d -ops %d -workers %d -v",
+		cfg.Seed, cfg.Ops, cfg.Workers)
+}

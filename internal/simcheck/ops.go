@@ -1,0 +1,633 @@
+package simcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"kdp/internal/dev"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/splice"
+)
+
+// The op vocabulary. Every op is self-contained — it opens what it
+// needs, acts, and closes — so any subset of a generated sequence is
+// itself a valid workload. That property is what makes seed
+// minimization by op-sequence bisection sound.
+type opKind int
+
+const (
+	opWrite opKind = iota // create/extend/overwrite a byte range
+	opRead                // read a range and verify against the oracle
+	opTrunc               // open with O_TRUNC
+	opUnlink
+	opFsync
+	opSpliceFF   // splice file → file (block engine)
+	opSplicePipe // splice file → pipe, concurrent reader drains
+	opPipeSplice // concurrent writer fills pipe, splice pipe → file
+	opSpliceSock // splice file → socket, concurrent reader drains
+	opSpliceSig  // synchronous splice interrupted by a posted signal
+	opFault      // arm a one-shot disk fault on the tight volume
+)
+
+// Generation sizes. Files stay under 12 direct blocks (96KB) so the
+// content oracle never depends on indirect-block allocation order.
+const (
+	maxOff      = 64 << 10
+	maxIO       = 16 << 10
+	maxStreamIO = 24 << 10
+	pipeCap     = 16 << 10
+)
+
+type op struct {
+	idx    int
+	worker int
+	kind   opKind
+
+	disk, slot   int // primary file
+	disk2, slot2 int // splice destination
+	off          int64
+	size         int
+	pat          byte
+	sigTicks     int          // opSpliceSig: delay before posting the signal
+	faultBlk     int64        // opFault: physical block on disk 1
+	faultRead    bool         // opFault: fail reads (else writes)
+	think        sim.Duration // user-mode compute after the op
+}
+
+func (o *op) describe() string {
+	switch o.kind {
+	case opWrite:
+		return fmt.Sprintf("write d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
+	case opRead:
+		return fmt.Sprintf("read d%d/f%d off=%d n=%d", o.disk, o.slot, o.off, o.size)
+	case opTrunc:
+		return fmt.Sprintf("trunc d%d/f%d", o.disk, o.slot)
+	case opUnlink:
+		return fmt.Sprintf("unlink d%d/f%d", o.disk, o.slot)
+	case opFsync:
+		return fmt.Sprintf("fsync d%d/f%d", o.disk, o.slot)
+	case opSpliceFF:
+		return fmt.Sprintf("splice d%d/f%d -> d%d/f%d", o.disk, o.slot, o.disk2, o.slot2)
+	case opSplicePipe:
+		return fmt.Sprintf("splice d%d/f%d -> pipe", o.disk, o.slot)
+	case opPipeSplice:
+		return fmt.Sprintf("splice pipe -> d%d/f%d n=%d", o.disk, o.slot, o.size)
+	case opSpliceSock:
+		return fmt.Sprintf("splice d%d/f%d -> socket", o.disk, o.slot)
+	case opSpliceSig:
+		return fmt.Sprintf("splice d%d/f%d -> d%d/f%d sig@%d", o.disk, o.slot, o.disk2, o.slot2, o.sigTicks)
+	case opFault:
+		mode := "write"
+		if o.faultRead {
+			mode = "read"
+		}
+		return fmt.Sprintf("fault d1 blk=%d on %s", o.faultBlk, mode)
+	default:
+		return fmt.Sprintf("op?%d", int(o.kind))
+	}
+}
+
+// genOps derives the full op sequence from the seed. Generation is the
+// only place randomness enters the harness; execution is a pure
+// function of this list.
+func genOps(cfg Config) []*op {
+	r := sim.NewRand(cfg.Seed)
+	ops := make([]*op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		o := &op{
+			idx:    i,
+			worker: r.Intn(cfg.Workers),
+			disk:   r.Intn(2),
+			slot:   r.Intn(slotsPerWk),
+			off:    r.Int63n(maxOff),
+			size:   1 + r.Intn(maxIO),
+			pat:    byte(1 + r.Intn(255)),
+			think:  sim.Duration(r.Intn(3)) * 700 * sim.Microsecond,
+		}
+		// Weighted kind selection: plain file traffic dominates, splice
+		// variants and fault/signal events season the mix.
+		switch w := r.Intn(100); {
+		case w < 28:
+			o.kind = opWrite
+		case w < 48:
+			o.kind = opRead
+		case w < 54:
+			o.kind = opTrunc
+		case w < 58:
+			o.kind = opUnlink
+		case w < 63:
+			o.kind = opFsync
+		case w < 75:
+			o.kind = opSpliceFF
+		case w < 81:
+			o.kind = opSplicePipe
+		case w < 87:
+			o.kind = opPipeSplice
+			o.size = 1 + r.Intn(maxStreamIO)
+		case w < 92:
+			o.kind = opSpliceSock
+		case w < 96:
+			o.kind = opSpliceSig
+			o.sigTicks = 1 + r.Intn(15)
+		default:
+			o.kind = opFault
+			o.faultBlk = r.Int63n(d1Blocks)
+			o.faultRead = r.Intn(2) == 0
+		}
+		if o.kind == opSpliceFF || o.kind == opSpliceSig {
+			o.disk2 = r.Intn(2)
+			o.slot2 = r.Intn(slotsPerWk)
+			if o.disk2 == o.disk && o.slot2 == o.slot {
+				o.slot2 = (o.slot2 + 1) % slotsPerWk
+			}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// path names worker w's file in slot s on the given volume. Workers own
+// disjoint file sets, so each file's oracle entry is updated by exactly
+// one op stream, in that stream's order.
+func (m *machine) path(w, disk, slot int) string {
+	return fmt.Sprintf("/d%d/w%df%d", disk, w, slot)
+}
+
+// fillPattern writes the position-dependent test pattern: recognizable,
+// cheap, and different for every (pat, offset).
+func fillPattern(dst []byte, off int64, pat byte) {
+	for i := range dst {
+		dst[i] = pat ^ byte(off+int64(i))
+	}
+}
+
+// worker executes its share of the op sequence.
+func (m *machine) worker(p *kernel.Proc, w int, ops []*op) {
+	defer func() {
+		m.workersLeft--
+		m.k.Wakeup(&m.workersLeft)
+	}()
+	for _, o := range ops {
+		if m.violation != nil {
+			break
+		}
+		m.curOp = fmt.Sprintf("op %d (w%d %s)", o.idx, w, o.describe())
+		m.execOp(p, w, o)
+		m.opsDone++
+		if m.cfg.Damage != "" && !m.damaged && m.opsDone >= m.cfg.DamageAfter {
+			m.damaged = true
+			m.cache.Damage(m.cfg.Damage)
+			m.logf("op %d: damaged buffer cache (%s)", o.idx, m.cfg.Damage)
+			// Check synchronously: the corruption must be caught before
+			// this worker's continuation can trip over it (the probe only
+			// runs at the next scheduling boundary).
+			m.probe()
+		}
+		if o.think > 0 {
+			p.Use(o.think, false)
+		}
+	}
+}
+
+func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
+	switch o.kind {
+	case opWrite:
+		m.doWrite(p, w, o)
+	case opRead:
+		m.doRead(p, w, o)
+	case opTrunc:
+		m.doTrunc(p, w, o)
+	case opUnlink:
+		m.doUnlink(p, w, o)
+	case opFsync:
+		m.doFsync(p, w, o)
+	case opSpliceFF:
+		m.doSpliceFF(p, w, o, false)
+	case opSpliceSig:
+		m.doSpliceFF(p, w, o, true)
+	case opSplicePipe:
+		m.doSplicePipe(p, w, o)
+	case opPipeSplice:
+		m.doPipeSplice(p, w, o)
+	case opSpliceSock:
+		m.doSpliceSock(p, w, o)
+	case opFault:
+		m.disks[1].InjectFault(o.faultBlk, o.faultRead, !o.faultRead, 1)
+		m.d1Faulted = true
+		m.logf("op %d w%d %s", o.idx, w, o.describe())
+	}
+}
+
+func (m *machine) opLog(o *op, w int, format string, args ...any) {
+	m.logf("op %d w%d %s: %s t=%v", o.idx, w, o.describe(), fmt.Sprintf(format, args...), m.k.Now())
+}
+
+func (m *machine) doWrite(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	fd, err := p.Open(path, kernel.OCreat|kernel.ORdWr)
+	if err != nil {
+		m.taintEnsure(path)
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	data := make([]byte, o.size)
+	fillPattern(data, o.off, o.pat)
+	if _, err := p.Lseek(fd, o.off, kernel.SeekSet); err != nil {
+		p.Close(fd)
+		m.taintEnsure(path)
+		m.opLog(o, w, "lseek: %v", err)
+		return
+	}
+	n, werr := p.Write(fd, data)
+	p.Close(fd)
+	of := m.ensure(path)
+	if werr != nil || n != len(data) {
+		// Partial writes (ENOSPC on the tight volume) leave the tail
+		// unpredictable: some blocks landed, some did not.
+		of.tainted = true
+		m.opLog(o, w, "write: n=%d err=%v (tainted)", n, werr)
+		return
+	}
+	end := o.off + int64(n)
+	if int64(len(of.data)) < end {
+		of.data = append(of.data, make([]byte, end-int64(len(of.data)))...)
+	}
+	copy(of.data[o.off:end], data)
+	m.opLog(o, w, "ok n=%d", n)
+}
+
+func (m *machine) doRead(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	of := m.oracle[path]
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		if errors.Is(err, kernel.ErrNoEnt) {
+			if of != nil && !of.tainted && m.checkable(o.disk) {
+				m.fail(fmt.Errorf("oracle-exists: open %s: %v, but oracle has %d bytes", path, err, len(of.data)))
+				return
+			}
+			m.opLog(o, w, "absent")
+			return
+		}
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	if of == nil && m.checkable(o.disk) {
+		p.Close(fd)
+		m.fail(fmt.Errorf("oracle-absent: %s opened but the oracle says it was never created", path))
+		return
+	}
+	data := make([]byte, o.size)
+	if _, err := p.Lseek(fd, o.off, kernel.SeekSet); err != nil {
+		p.Close(fd)
+		m.opLog(o, w, "lseek: %v", err)
+		return
+	}
+	n, rerr := p.Read(fd, data)
+	p.Close(fd)
+	if rerr != nil {
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "read: %v", rerr)
+		return
+	}
+	if of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "n=%d (unchecked)", n)
+		return
+	}
+	want := 0
+	if o.off < int64(len(of.data)) {
+		want = len(of.data) - int(o.off)
+		if want > o.size {
+			want = o.size
+		}
+	}
+	if n != want {
+		m.fail(fmt.Errorf("oracle-size: read %s off=%d returned %d bytes, oracle expects %d", path, o.off, n, want))
+		return
+	}
+	if n == 0 {
+		m.opLog(o, w, "ok n=0 (past eof)")
+		return
+	}
+	if i := firstDiff(data[:n], of.data[o.off:o.off+int64(n)]); i >= 0 {
+		m.fail(fmt.Errorf("oracle-content: %s differs at byte %d: disk %#02x, oracle %#02x",
+			path, o.off+int64(i), data[i], of.data[o.off+int64(i)]))
+		return
+	}
+	m.opLog(o, w, "ok n=%d", n)
+}
+
+func (m *machine) doTrunc(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	fd, err := p.Open(path, kernel.OCreat|kernel.ORdWr|kernel.OTrunc)
+	if err != nil {
+		m.taintEnsure(path)
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	p.Close(fd)
+	of := m.ensure(path)
+	// Truncation resets the contents to a known state, clearing taint.
+	of.data = nil
+	of.tainted = false
+	m.opLog(o, w, "ok")
+}
+
+func (m *machine) doUnlink(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	of := m.oracle[path]
+	err := p.Unlink(path)
+	switch {
+	case err == nil:
+		delete(m.oracle, path)
+		m.opLog(o, w, "ok")
+	case errors.Is(err, kernel.ErrNoEnt):
+		if of != nil && !of.tainted && m.checkable(o.disk) {
+			m.fail(fmt.Errorf("oracle-exists: unlink %s: %v, but oracle has %d bytes", path, err, len(of.data)))
+			return
+		}
+		m.opLog(o, w, "absent")
+	default:
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "unlink: %v", err)
+	}
+}
+
+func (m *machine) doFsync(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	fd, err := p.Open(path, kernel.ORdWr)
+	if err != nil {
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	serr := p.Fsync(fd)
+	p.Close(fd)
+	if serr != nil {
+		m.taintEnsure(path)
+		m.opLog(o, w, "fsync: %v", serr)
+		return
+	}
+	m.opLog(o, w, "ok")
+}
+
+// doSpliceFF runs the block engine: splice(src → dst, EOF). With sig
+// set, a signal is posted to the caller mid-transfer, exercising the
+// interrupt-drain path; the partial destination is tainted.
+func (m *machine) doSpliceFF(p *kernel.Proc, w int, o *op, sig bool) {
+	src := m.path(w, o.disk, o.slot)
+	dst := m.path(w, o.disk2, o.slot2)
+	sfd, err := p.Open(src, kernel.ORdOnly)
+	if err != nil {
+		m.opLog(o, w, "open src: %v", err)
+		return
+	}
+	dfd, err := p.Open(dst, kernel.OCreat|kernel.ORdWr)
+	if err != nil {
+		p.Close(sfd)
+		m.taintEnsure(dst)
+		m.opLog(o, w, "open dst: %v", err)
+		return
+	}
+	var c *kernel.Callout
+	if sig {
+		self := p
+		c = m.k.Timeout(func() { m.k.Post(self, kernel.SIGIO) }, o.sigTicks)
+	}
+	n, serr := splice.Splice(p, sfd, dfd, splice.EOF)
+	if c != nil {
+		m.k.Untimeout(c)
+		p.DeliverSignals()
+	}
+	p.Close(sfd)
+	p.Close(dfd)
+
+	oso := m.oracle[src]
+	odo := m.ensure(dst)
+	srcKnown := oso != nil && !oso.tainted && m.checkable(o.disk)
+	switch {
+	case serr != nil:
+		// Interrupted or failed: the destination prefix is whatever
+		// drained before the stop.
+		odo.tainted = true
+		m.opLog(o, w, "moved=%d err=%v (dst tainted)", n, serr)
+	case !srcKnown:
+		if n > 0 {
+			odo.tainted = true
+		}
+		m.opLog(o, w, "moved=%d (src unchecked, dst tainted)", n)
+	default:
+		if n != int64(len(oso.data)) && m.checkable(o.disk2) {
+			m.fail(fmt.Errorf("oracle-splice: %s -> %s moved %d bytes, oracle expects %d", src, dst, n, len(oso.data)))
+			return
+		}
+		// Splice overwrites the prefix; a longer destination keeps its
+		// tail (SpliceSetSize only ever extends).
+		if int64(len(odo.data)) < n {
+			odo.data = append(odo.data, make([]byte, n-int64(len(odo.data)))...)
+		}
+		copy(odo.data[:n], oso.data)
+		m.opLog(o, w, "ok moved=%d", n)
+	}
+}
+
+// doSplicePipe splices a file into a fresh pipe while a spawned reader
+// drains it, verifying the drained bytes against the oracle.
+func (m *machine) doSplicePipe(p *kernel.Proc, w int, o *op) {
+	src := m.path(w, o.disk, o.slot)
+	sfd, err := p.Open(src, kernel.ORdOnly)
+	if err != nil {
+		m.opLog(o, w, "open src: %v", err)
+		return
+	}
+	size, err := p.FileSize(sfd)
+	if err != nil || size == 0 {
+		p.Close(sfd)
+		m.opLog(o, w, "empty src (size=%d err=%v)", size, err)
+		return
+	}
+	n := size
+	if n > 32<<10 {
+		n = 32 << 10
+	}
+
+	pipe := dev.NewPipe(m.k, "", pipeCap)
+	pfd := p.InstallFile(pipe, kernel.OWrOnly)
+
+	var (
+		got      []byte
+		doneFlag bool
+	)
+	m.k.Spawn(fmt.Sprintf("drain%d", o.idx), func(rp *kernel.Proc) {
+		rfd := rp.InstallFile(pipe, kernel.ORdOnly)
+		buf := make([]byte, 4096)
+		for int64(len(got)) < n {
+			r, err := rp.Read(rfd, buf)
+			if err != nil || r == 0 {
+				break
+			}
+			got = append(got, buf[:r]...)
+		}
+		doneFlag = true
+		m.k.Wakeup(&doneFlag)
+	})
+
+	moved, serr := splice.Splice(p, sfd, pfd, n)
+	if serr != nil && moved < n {
+		// Release the reader: push filler for the bytes that never came.
+		filler := make([]byte, n-moved)
+		p.Write(pfd, filler)
+	}
+	for !doneFlag {
+		if err := p.Sleep(&doneFlag, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	p.Close(sfd)
+	p.Close(pfd)
+
+	of := m.oracle[src]
+	if serr != nil || of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "moved=%d err=%v (unchecked)", moved, serr)
+		return
+	}
+	if moved != n || int64(len(got)) != n {
+		m.fail(fmt.Errorf("oracle-pipe: %s -> pipe moved %d, drained %d, want %d", src, moved, len(got), n))
+		return
+	}
+	if i := firstDiff(got, of.data[:n]); i >= 0 {
+		m.fail(fmt.Errorf("oracle-pipe-content: %s -> pipe differs at byte %d: got %#02x, oracle %#02x", src, i, got[i], of.data[i]))
+		return
+	}
+	m.opLog(o, w, "ok moved=%d", moved)
+}
+
+// doPipeSplice splices from a pipe into a file (the source→file staging
+// engine) while a spawned writer feeds the pipe a known pattern.
+func (m *machine) doPipeSplice(p *kernel.Proc, w int, o *op) {
+	dst := m.path(w, o.disk, o.slot)
+	dfd, err := p.Open(dst, kernel.OCreat|kernel.ORdWr|kernel.OTrunc)
+	if err != nil {
+		m.taintEnsure(dst)
+		m.opLog(o, w, "open dst: %v", err)
+		return
+	}
+	n := int64(o.size)
+	pipe := dev.NewPipe(m.k, "", pipeCap)
+	pfd := p.InstallFile(pipe, kernel.ORdOnly)
+
+	m.k.Spawn(fmt.Sprintf("feed%d", o.idx), func(wp *kernel.Proc) {
+		wfd := wp.InstallFile(pipe, kernel.OWrOnly)
+		data := make([]byte, n)
+		fillPattern(data, 0, o.pat)
+		wp.Write(wfd, data)
+	})
+
+	moved, serr := splice.Splice(p, pfd, dfd, n)
+	p.Close(pfd)
+	p.Close(dfd)
+
+	of := m.ensure(dst)
+	if serr != nil || moved != n {
+		of.tainted = true
+		m.opLog(o, w, "moved=%d err=%v (tainted)", moved, serr)
+		return
+	}
+	of.data = make([]byte, n)
+	fillPattern(of.data, 0, o.pat)
+	of.tainted = false
+	m.opLog(o, w, "ok moved=%d", moved)
+}
+
+// doSpliceSock splices a file into a datagram socket while a spawned
+// reader drains the peer socket.
+func (m *machine) doSpliceSock(p *kernel.Proc, w int, o *op) {
+	src := m.path(w, o.disk, o.slot)
+	sfd, err := p.Open(src, kernel.ORdOnly)
+	if err != nil {
+		m.opLog(o, w, "open src: %v", err)
+		return
+	}
+	size, err := p.FileSize(sfd)
+	if err != nil || size == 0 {
+		p.Close(sfd)
+		m.opLog(o, w, "empty src (size=%d err=%v)", size, err)
+		return
+	}
+	n := size
+	if n > maxStreamIO {
+		n = maxStreamIO
+	}
+
+	// Fresh port pair per op: sockets close with their procs' fd tables.
+	portA, portB := 1000+2*o.idx, 1001+2*o.idx
+	sa, err := m.net.NewSocket(portA)
+	if err != nil {
+		p.Close(sfd)
+		m.opLog(o, w, "socket: %v", err)
+		return
+	}
+	sb, err := m.net.NewSocket(portB)
+	if err != nil {
+		p.Close(sfd)
+		m.opLog(o, w, "socket: %v", err)
+		return
+	}
+	sa.Connect(portB)
+	afd := p.InstallFile(sa, kernel.OWrOnly)
+
+	var (
+		got      []byte
+		doneFlag bool
+	)
+	m.k.Spawn(fmt.Sprintf("recv%d", o.idx), func(rp *kernel.Proc) {
+		bfd := rp.InstallFile(sb, kernel.ORdOnly)
+		// Datagram reads truncate to the buffer (recvfrom semantics), so
+		// the buffer must cover the largest datagram any path sends.
+		buf := make([]byte, 32<<10)
+		for int64(len(got)) < n {
+			r, err := rp.Read(bfd, buf)
+			if err != nil || r == 0 {
+				break
+			}
+			got = append(got, buf[:r]...)
+		}
+		doneFlag = true
+		m.k.Wakeup(&doneFlag)
+	})
+
+	moved, serr := splice.Splice(p, sfd, afd, n)
+	if serr != nil && moved < n {
+		filler := make([]byte, n-moved)
+		p.Write(afd, filler)
+	}
+	for !doneFlag {
+		if err := p.Sleep(&doneFlag, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	p.Close(sfd)
+	p.Close(afd)
+
+	of := m.oracle[src]
+	if serr != nil || of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "moved=%d err=%v (unchecked)", moved, serr)
+		return
+	}
+	if moved != n || int64(len(got)) != n {
+		m.fail(fmt.Errorf("oracle-sock: %s -> socket moved %d, drained %d, want %d", src, moved, len(got), n))
+		return
+	}
+	if i := firstDiff(got, of.data[:n]); i >= 0 {
+		m.fail(fmt.Errorf("oracle-sock-content: %s -> socket differs at byte %d: got %#02x, oracle %#02x", src, i, got[i], of.data[i]))
+		return
+	}
+	m.opLog(o, w, "ok moved=%d", moved)
+}

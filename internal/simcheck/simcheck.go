@@ -1,0 +1,451 @@
+// Package simcheck is the deterministic-simulation check harness: it
+// drives randomized workloads over a full simulated machine while
+// verifying cross-layer invariants at every scheduling boundary, checks
+// end-state file contents against an in-memory oracle, and verifies
+// that a seed replays to a bit-identical event log and CPU accounting.
+//
+// The harness leans on the property that makes the simulator a
+// simulator: given a seed, the entire machine — scheduler, disks,
+// buffer cache, splice engine, network — is a deterministic function of
+// the op sequence. A failing seed is therefore a complete bug report:
+// re-running it reproduces the failure exactly, and bisecting its op
+// sequence (Minimize) shrinks it to a minimal repro.
+//
+// Three layers of checking:
+//
+//  1. Invariant hooks. At every scheduling boundary the kernel probe
+//     (kernel.SetProbe) re-validates the buffer cache
+//     (buf.CheckInvariants), scheduler/callouts (kernel.CheckInvariants),
+//     in-core filesystem state (fs.CheckLive), and live splice
+//     descriptors (splice.CheckInvariants).
+//  2. Oracle. Every generated op updates an in-memory model of expected
+//     file contents; reads verify against it inline and a final sweep
+//     re-reads every file. Disk-fault injection taints the affected
+//     volume, downgrading content checks to error-tolerance checks.
+//  3. Replay. VerifyReplay runs the same seed twice and asserts the
+//     event-log digest and CPU accounting are bit-identical — the
+//     property that makes "rerun the seed" a faithful repro.
+//
+// Not safe for concurrent use: splice invariant tracking is
+// process-global, so run one harness machine at a time.
+package simcheck
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/socket"
+	"kdp/internal/splice"
+)
+
+// Machine geometry. Small on purpose: a 64-buffer cache and a nearly
+// full second disk reach eviction, reclaim and ENOSPC paths that a
+// roomy machine never exercises.
+const (
+	blockSize  = 8192
+	cacheBufs  = 64
+	d0Blocks   = 600 // roomy volume, RZ58
+	d1Blocks   = 220 // tight volume, RZ56 (ENOSPC under load)
+	ninodes    = 64
+	slotsPerWk = 4
+)
+
+// Config selects one harness run.
+type Config struct {
+	Seed uint64
+	// Ops is the total operation count across all workers (default 60).
+	Ops int
+	// Workers is the worker-process count; 0 derives 1–3 from the seed.
+	Workers int
+	// Damage, when non-empty, deliberately corrupts the buffer cache
+	// (buf.Cache.Damage kind) after DamageAfter ops have executed, to
+	// prove the invariant checkers trip. Test use only.
+	Damage      string
+	DamageAfter int
+	// Verbose, when non-nil, receives the event log as it is written.
+	Verbose io.Writer
+}
+
+// Result is the outcome of one harness run.
+type Result struct {
+	Seed    uint64
+	Workers int
+	Ops     int
+	// Digest is an FNV-1a hash of the event log (op results, virtual
+	// times, per-process and machine CPU accounting). Two runs of the
+	// same seed must produce identical digests.
+	Digest uint64
+	Log    []string
+	Stats  kernel.CPUStats
+	// Violation is the first invariant or oracle failure, nil if the
+	// run was clean.
+	Violation error
+}
+
+// Failed reports whether the run detected a violation.
+func (r *Result) Failed() bool { return r.Violation != nil }
+
+// machine is one booted harness machine.
+type machine struct {
+	cfg   Config
+	k     *kernel.Kernel
+	cache *buf.Cache
+	disks [2]*disk.Disk
+	fss   [2]*fs.FS
+	net   *socket.Net
+
+	oracle map[string]*ofile
+	log    []string
+
+	violation   error
+	curOp       string
+	opsDone     int
+	damaged     bool
+	d1Faulted   bool
+	workersLeft int
+}
+
+// ofile is the oracle's model of one file's expected contents. tainted
+// means the contents are no longer predictable (an op on it failed, or
+// it absorbed data from an unpredictable source); existence checks
+// still apply, content checks do not.
+type ofile struct {
+	data    []byte
+	tainted bool
+}
+
+// Run executes one harness run and reports the outcome. It never
+// returns a nil Result.
+func Run(cfg Config) *Result {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 60
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1 + int(cfg.Seed%3)
+	}
+	if cfg.Damage != "" && cfg.DamageAfter <= 0 {
+		cfg.DamageAfter = 1
+	}
+	ops := genOps(cfg)
+	return execute(cfg, ops)
+}
+
+// RunSeed is Run with defaults for everything but the seed.
+func RunSeed(seed uint64) *Result { return Run(Config{Seed: seed}) }
+
+// VerifyReplay runs seed twice and verifies determinism: identical
+// event-log digests and identical CPU accounting.
+func VerifyReplay(seed uint64) error {
+	a := RunSeed(seed)
+	b := RunSeed(seed)
+	if a.Violation != nil {
+		return fmt.Errorf("simcheck: replay of failing seed %d: %w", seed, a.Violation)
+	}
+	if b.Violation != nil {
+		return fmt.Errorf("simcheck: second run of seed %d failed: %w", seed, b.Violation)
+	}
+	if a.Digest != b.Digest {
+		return fmt.Errorf("simcheck: seed %d is not deterministic: digests %016x != %016x%s",
+			seed, a.Digest, b.Digest, firstLogDiff(a.Log, b.Log))
+	}
+	if a.Stats != b.Stats {
+		return fmt.Errorf("simcheck: seed %d CPU accounting diverged: %+v != %+v", seed, a.Stats, b.Stats)
+	}
+	return nil
+}
+
+// firstLogDiff renders the first differing event-log line, for
+// diagnosing a replay divergence.
+func firstLogDiff(a, b []string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("\n  first divergence at line %d:\n    run1: %s\n    run2: %s", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("\n  logs are a prefix of each other (%d vs %d lines)", len(a), len(b))
+}
+
+// execute runs an explicit op list (Run generates it; Minimize replays
+// subsets of it).
+func execute(cfg Config, ops []*op) *Result {
+	kcfg := kernel.DefaultConfig()
+	kcfg.Name = fmt.Sprintf("simcheck-%d", cfg.Seed)
+	kcfg.Seed = cfg.Seed
+	kcfg.MaxRunTime = 600 * sim.Second // watchdog: fuzz runs finish in simulated seconds
+
+	m := &machine{
+		cfg:    cfg,
+		k:      kernel.New(kcfg),
+		oracle: make(map[string]*ofile),
+	}
+	m.cache = buf.NewCache(m.k, cacheBufs, blockSize)
+	params := [2]disk.Params{
+		disk.RZ58(d0Blocks, blockSize),
+		disk.RZ56(d1Blocks, blockSize),
+	}
+	for i := range m.disks {
+		d := disk.New(m.k, params[i])
+		d.SetCache(m.cache)
+		if _, err := fs.Mkfs(d, ninodes); err != nil {
+			panic("simcheck: mkfs: " + err.Error())
+		}
+		m.disks[i] = d
+	}
+	m.net = socket.NewNet(m.k, socket.Loopback())
+
+	splice.EnableInvariants(true)
+	defer splice.EnableInvariants(false)
+	m.k.SetProbe(m.probe)
+
+	perWorker := make([][]*op, cfg.Workers)
+	for _, o := range ops {
+		perWorker[o.worker] = append(perWorker[o.worker], o)
+	}
+
+	m.k.Spawn("boot", func(p *kernel.Proc) {
+		for i, d := range m.disks {
+			f, err := fs.Mount(p.Ctx(), m.cache, d)
+			if err != nil {
+				panic("simcheck: mount: " + err.Error())
+			}
+			m.fss[i] = f
+			m.k.Mount(fmt.Sprintf("/d%d", i), f)
+		}
+		m.workersLeft = cfg.Workers
+		workers := make([]*kernel.Proc, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			workers[w] = m.k.Spawn(fmt.Sprintf("fuzz%d", w), func(wp *kernel.Proc) {
+				m.worker(wp, w, perWorker[w])
+			})
+		}
+		for m.workersLeft > 0 {
+			if err := p.Sleep(&m.workersLeft, kernel.PSLEP); err != nil {
+				p.DeliverSignals()
+			}
+		}
+		m.finalVerify(p)
+	})
+
+	if err := m.k.Run(); err != nil && m.violation == nil {
+		m.fail(fmt.Errorf("simulation aborted: %w", err))
+	}
+
+	m.logf("end: d0 errors=%d d1 errors=%d cache hits=%d",
+		m.disks[0].Errors(), m.disks[1].Errors(), m.cache.Stats().Hits)
+	st := m.k.Stats()
+	m.logf("stats: now=%v idle=%v intr=%v switching=%v switches=%d interrupts=%d ticks=%d",
+		st.Now, st.Idle, st.Interrupt, st.Switching, st.Switches, st.Interrupts, st.Ticks)
+
+	return &Result{
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Ops:       len(ops),
+		Digest:    digest(m.log),
+		Log:       m.log,
+		Stats:     st,
+		Violation: m.violation,
+	}
+}
+
+// probe runs at every scheduling boundary (installed via
+// kernel.SetProbe): all four layers' invariants are re-validated
+// between any two events.
+func (m *machine) probe() {
+	if m.violation != nil {
+		return
+	}
+	if err := m.checkInvariants(); err != nil {
+		m.fail(err)
+	}
+}
+
+// checkInvariants validates every layer's invariants once.
+func (m *machine) checkInvariants() error {
+	if err := m.cache.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := m.k.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, f := range m.fss {
+		if f == nil {
+			continue
+		}
+		if err := f.CheckLive(); err != nil {
+			return err
+		}
+	}
+	return splice.CheckInvariants()
+}
+
+// fail records the first violation, stamped with the seed, the op in
+// progress and the virtual time — everything needed to reproduce.
+func (m *machine) fail(err error) {
+	if m.violation != nil {
+		return
+	}
+	m.violation = fmt.Errorf("simcheck: seed %d: %w (during %s, t=%v)", m.cfg.Seed, err, m.curOp, m.k.Now())
+	m.logf("VIOLATION %v", m.violation)
+	// Halt the world: every state reachable from a violated invariant is
+	// untrustworthy, and running on (e.g.) a corrupted buffer cache can
+	// crash the simulation before the violation is reported.
+	m.k.Abort(m.violation)
+}
+
+func (m *machine) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	m.log = append(m.log, line)
+	if m.cfg.Verbose != nil {
+		fmt.Fprintln(m.cfg.Verbose, line)
+	}
+}
+
+// checkable reports whether content on the given disk is still
+// predictable. Fault injection targets disk 1 only; once a fault is
+// armed, delayed writes can be silently lost there, so content checks
+// on /d1 are suspended (error-tolerance checks remain).
+func (m *machine) checkable(disk int) bool { return disk == 0 || !m.d1Faulted }
+
+// ensure returns the oracle entry for path, creating it if absent.
+func (m *machine) ensure(path string) *ofile {
+	of := m.oracle[path]
+	if of == nil {
+		of = &ofile{}
+		m.oracle[path] = of
+	}
+	return of
+}
+
+// taintEnsure marks path's contents unpredictable (creating the entry:
+// after a failed create-op the file may or may not exist).
+func (m *machine) taintEnsure(path string) { m.ensure(path).tainted = true }
+
+// finalVerify runs after all workers have exited: every untainted file
+// is re-read and compared against the oracle, both volumes are synced
+// and fsck'd, and the splice registry must have drained.
+func (m *machine) finalVerify(p *kernel.Proc) {
+	if m.violation != nil {
+		return
+	}
+	m.curOp = "final-verify"
+
+	paths := make([]string, 0, len(m.oracle))
+	for path := range m.oracle {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		of := m.oracle[path]
+		d := diskOf(path)
+		if of.tainted || !m.checkable(d) {
+			continue
+		}
+		fd, err := p.Open(path, kernel.ORdOnly)
+		if err != nil {
+			m.fail(fmt.Errorf("oracle-exists: final open %s: %v (oracle has %d bytes)", path, err, len(of.data)))
+			return
+		}
+		got := make([]byte, len(of.data)+1)
+		n, err := p.Read(fd, got)
+		p.Close(fd)
+		if err != nil {
+			m.fail(fmt.Errorf("final read %s: %v", path, err))
+			return
+		}
+		if n != len(of.data) {
+			m.fail(fmt.Errorf("oracle-size: %s has %d bytes, oracle expects %d", path, n, len(of.data)))
+			return
+		}
+		if i := firstDiff(got[:n], of.data); i >= 0 {
+			m.fail(fmt.Errorf("oracle-content: %s differs at byte %d: disk %#02x, oracle %#02x", path, i, got[i], of.data[i]))
+			return
+		}
+		m.logf("verify %s ok (%d bytes)", path, n)
+	}
+
+	if m.d1Faulted {
+		m.disks[1].ClearFaults()
+	}
+	for i, f := range m.fss {
+		if err := f.SyncAll(p.Ctx()); err != nil {
+			if i == 1 && m.d1Faulted {
+				m.logf("syncall /d%d: %v (faulted volume, tolerated)", i, err)
+				continue
+			}
+			m.fail(fmt.Errorf("syncall /d%d: %v", i, err))
+			return
+		}
+	}
+	for i := range m.fss {
+		if i == 1 && m.d1Faulted {
+			m.logf("fsck /d1 skipped: volume absorbed injected faults")
+			continue
+		}
+		rep, err := fs.Fsck(p.Ctx(), m.cache, m.disks[i])
+		if err != nil {
+			m.fail(fmt.Errorf("fsck /d%d: %v", i, err))
+			return
+		}
+		if !rep.Clean() {
+			m.fail(fmt.Errorf("fsck /d%d found %d problem(s), first: %s", i, len(rep.Problems), rep.Problems[0]))
+			return
+		}
+		m.logf("fsck /d%d clean: %d inodes, %d used blocks", i, rep.Inodes, rep.UsedBlocks)
+	}
+
+	if err := splice.CheckDrained(); err != nil {
+		m.fail(err)
+		return
+	}
+	if err := m.checkInvariants(); err != nil {
+		m.fail(err)
+	}
+}
+
+// diskOf extracts the volume index from a harness path ("/d0/..." or
+// "/d1/...").
+func diskOf(path string) int {
+	if len(path) >= 3 && path[1] == 'd' {
+		return int(path[2] - '0')
+	}
+	return 0
+}
+
+// firstDiff returns the index of the first differing byte, -1 if equal.
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// digest hashes the event log with FNV-1a 64.
+func digest(log []string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, line := range log {
+		for i := 0; i < len(line); i++ {
+			h ^= uint64(line[i])
+			h *= prime
+		}
+		h ^= '\n'
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,163 @@
+package simcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSeedSweep is the in-tree fuzz budget: a deterministic table of
+// seeds run on every `go test`. Each seed drives the default mixed
+// workload with invariant checking at every scheduling boundary and a
+// full oracle/fsck sweep at the end. A failure here is a real bug; the
+// error text contains the exact seed to reproduce with
+// `go run ./cmd/kdpcheck -seed N -v`.
+func TestSeedSweep(t *testing.T) {
+	n := uint64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		res := RunSeed(seed)
+		if res.Failed() {
+			t.Errorf("seed %d: %v\nrepro: %s", seed, res.Violation,
+				ReproCommand(Config{Seed: seed, Ops: 60, Workers: res.Workers}))
+		}
+	}
+}
+
+// TestSeedSweepLargerWorkloads runs a few seeds with more ops and a
+// fixed worker count, reaching deeper interleavings than the default.
+func TestSeedSweepLargerWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := uint64(100); seed < 106; seed++ {
+		res := Run(Config{Seed: seed, Ops: 150, Workers: 3})
+		if res.Failed() {
+			t.Errorf("seed %d (ops=150 workers=3): %v", seed, res.Violation)
+		}
+	}
+}
+
+// TestVerifyReplay asserts the determinism contract: the same seed run
+// twice yields bit-identical event logs and CPU accounting.
+func TestVerifyReplay(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		if err := VerifyReplay(seed); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestReplayAcrossGOMAXPROCS asserts that Go-runtime parallelism cannot
+// leak into the simulation: digests match between GOMAXPROCS=1 and
+// GOMAXPROCS=8. The simulation runs on one goroutine, so any divergence
+// here means nondeterminism entered through a side channel (map
+// iteration, shared globals, real time).
+func TestReplayAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	digests := [2]uint64{}
+	for i, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		res := RunSeed(7)
+		if res.Failed() {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, res.Violation)
+		}
+		digests[i] = res.Digest
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("seed 7 digest differs across GOMAXPROCS: %016x (1) != %016x (8)", digests[0], digests[1])
+	}
+}
+
+// TestDamageTripsInvariants is the checker's own test harness: each
+// supported corruption of buffer-cache state must be caught by the
+// invariant sweep, and the diagnostic must name the violated invariant
+// and carry the seed.
+func TestDamageTripsInvariants(t *testing.T) {
+	cases := []struct {
+		damage string
+		// invariants that may legitimately fire first for this damage
+		invariants []string
+	}{
+		{"busy-on-freelist", []string{"buf-free-busy", "buf-pool-account"}},
+		{"delwri-undone", []string{"buf-flag-delwri"}},
+		{"hash-key", []string{"buf-hash-key", "buf-pool-account"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.damage, func(t *testing.T) {
+			res := Run(Config{Seed: 3, Damage: tc.damage, DamageAfter: 5})
+			if !res.Failed() {
+				t.Fatalf("damage %q went undetected", tc.damage)
+			}
+			msg := res.Violation.Error()
+			found := false
+			for _, inv := range tc.invariants {
+				if strings.Contains(msg, "invariant "+inv) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("damage %q: diagnostic does not name one of %v: %s", tc.damage, tc.invariants, msg)
+			}
+			if !strings.Contains(msg, "seed 3") {
+				t.Errorf("damage %q: diagnostic does not carry the seed: %s", tc.damage, msg)
+			}
+		})
+	}
+}
+
+// TestMinimizeShrinksFailingSequence checks ddmin against a synthetic
+// failure: cache damage injected after a fixed op count fails every
+// superset, so the minimizer must shrink the 60-op sequence to the
+// minimal prefix that reaches the damage trigger.
+func TestMinimizeShrinksFailingSequence(t *testing.T) {
+	cfg := Config{Seed: 11, Damage: "busy-on-freelist", DamageAfter: 5}
+	res, idx := Minimize(cfg)
+	if !res.Failed() {
+		t.Fatal("minimized run did not fail")
+	}
+	if idx == nil {
+		t.Fatal("Minimize returned no surviving indices for a failing config")
+	}
+	if len(idx) > 6 {
+		t.Errorf("minimal sequence has %d ops, want <= 6 (damage fires after op 5)", len(idx))
+	}
+	if got := res.Ops; got != len(idx) {
+		t.Errorf("result reports %d ops but %d indices survived", got, len(idx))
+	}
+}
+
+// TestMinimizePassingSeedReturnsNil documents the passing-seed contract.
+func TestMinimizePassingSeedReturnsNil(t *testing.T) {
+	res, idx := Minimize(Config{Seed: 1})
+	if res.Failed() {
+		t.Fatalf("seed 1 unexpectedly fails: %v", res.Violation)
+	}
+	if idx != nil {
+		t.Errorf("passing seed returned surviving indices %v", idx)
+	}
+}
+
+// TestReproCommand pins the repro command format printed on failures.
+func TestReproCommand(t *testing.T) {
+	got := ReproCommand(Config{Seed: 42, Ops: 60, Workers: 2})
+	want := "go run ./cmd/kdpcheck -seed 42 -ops 60 -workers 2 -v"
+	if got != want {
+		t.Errorf("ReproCommand = %q, want %q", got, want)
+	}
+}
+
+// TestFaultedVolumeStillChecked makes sure fault injection does not
+// blind the harness entirely: disk 0 content checks must stay active
+// after a fault is armed on disk 1.
+func TestFaultedVolumeStillChecked(t *testing.T) {
+	m := &machine{d1Faulted: true}
+	if !m.checkable(0) {
+		t.Error("disk 0 lost content checking after a d1 fault")
+	}
+	if m.checkable(1) {
+		t.Error("disk 1 still content-checked despite injected faults")
+	}
+}

@@ -30,6 +30,10 @@ type NetParams struct {
 	// RcvBufBytes bounds each socket's receive queue; datagrams
 	// arriving beyond it are dropped, as UDP does.
 	RcvBufBytes int
+	// DropEvery, when positive, drops every DropEvery-th data packet in
+	// flight — deterministic loss for testing relays under lossy UDP.
+	// EOF markers are never dropped, so spliced relays still terminate.
+	DropEvery int
 }
 
 // Ethernet10 returns parameters for the era's 10Mb/s shared Ethernet.
@@ -74,6 +78,7 @@ type Net struct {
 	txq    []txRequest
 	txBusy bool
 
+	rxCount                  int64
 	sent, delivered, dropped int64
 }
 
@@ -135,6 +140,13 @@ func (n *Net) txNext() {
 }
 
 func (n *Net) deliver(port int, pkt packet) {
+	if n.p.DropEvery > 0 && !pkt.eof && len(pkt.data) > 0 {
+		n.rxCount++
+		if n.rxCount%int64(n.p.DropEvery) == 0 {
+			n.dropped++
+			return
+		}
+	}
 	s, ok := n.socks[port]
 	if !ok || s.closed {
 		n.dropped++

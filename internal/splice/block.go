@@ -75,6 +75,7 @@ func SpliceOpts(p *kernel.Proc, srcFD, dstFD int, size int64, opts Options) (int
 		return 0, nil, kernel.ErrOpNotSupp
 	}
 
+	registerDesc(d)
 	h := &Handle{d: d}
 	if d.done {
 		// Degenerate transfer (zero bytes): already complete.
@@ -233,11 +234,12 @@ func (d *desc) setupFileFile(p *kernel.Proc, sfd, dfd *kernel.FDesc, size int64)
 	d.srcTable = full[srcStart:]
 
 	dstStart := dstOff / d.bsize
-	full, err = d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
+	full, fresh, err := d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
 	if err != nil {
 		return err
 	}
 	d.dstTable = full[dstStart:]
+	d.dstFresh = fresh[dstStart:]
 	d.dstFile.SpliceSetSize(ctx, dstOff+size)
 
 	// "At this point, all information necessary to proceed with an
@@ -285,10 +287,10 @@ func (d *desc) startReads(ctx kernel.Ctx) {
 		if pblk == 0 {
 			// Hole in the source: synthesize a zero-filled block. The
 			// header is not part of the cache pool, so releasing goes
-			// through the header path in the write side.
+			// through the header path in the write side. The data area is
+			// a full block: the write side transfers whole blocks.
 			hdr := d.cache.AllocHeader(d.srcFile.Dev(), 0)
-			hdr.Data = make([]byte, d.blockBytes(lblk))
-			hdr.Bcount = d.blockBytes(lblk)
+			hdr.Data = make([]byte, d.bsize)
 			hdr.Flags |= buf.BDone
 			hdr.SpliceDesc = d
 			hdr.SpliceLblk = lblk
@@ -404,11 +406,21 @@ func (d *desc) writeSideFile(b *buf.Buf) {
 	lblk := b.SpliceLblk
 	n := d.blockBytes(lblk)
 	hdr := d.cache.AllocHeader(d.dstFile.Dev(), int64(d.dstTable[lblk]))
-	hdr.Bcount = n
+	// Only n bytes are payload; the device transfer length depends on
+	// the destination block's history. A freshly allocated final block
+	// is written whole — the source's read buffer carries zeros past
+	// EOF, and writing them out keeps the destination's on-disk tail
+	// zeroed (otherwise whatever the freed block previously held would
+	// surface when a later write extends the file across old EOF). A
+	// pre-existing block gets a partial write, preserving its tail.
+	hdr.SpliceN = n
+	if n < int(d.bsize) && !d.dstFresh[lblk] {
+		hdr.Bcount = n
+	}
 	if d.opts.NoShare {
 		// Ablation: allocate real memory and copy between cache
 		// buffers, charging the kernel bcopy.
-		hdr.Data = make([]byte, n)
+		hdr.Data = make([]byte, d.bsize)
 		copy(hdr.Data, b.Data[:n])
 		d.k.StealCPU(d.k.Config().BcopyCost(n))
 		d.stats.Copied++
@@ -427,6 +439,7 @@ func (d *desc) writeSideFile(b *buf.Buf) {
 	hdr.Flags |= buf.BCall
 	hdr.Iodone = d.writeDone
 	d.stats.WritesIssued++
+	trackHdr(d, hdr)
 	d.dstFile.Dev().Strategy(hdr)
 }
 
@@ -434,10 +447,11 @@ func (d *desc) writeSideFile(b *buf.Buf) {
 // source buffer and the write header, then applies flow control (§5.5).
 func (d *desc) writeDone(k *kernel.Kernel, hdr *buf.Buf) {
 	d.handlerCharge()
-	n := hdr.Bcount
+	n := hdr.SpliceN
 	failed := hdr.Flags&buf.BError != 0
 	werr := hdr.Err
 
+	untrackHdr(d, hdr)
 	peer := hdr.SplicePeer
 	if peer != nil {
 		d.dropReadBuf(peer)

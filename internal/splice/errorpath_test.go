@@ -1,0 +1,234 @@
+package splice
+
+import (
+	"bytes"
+	"testing"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/socket"
+)
+
+// Error-path coverage: splicing through closed descriptors, onto a full
+// filesystem, past EOF mid-transfer-quantum, and across a lossy network.
+
+func TestSpliceClosedFD(t *testing.T) {
+	m := newMachine(t, disk.RAMDisk)
+	m.run(t, func(p *kernel.Proc) {
+		makeFile(t, p, "/d0/src", 2*bsize, 50)
+		src, _ := p.Open("/d0/src", kernel.ORdOnly)
+		dst, _ := p.Open("/d1/dst", kernel.OCreat|kernel.OWrOnly)
+
+		if err := p.Close(src); err != nil {
+			t.Fatalf("close src: %v", err)
+		}
+		if _, err := Splice(p, src, dst, EOF); err != kernel.ErrBadFD {
+			t.Fatalf("splice from closed src: %v, want ErrBadFD", err)
+		}
+
+		src, _ = p.Open("/d0/src", kernel.ORdOnly)
+		if err := p.Close(dst); err != nil {
+			t.Fatalf("close dst: %v", err)
+		}
+		if _, err := Splice(p, src, dst, EOF); err != kernel.ErrBadFD {
+			t.Fatalf("splice to closed dst: %v, want ErrBadFD", err)
+		}
+	})
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceFullFilesystem(t *testing.T) {
+	// /d1 lives on a volume far too small for the source file; the
+	// destination mapping is built up front (§5.2), so the splice fails
+	// with ENOSPC before any data moves, and the machine stays usable.
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 3600 * sim.Second
+	k := kernel.New(cfg)
+	cache := buf.NewCache(k, 400, bsize)
+	big := disk.New(k, disk.RAMDisk(2048, bsize))
+	big.SetCache(cache)
+	tiny := disk.New(k, disk.RAMDisk(48, bsize))
+	tiny.SetCache(cache)
+	for _, d := range []*disk.Disk{big, tiny} {
+		if _, err := fs.Mkfs(d, 16); err != nil {
+			t.Fatalf("mkfs: %v", err)
+		}
+	}
+
+	var tinyFS *fs.FS
+	k.Spawn("test", func(p *kernel.Proc) {
+		for i, d := range []*disk.Disk{big, tiny} {
+			f, err := fs.Mount(p.Ctx(), cache, d)
+			if err != nil {
+				t.Fatalf("mount %d: %v", i, err)
+			}
+			k.Mount([]string{"/d0", "/d1"}[i], f)
+			if d == tiny {
+				tinyFS = f
+			}
+		}
+		makeFile(t, p, "/d0/src", 64*bsize, 51)
+		src, _ := p.Open("/d0/src", kernel.ORdOnly)
+		dst, _ := p.Open("/d1/dst", kernel.OCreat|kernel.OWrOnly)
+		if _, err := Splice(p, src, dst, EOF); err != kernel.ErrNoSpace {
+			t.Fatalf("splice onto full fs: %v, want ErrNoSpace", err)
+		}
+		// The blocks the aborted mapping grabbed are still attached to
+		// the destination inode — consistently so.
+		if err := tinyFS.SyncAll(p.Ctx()); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if rep, err := fs.Fsck(p.Ctx(), cache, tiny); err != nil {
+			t.Fatalf("fsck: %v", err)
+		} else if !rep.Clean() {
+			t.Fatalf("tiny volume inconsistent after failed splice: %v", rep.Problems)
+		}
+		// Unlinking the casualty releases them and the volume is usable
+		// again.
+		if err := p.Close(dst); err != nil {
+			t.Fatalf("close dst: %v", err)
+		}
+		if err := p.Unlink("/d1/dst"); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+		fd, err := p.Open("/d1/small", kernel.OCreat|kernel.OWrOnly)
+		if err != nil {
+			t.Fatalf("open after ENOSPC: %v", err)
+		}
+		if _, err := p.Write(fd, make([]byte, 100)); err != nil {
+			t.Fatalf("write after ENOSPC: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceEOFMidTransferQuantum(t *testing.T) {
+	// The source ends partway through a transfer quantum (its last block
+	// is partial) and the caller asks for far more than the file holds:
+	// the splice returns the short count and the partial quantum lands
+	// intact.
+	m := newMachine(t, disk.RZ58)
+	const size = 2*bsize + 1234
+	m.run(t, func(p *kernel.Proc) {
+		want := makeFile(t, p, "/d0/short", size, 52)
+		_ = m.cache.InvalidateDev(p.Ctx(), m.disks[0])
+		src, _ := p.Open("/d0/short", kernel.ORdOnly)
+		dst, _ := p.Open("/d1/out", kernel.OCreat|kernel.OWrOnly)
+		n, err := Splice(p, src, dst, 10*bsize)
+		if err != nil {
+			t.Fatalf("splice: %v", err)
+		}
+		if n != size {
+			t.Fatalf("moved %d, want short count %d", n, size)
+		}
+		if got := readAll(t, p, "/d1/out"); !bytes.Equal(got, want) {
+			t.Fatal("partial final quantum corrupted")
+		}
+		// The splice left src at the (unaligned) EOF; splicing again from
+		// there is rejected, and from an aligned offset past EOF it
+		// degenerates to a zero-byte transfer.
+		if _, err := Splice(p, src, dst, bsize); err != kernel.ErrInval {
+			t.Fatalf("splice at unaligned EOF: %v, want ErrInval", err)
+		}
+		if _, err := p.Lseek(src, 3*bsize, 0); err != nil {
+			t.Fatalf("lseek src: %v", err)
+		}
+		if _, err := p.Lseek(dst, 3*bsize, 0); err != nil {
+			t.Fatalf("lseek dst: %v", err)
+		}
+		n, err = Splice(p, src, dst, bsize)
+		if err != nil || n != 0 {
+			t.Fatalf("splice past EOF: n=%d err=%v, want 0, nil", n, err)
+		}
+	})
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceSocketDroppedPackets(t *testing.T) {
+	// A relay splice over a lossy link: every 4th data packet in flight
+	// is dropped, UDP-style. The relay must neither wedge nor relay
+	// garbage — it moves what arrives and terminates on the EOF marker
+	// (which is never dropped).
+	m := newMachine(t, disk.RAMDisk)
+	params := socket.Loopback()
+	params.DropEvery = 4
+	net := socket.NewNet(m.k, params)
+	in, _ := net.NewSocket(5000)
+	out, _ := net.NewSocket(5001)
+	sink, _ := net.NewSocket(5002)
+	out.Connect(5002)
+	producer, _ := net.NewSocket(4000)
+	producer.Connect(5000)
+
+	const ndgrams = 20
+	const dsize = 1000
+	var relayed int64
+	var consumed int
+
+	m.k.Spawn("consumer", func(p *kernel.Proc) {
+		fd := p.InstallFile(sink, kernel.ORdOnly)
+		buf := make([]byte, 4096)
+		for {
+			n, err := p.Read(fd, buf)
+			if err != nil {
+				t.Errorf("consume: %v", err)
+				return
+			}
+			if n == 0 {
+				return // relay closed its outbound socket
+			}
+			consumed += n
+		}
+	})
+	m.k.Spawn("relay", func(p *kernel.Proc) {
+		inFD := p.InstallFile(in, kernel.ORdOnly)
+		outFD := p.InstallFile(out, kernel.OWrOnly)
+		n, err := Splice(p, inFD, outFD, ndgrams*dsize)
+		if err != nil {
+			t.Errorf("relay splice: %v", err)
+		}
+		relayed = n
+		_ = p.Close(outFD)
+	})
+	m.k.Spawn("producer", func(p *kernel.Proc) {
+		fd := p.InstallFile(producer, kernel.OWrOnly)
+		for i := 0; i < ndgrams; i++ {
+			if _, err := p.Write(fd, make([]byte, dsize)); err != nil {
+				t.Errorf("produce: %v", err)
+			}
+		}
+		_ = p.Close(fd) // EOF marker terminates the relay
+	})
+	if err := m.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, dropped := net.Stats()
+	if dropped == 0 {
+		t.Fatal("lossy link dropped nothing; DropEvery not applied")
+	}
+	if relayed >= ndgrams*dsize {
+		t.Fatalf("relayed %d bytes despite %d drops", relayed, dropped)
+	}
+	if relayed == 0 {
+		t.Fatal("relay moved nothing")
+	}
+	if int64(consumed) > relayed {
+		t.Fatalf("consumer got %d bytes, more than the %d relayed", consumed, relayed)
+	}
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}

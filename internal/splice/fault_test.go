@@ -58,7 +58,7 @@ func TestSpliceWriteFaultAbortsCleanly(t *testing.T) {
 
 		dst, _ := p.Open("/d1/dst", kernel.OCreat|kernel.OWrOnly)
 		fdD, _ := p.FD(dst)
-		dtable, err := fdD.Ops().(FileLike).SpliceMapWrite(p.Ctx(), blocks)
+		dtable, _, err := fdD.Ops().(FileLike).SpliceMapWrite(p.Ctx(), blocks)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,148 @@
+package splice
+
+import (
+	"fmt"
+
+	"kdp/internal/buf"
+)
+
+// This file implements the splice invariant checker used by the
+// simcheck harness. Because splice descriptors live entirely inside the
+// kernel (no process holds them), checking requires a registry of live
+// descriptors; it is maintained only while EnableInvariants(true) is in
+// effect, so production runs pay nothing.
+//
+// Invariant catalog (splice):
+//
+//	splice-pending-neg     pending read/write counts never go negative
+//	splice-pending-bound   block-engine pending counts respect the
+//	                       watermark + refill-batch flow-control bounds
+//	splice-done-live       a completed descriptor is not still registered
+//	splice-moved-bound     bytes moved never exceed the transfer size
+//	splice-hdr-alias       every in-flight write header is memory-less
+//	                       (B_NOMEM), paired with its read-side buffer,
+//	                       and (unless NoShare) aliases that buffer's
+//	                       data area
+//	splice-desc-leak       (checked by CheckDrained) no descriptor is
+//	                       still live once a machine has run to idle
+
+var (
+	invariantsOn bool
+	liveDescs    map[*desc]struct{}
+)
+
+// EnableInvariants switches descriptor tracking on or off. While on,
+// every splice registers its descriptor for CheckInvariants to inspect
+// and tracks its in-flight write headers. Not safe to toggle while a
+// machine is running.
+func EnableInvariants(on bool) {
+	invariantsOn = on
+	if on {
+		liveDescs = make(map[*desc]struct{})
+	} else {
+		liveDescs = nil
+	}
+}
+
+func registerDesc(d *desc) {
+	if invariantsOn && !d.done {
+		liveDescs[d] = struct{}{}
+		d.liveHdrs = make(map[*buf.Buf]struct{})
+	}
+}
+
+func unregisterDesc(d *desc) {
+	if invariantsOn {
+		delete(liveDescs, d)
+	}
+}
+
+func trackHdr(d *desc, hdr *buf.Buf) {
+	if d.liveHdrs != nil {
+		d.liveHdrs[hdr] = struct{}{}
+	}
+}
+
+func untrackHdr(d *desc, hdr *buf.Buf) {
+	if d.liveHdrs != nil {
+		delete(d.liveHdrs, hdr)
+	}
+}
+
+func sviolation(name, format string, args ...any) error {
+	return fmt.Errorf("invariant %s violated: %s", name, fmt.Sprintf(format, args...))
+}
+
+// CheckInvariants verifies every live splice descriptor, returning the
+// first violation found (nil when consistent, or when tracking is
+// disabled). It never sleeps.
+func CheckInvariants() error {
+	for d := range liveDescs {
+		if err := d.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckDrained verifies that no splice descriptor remains live — every
+// transfer that started has completed. Call once a machine has run to
+// idle; a failure means a splice leaked its kernel hold.
+func CheckDrained() error {
+	if n := len(liveDescs); n > 0 {
+		return sviolation("splice-desc-leak", "%d splice descriptor(s) still live after drain", n)
+	}
+	return nil
+}
+
+func (d *desc) check() error {
+	if d.done {
+		return sviolation("splice-done-live", "completed descriptor still registered (moved=%d)", d.moved)
+	}
+	if d.pendingReads < 0 || d.pendingWrites < 0 {
+		return sviolation("splice-pending-neg", "pendingReads=%d pendingWrites=%d", d.pendingReads, d.pendingWrites)
+	}
+	if d.total >= 0 && d.moved > d.total {
+		return sviolation("splice-moved-bound", "moved %d of %d bytes", d.moved, d.total)
+	}
+	switch d.mode {
+	case modeFileFile, modeFileSink:
+		// §5.5 flow control: priming issues RefillBatch reads; a refill
+		// fires only when pendingReads < ReadWatermark and adds at most
+		// RefillBatch more, so reads are bounded by RW-1+RB. Every
+		// completed read becomes a pending write, and refills require
+		// pendingWrites < WriteWatermark, bounding writes by
+		// WW-1 + (RW-1+RB).
+		maxReads := d.opts.ReadWatermark - 1 + d.opts.RefillBatch
+		if d.pendingReads > maxReads {
+			return sviolation("splice-pending-bound", "%d pending reads exceed watermark bound %d", d.pendingReads, maxReads)
+		}
+		maxWrites := d.opts.WriteWatermark - 1 + maxReads
+		if d.pendingWrites > maxWrites {
+			return sviolation("splice-pending-bound", "%d pending writes exceed watermark bound %d", d.pendingWrites, maxWrites)
+		}
+	case modeSourceSink, modeSourceFile:
+		// Stream engines keep at most one source read outstanding.
+		if d.pendingReads > 1 {
+			return sviolation("splice-pending-bound", "stream engine with %d pending reads", d.pendingReads)
+		}
+	}
+	for hdr := range d.liveHdrs {
+		if hdr.Flags&buf.BNoMem == 0 {
+			return sviolation("splice-hdr-alias", "write header without B_NOMEM: %s", hdr)
+		}
+		peer := hdr.SplicePeer
+		if peer == nil {
+			return sviolation("splice-hdr-alias", "write header with no read-side peer: %s", hdr)
+		}
+		if !d.opts.NoShare {
+			if len(hdr.Data) == 0 || len(peer.Data) == 0 || &hdr.Data[0] != &peer.Data[0] {
+				return sviolation("splice-hdr-alias", "write header does not alias its peer's data area: %s", hdr)
+			}
+		}
+		if hdr.SpliceDesc != any(d) {
+			return sviolation("splice-hdr-alias", "write header bound to foreign descriptor: %s", hdr)
+		}
+	}
+	return nil
+}

@@ -35,11 +35,12 @@ func (d *desc) setupSourceFile(p *kernel.Proc, dfd *kernel.FDesc, size int64) er
 	d.nblocks = (size + d.bsize - 1) / d.bsize
 
 	dstStart := dstOff / d.bsize
-	full, err := d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
+	full, fresh, err := d.dstFile.SpliceMapWrite(ctx, dstStart+d.nblocks)
 	if err != nil {
 		return err
 	}
 	d.dstTable = full[dstStart:]
+	d.dstFresh = fresh[dstStart:]
 	d.dstFile.SpliceSetSize(ctx, dstOff+size)
 
 	d.rateStart = d.k.Now()
@@ -128,11 +129,29 @@ func (d *desc) sfConsume(data []byte) {
 	d.pumpSourceToFile()
 }
 
-// sfFlushBlock writes the current staging buffer asynchronously.
+// sfFlushBlock writes the current staging buffer asynchronously. A
+// partial final block into a freshly allocated destination block is
+// zero-padded and written whole, so the on-disk bytes past the staged
+// payload read back as zeros if a later write extends the file across
+// them (the invariant the ordinary write path maintains via zero-filled
+// cache buffers). Into a pre-existing block it is a partial write that
+// preserves the block's tail on disk — and the staging buffer, whose
+// in-memory tail is stale recycled content, must then not survive as a
+// cached copy (sfWriteDone invalidates it).
 func (d *desc) sfFlushBlock() {
 	hdr := d.sfHdr
 	d.sfHdr = nil
-	hdr.Bcount = d.sfFill
+	if d.sfFill < len(hdr.Data) {
+		blk := (d.sfReceived - 1) / d.bsize
+		if d.dstFresh[blk] {
+			for i := d.sfFill; i < len(hdr.Data); i++ {
+				hdr.Data[i] = 0
+			}
+		} else {
+			hdr.Bcount = d.sfFill
+		}
+	}
+	hdr.SpliceN = d.sfFill
 	d.sfFill = 0
 	hdr.SpliceDesc = d
 	hdr.Flags &^= buf.BRead | buf.BDone
@@ -152,7 +171,13 @@ func (d *desc) sfWriteDone(k *kernel.Kernel, hdr *buf.Buf) {
 	d.handlerCharge()
 	failed := hdr.Flags&buf.BError != 0
 	werr := hdr.Err
-	n := hdr.Bcount
+	n := hdr.SpliceN
+	if hdr.Bcount < d.cache.BlockSize() {
+		// Partial write into a pre-existing block: the buffer's
+		// in-memory tail is stale recycled content that does not match
+		// the preserved on-disk tail. Drop it from the cache.
+		hdr.Flags |= buf.BInval
+	}
 	d.cache.Brelse(k.IntrCtx(), hdr)
 	d.pendingWrites--
 	if failed {

@@ -30,6 +30,8 @@
 package splice
 
 import (
+	"sort"
+
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
@@ -93,7 +95,11 @@ type FileLike interface {
 	BufCache() *buf.Cache
 	Size(ctx kernel.Ctx) (int64, error)
 	SpliceMapRead(ctx kernel.Ctx, nblocks int64) ([]uint32, error)
-	SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, error)
+	// SpliceMapWrite maps (allocating as needed) the first nblocks
+	// logical blocks for writing. The second slice flags blocks that
+	// were freshly allocated by this call: their on-disk content is
+	// undefined, so a partial write into one must zero the remainder.
+	SpliceMapWrite(ctx kernel.Ctx, nblocks int64) ([]uint32, []bool, error)
 	SpliceSetSize(ctx kernel.Ctx, n int64)
 }
 
@@ -174,6 +180,20 @@ type desc struct {
 	rateStart     sim.Time
 	rateScheduled int64 // bytes admitted to the pipeline so far
 
+	// File→sink ordering state. Source reads complete in I/O order —
+	// a cache hit or a hole returns instantly while an earlier block
+	// is still on the disk queue — but a pipe or socket is a byte
+	// stream, so completed blocks park here until every earlier block
+	// has been handed to the sink.
+	sinkParked map[int64]*buf.Buf
+	sinkNext   int64 // next logical block (table index) to deliver
+
+	// dstFresh flags destination blocks freshly allocated by this
+	// splice's SpliceMapWrite: a partial write into a fresh block must
+	// put zeros in the unwritten remainder (nothing else ever will),
+	// while a partial write into a pre-existing block must preserve it.
+	dstFresh []bool
+
 	// Source→file staging state.
 	sfHdr      *buf.Buf // destination block buffer being filled
 	sfFill     int      // bytes staged into sfHdr
@@ -192,6 +212,10 @@ type desc struct {
 	caller *kernel.Proc
 
 	onDone func() // optional completion hook (facade/examples)
+
+	// liveHdrs tracks in-flight write headers for the invariant checker;
+	// nil (and untouched) unless EnableInvariants is in effect.
+	liveHdrs map[*buf.Buf]struct{}
 
 	stats Stats
 }
@@ -217,6 +241,7 @@ func (d *desc) complete() {
 		return
 	}
 	d.done = true
+	unregisterDesc(d)
 	d.k.Release()
 	if d.async && d.caller != nil {
 		d.k.Post(d.caller, kernel.SIGIO)
@@ -233,7 +258,28 @@ func (d *desc) fail(err error) {
 		d.err = err
 	}
 	d.stopped = true
+	d.flushParked()
 	if d.pendingReads == 0 && d.pendingWrites == 0 {
 		d.complete()
+	}
+}
+
+// flushParked discards blocks parked for in-order sink delivery. Once
+// the transfer has failed nothing will deliver them, and each one still
+// holds a cache buffer and a pending-write count.
+func (d *desc) flushParked() {
+	if len(d.sinkParked) == 0 {
+		return
+	}
+	lblks := make([]int64, 0, len(d.sinkParked))
+	for lblk := range d.sinkParked {
+		lblks = append(lblks, lblk)
+	}
+	sort.Slice(lblks, func(i, j int) bool { return lblks[i] < lblks[j] })
+	for _, lblk := range lblks {
+		b := d.sinkParked[lblk]
+		delete(d.sinkParked, lblk)
+		d.dropReadBuf(b)
+		d.pendingWrites--
 	}
 }

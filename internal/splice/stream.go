@@ -58,10 +58,34 @@ func (d *desc) setupFileSink(p *kernel.Proc, sfd *kernel.FDesc, size int64) erro
 	return nil
 }
 
-// writeSideSink delivers one source block's contribution to the sink,
-// still sharing the read-side buffer's data area (the sink sees a slice
-// of it; the buffer is released when the sink signals completion).
+// writeSideSink sequences completed source blocks into logical order
+// before handing each one to the sink. Reads finish in I/O-completion
+// order (cache hits and holes return immediately; disk reads do not),
+// and delivering them as they land would interleave the byte stream.
+// A block whose predecessors are still in flight parks in sinkParked;
+// it still counts as a pending write, which keeps the flow-control
+// watermarks honest about parked blocks.
 func (d *desc) writeSideSink(b *buf.Buf) {
+	if d.sinkParked == nil {
+		d.sinkParked = make(map[int64]*buf.Buf)
+	}
+	d.sinkParked[b.SpliceLblk] = b
+	for {
+		nb, ok := d.sinkParked[d.sinkNext]
+		if !ok {
+			return
+		}
+		delete(d.sinkParked, d.sinkNext)
+		d.sinkNext++
+		d.deliverSink(nb)
+	}
+}
+
+// deliverSink hands one in-order source block's contribution to the
+// sink, still sharing the read-side buffer's data area (the sink sees a
+// slice of it; the buffer is released when the sink signals
+// completion).
+func (d *desc) deliverSink(b *buf.Buf) {
 	lblk := b.SpliceLblk
 	absStart := (d.srcStartBlk + lblk) * d.bsize
 	lo := d.startOff - absStart
