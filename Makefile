@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench tables ci
+.PHONY: all build test vet race check bench tables trace-ci ci
 
 all: build
 
@@ -30,4 +30,15 @@ bench:
 tables:
 	$(GO) run ./cmd/kdpbench
 
-ci: vet build race check
+# Trace gate: run one kdpbench table with structured tracing exported,
+# validate the JSON against the exporter's schema, and require the
+# event stream to be byte-identical across two runs (the second under
+# GOMAXPROCS=1) — the determinism contract from docs/TRACING.md.
+TRACE_DIR := $(or $(TMPDIR),/tmp)
+trace-ci:
+	$(GO) run ./cmd/kdpbench -table 2 -disks RAM -trace $(TRACE_DIR)/kdp-trace-a.json > /dev/null
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -table 2 -disks RAM -trace $(TRACE_DIR)/kdp-trace-b.json > /dev/null
+	$(GO) run ./cmd/kdpbench -validate $(TRACE_DIR)/kdp-trace-a.json
+	cmp $(TRACE_DIR)/kdp-trace-a.json $(TRACE_DIR)/kdp-trace-b.json
+
+ci: vet build race check trace-ci

@@ -11,6 +11,9 @@
 //	                          # filesize, socket, rate, layout
 //	kdpbench -series          # per-window availability timeline
 //	kdpbench -disks RAM,RZ58  # restrict device types
+//	kdpbench -trace out.json  # also export every machine's event
+//	                          # stream as Chrome trace-event JSON
+//	kdpbench -validate f.json # schema-check an exported trace and exit
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"strings"
 
 	"kdp/internal/bench"
+	"kdp/internal/trace"
 )
 
 func main() {
@@ -43,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	series := fl.Bool("series", false, "print the per-window availability time series instead of tables")
 	csvOut := fl.Bool("csv", false, "emit tables as CSV (for plotting)")
 	disks := fl.String("disks", "RAM,RZ58,RZ56", "comma-separated device types")
+	traceOut := fl.String("trace", "", "export every machine's event stream as Chrome trace-event JSON to this file")
+	validate := fl.String("validate", "", "validate a previously exported trace file and exit")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -50,9 +56,40 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
 	}
 
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := trace.ValidateChrome(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validate, err)
+		}
+		fmt.Fprintf(out, "%s: valid Chrome trace, %d events\n", *validate, n)
+		return nil
+	}
+
 	kinds, err := parseDisks(*disks)
 	if err != nil {
 		return err
+	}
+
+	var traced []tracedRun
+	if *traceOut != "" {
+		// One collector per machine the experiments build; events fill in
+		// as each machine runs, and everything is exported at the end.
+		bench.TraceSinkFactory = func(label string) trace.Sink {
+			col := &trace.Collector{}
+			traced = append(traced, tracedRun{label: label, col: col})
+			return col
+		}
+		defer func() { bench.TraceSinkFactory = nil }()
+		defer func() {
+			if err := exportTraced(*traceOut, traced); err != nil {
+				fmt.Fprintln(os.Stderr, "kdpbench: trace export:", err)
+			}
+		}()
 	}
 
 	if *series {
@@ -96,6 +133,30 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// tracedRun pairs one machine's label with its event collector.
+type tracedRun struct {
+	label string
+	col   *trace.Collector
+}
+
+// exportTraced writes every traced machine run to path as one Chrome
+// trace-event JSON document (one "process" per run).
+func exportTraced(path string, traced []tracedRun) error {
+	runs := make([]trace.Run, 0, len(traced))
+	for _, tr := range traced {
+		runs = append(runs, trace.Run{Label: tr.label, Events: tr.col.Events})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.ExportChrome(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseDisks(s string) ([]bench.DiskKind, error) {

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"kdp/internal/trace"
 )
 
 // TestTableGolden checks the headline tables against golden output.
@@ -65,6 +68,62 @@ func TestTableDeterminism(t *testing.T) {
 	if !strings.Contains(first, "CPU Availability Factors") ||
 		!strings.Contains(first, "Mean Throughput Measurements") {
 		t.Errorf("output missing expected table headers:\n%s", first)
+	}
+}
+
+// TestTraceExport runs one table with -trace under different
+// GOMAXPROCS and requires the exported event streams to be
+// byte-identical and schema-valid, then exercises -validate on both a
+// good and a bad document.
+func TestTraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size table runs in -short mode")
+	}
+	dir := t.TempDir()
+	gen := func(name string, procs int) string {
+		path := filepath.Join(dir, name)
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		var out bytes.Buffer
+		if err := run([]string{"-table", "2", "-disks", "RAM", "-trace", path}, &out); err != nil {
+			t.Fatalf("run -trace: %v", err)
+		}
+		return path
+	}
+	a := gen("a.json", 1)
+	b := gen("b.json", 8)
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatalf("read export: %v", err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatalf("read export: %v", err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Errorf("trace export differs between GOMAXPROCS 1 and 8")
+	}
+	n, err := trace.ValidateChrome(bytes.NewReader(da))
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("exported trace has no events")
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-validate", a}, &out); err != nil {
+		t.Errorf("-validate on good file: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid Chrome trace") {
+		t.Errorf("unexpected -validate output: %s", out.String())
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"E","name":"x","pid":1,"tid":1,"ts":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", bad}, &out); err == nil {
+		t.Errorf("-validate accepted malformed trace")
 	}
 }
 

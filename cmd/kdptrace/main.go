@@ -1,12 +1,16 @@
-// Command kdptrace runs a small splice scenario with kernel scheduler
-// tracing enabled and dumps the event log, showing the in-kernel data
-// path at work: reads completing at interrupt level, write sides
+// Command kdptrace runs a small splice scenario with structured kernel
+// tracing enabled and renders the event stream, showing the in-kernel
+// data path at work: reads completing at interrupt level, write sides
 // dispatched from the callout list, flow-control refills, and the
 // calling process sleeping the whole time.
 //
+// The text output is one renderer over the typed event stream from
+// internal/trace; -stats prints the aggregated counter snapshot, and
+// -json exports the full run in Chrome trace-event format for Perfetto.
+//
 // Usage:
 //
-//	kdptrace [-disk RZ58] [-kb 64] [-n 40]
+//	kdptrace [-disk RZ58] [-kb 64] [-n 40] [-stats] [-json out.json]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
 	"kdp/internal/splice"
+	"kdp/internal/trace"
 	"kdp/internal/workload"
 )
 
@@ -39,7 +44,9 @@ func run(args []string, out io.Writer) error {
 	fl.SetOutput(out)
 	diskName := fl.String("disk", "RZ58", "disk type: RAM, RZ58 or RZ56")
 	kb := fl.Int64("kb", 64, "file size in kilobytes")
-	limit := fl.Int("n", 40, "maximum trace lines to print (0 = all)")
+	limit := fl.Int("n", 40, "maximum trace lines to print (negative = all, 0 = none)")
+	stats := fl.Bool("stats", false, "print the counter snapshot instead of trace lines")
+	jsonOut := fl.String("json", "", "export the full run as Chrome trace-event JSON to this file")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -58,14 +65,13 @@ func run(args []string, out io.Writer) error {
 	s.FileBytes = *kb << 10
 	m := bench.NewMachine(s)
 
-	var lines []string
-	m.K.SetTracer(func(t sim.Time, what string) {
-		lines = append(lines, fmt.Sprintf("%12v  %s", t, what))
-	})
+	col := &trace.Collector{}
+	tr := m.K.StartTrace(col)
 
-	var stats splice.Stats
+	var st splice.Stats
 	var usr, sys sim.Duration
 	var nsys, nvol, ninv int64
+	spliceFrom := 0
 	m.K.Spawn("scp", func(p *kernel.Proc) {
 		defer func() {
 			usr, sys = p.UserTime(), p.SysTime()
@@ -81,34 +87,69 @@ func run(args []string, out io.Writer) error {
 		if err := workload.ColdStart(p, m.Cache, m.Devices()...); err != nil {
 			panic(err)
 		}
-		lines = lines[:0] // trace only the splice itself
+		spliceFrom = len(col.Events) // trace lines cover only the splice itself
 		src, _ := p.Open("/src/file", kernel.ORdOnly)
 		dst, _ := p.Open("/dst/copy", kernel.OCreat|kernel.OWrOnly)
 		_, h, err := splice.SpliceOpts(p, src, dst, splice.EOF, splice.Options{})
 		if err != nil {
 			panic(err)
 		}
-		stats = h.Stats()
+		st = h.Stats()
 	})
 	m.Run()
 
 	fmt.Fprintf(out, "splice of %dKB on %s: reads=%d writes=%d shared=%d callouts=%d peak=%d/%d\n",
-		*kb, kind, stats.ReadsIssued, stats.WritesIssued, stats.Shared,
-		stats.Callouts, stats.PeakReads, stats.PeakWrites)
+		*kb, kind, st.ReadsIssued, st.WritesIssued, st.Shared,
+		st.Callouts, st.PeakReads, st.PeakWrites)
 	kst := m.K.Stats()
 	fmt.Fprintf(out, "process rusage: user=%v sys=%v syscalls=%d ctxsw=%d/%d (vol/invol)\n",
 		usr, sys, nsys, nvol, ninv)
 	fmt.Fprintf(out, "machine: interrupts=%d intr-cpu=%v switches=%d idle=%v\n\n",
 		kst.Interrupts, kst.Interrupt, kst.Switches, kst.Idle)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("kdptrace %dKB %s", *kb, kind)
+		if err := trace.ExportChrome(f, []trace.Run{{Label: label, Events: col.Events}}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d events to %s (load in Perfetto / chrome://tracing)\n\n",
+			len(col.Events), *jsonOut)
+	}
+
+	if *stats {
+		tr.Metrics().Format(out)
+		return nil
+	}
+
+	// Text renderer: the splice window of the event stream, skipping the
+	// high-volume CPU accounting kinds (see -stats for those, totalled).
+	var lines []string
+	for _, ev := range col.Events[spliceFrom:] {
+		switch ev.Kind {
+		case trace.KindCPUUser, trace.KindCPUSys, trace.KindCPUIntr,
+			trace.KindCPUIdle, trace.KindCPUSwitch:
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%12v  %s", ev.T, ev))
+	}
 	n := len(lines)
-	if *limit > 0 && n > *limit {
+	if *limit >= 0 && n > *limit {
 		n = *limit
 	}
 	for _, l := range lines[:n] {
 		fmt.Fprintln(out, l)
 	}
 	if n < len(lines) {
-		fmt.Fprintf(out, "... (%d more trace lines; use -n 0 for all)\n", len(lines)-n)
+		fmt.Fprintf(out, "... (%d more trace lines; rerun with: kdptrace -disk %s -kb %d -n -1)\n",
+			len(lines)-n, kind, *kb)
 	}
 	return nil
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"kdp/internal/trace"
 )
 
 func TestTraceSmoke(t *testing.T) {
@@ -18,22 +22,83 @@ func TestTraceSmoke(t *testing.T) {
 	if !strings.Contains(got, "process rusage:") || !strings.Contains(got, "machine: interrupts=") {
 		t.Errorf("missing accounting lines:\n%s", got)
 	}
-	// -n 2 with a real disk's interrupt traffic should truncate the trace.
+	// -n 2 with a real disk's traffic should truncate the trace, and the
+	// notice must quote the exact rerun command.
 	if !strings.Contains(got, "more trace lines") {
 		t.Errorf("expected truncation notice with -n 2:\n%s", got)
+	}
+	if !strings.Contains(got, "kdptrace -disk RZ58 -kb 32 -n -1") {
+		t.Errorf("truncation notice missing rerun command:\n%s", got)
+	}
+}
+
+func TestLimitZeroAndAll(t *testing.T) {
+	var none, all bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "16", "-n", "0"}, &none); err != nil {
+		t.Fatalf("run -n 0: %v", err)
+	}
+	if err := run([]string{"-disk", "RAM", "-kb", "16", "-n", "-1"}, &all); err != nil {
+		t.Fatalf("run -n -1: %v", err)
+	}
+	if !strings.Contains(none.String(), "more trace lines") {
+		t.Errorf("-n 0 should print no lines and a truncation notice:\n%s", none.String())
+	}
+	if strings.Contains(all.String(), "more trace lines") {
+		t.Errorf("-n -1 should print every line with no truncation notice:\n%s", all.String())
+	}
+	if len(all.String()) <= len(none.String()) {
+		t.Errorf("-n -1 output should be strictly longer than -n 0 output")
+	}
+	for _, want := range []string{"splice.start", "splice.read", "splice.write", "splice.done"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("full trace missing %q event:\n%s", want, all.String())
+		}
 	}
 }
 
 func TestTraceDeterministic(t *testing.T) {
 	gen := func() string {
 		var out bytes.Buffer
-		if err := run([]string{"-disk", "RZ58", "-kb", "16", "-n", "0"}, &out); err != nil {
+		if err := run([]string{"-disk", "RZ58", "-kb", "16", "-n", "-1"}, &out); err != nil {
 			t.Fatalf("run: %v", err)
 		}
 		return out.String()
 	}
 	if a, b := gen(), gen(); a != b {
 		t.Errorf("trace differs across fresh machines:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "32", "-stats"}, &out); err != nil {
+		t.Fatalf("run -stats: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"cpu:", "syscalls:", "cache:", "disk "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in -stats output:\n%s", want, got)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "16", "-n", "0", "-json", path}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open export: %v", err)
+	}
+	defer f.Close()
+	n, err := trace.ValidateChrome(f)
+	if err != nil {
+		t.Fatalf("exported JSON invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("exported JSON has no events")
 	}
 }
 

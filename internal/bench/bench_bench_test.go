@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"kdp/internal/trace"
+	"kdp/internal/workload"
+)
+
+// The benchmarks measure host-CPU cost of simulating one cold-cache
+// 1MB copy. Their point is the tracing overhead contract: with no sink
+// installed every emission is a single nil pointer test, so the traced
+// and untraced variants must stay within a few percent of each other.
+
+func benchSetup() Setup {
+	s := DefaultSetup(RAM)
+	s.FileBytes = 1 << 20
+	return s
+}
+
+func BenchmarkCopySplice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MeasureThroughput(benchSetup(), workload.CopySplice)
+	}
+}
+
+func BenchmarkCopyReadWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MeasureThroughput(benchSetup(), workload.CopyReadWrite)
+	}
+}
+
+func BenchmarkCopySpliceTraced(b *testing.B) {
+	TraceSinkFactory = func(string) trace.Sink { return &trace.Collector{} }
+	defer func() { TraceSinkFactory = nil }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MeasureThroughput(benchSetup(), workload.CopySplice)
+	}
+}

@@ -12,7 +12,15 @@ import (
 	"kdp/internal/fs"
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
+
+// TraceSinkFactory, when non-nil, is consulted once per NewMachine: a
+// non-nil returned sink is installed on the new kernel before anything
+// runs, so every machine an experiment builds is traced. The label is
+// Setup.Label (the experiment's name for the machine). kdpbench -trace
+// uses this to collect one event stream per table cell.
+var TraceSinkFactory func(label string) trace.Sink
 
 // DiskKind selects one of the paper's three device types.
 type DiskKind int
@@ -84,6 +92,9 @@ type Setup struct {
 	// Interleave overrides the FFS allocation stride; 0 selects the
 	// device default (2 for mechanical disks, 1 for the RAM disk).
 	Interleave int
+	// Label names this machine's run in exported traces (see
+	// TraceSinkFactory). The Measure* helpers fill it in when empty.
+	Label string
 }
 
 // DefaultSetup returns the paper's configuration for a disk type.
@@ -133,9 +144,17 @@ func NewMachine(s Setup) *Machine {
 	cfg.Seed = s.Seed
 	cfg.MaxRunTime = 0
 	k := kernel.New(cfg)
+	if TraceSinkFactory != nil {
+		if sink := TraceSinkFactory(s.Label); sink != nil {
+			k.StartTrace(sink)
+		}
+	}
 	m := &Machine{K: k, Cache: buf.NewCache(k, s.CacheBufs, BlockSize), setup: s}
 	for i := range m.Disks {
-		d := disk.New(k, s.Disk.Params(s.DiskBlocks, BlockSize))
+		dp := s.Disk.Params(s.DiskBlocks, BlockSize)
+		// Distinguish the two drives in traces and per-disk metrics.
+		dp.Name = fmt.Sprintf("%s-%d", dp.Name, i)
+		d := disk.New(k, dp)
 		d.SetCache(m.Cache)
 		if _, err := fs.Mkfs(d, 64); err != nil {
 			panic("bench: mkfs: " + err.Error())

@@ -18,6 +18,9 @@ const (
 // MeasureIdle runs the CPU-bound test program alone and returns its
 // elapsed time — the Table 1 baseline.
 func MeasureIdle(s Setup) sim.Duration {
+	if s.Label == "" {
+		s.Label = fmt.Sprintf("idle/%s", s.Disk)
+	}
 	m := NewMachine(s)
 	var res workload.TestProgramResult
 	m.K.Spawn("test", func(p *kernel.Proc) {
@@ -42,6 +45,9 @@ type AvailabilityResult struct {
 // copy of the configured file (mode selects cp or scp) and reports the
 // test program's elapsed time for its fixed set of operations.
 func MeasureAvailability(s Setup, mode workload.CopyMode) AvailabilityResult {
+	if s.Label == "" {
+		s.Label = fmt.Sprintf("avail/%s/%s", mode, s.Disk)
+	}
 	m := NewMachine(s)
 	stop := false
 	ready := false
@@ -89,6 +95,9 @@ func MeasureAvailability(s Setup, mode workload.CopyMode) AvailabilityResult {
 // MeasureThroughput performs a single cold-cache copy on an otherwise
 // idle machine and reports the achieved throughput — one Table 2 cell.
 func MeasureThroughput(s Setup, mode workload.CopyMode) workload.CopyResult {
+	if s.Label == "" {
+		s.Label = fmt.Sprintf("thrput/%s/%s", mode, s.Disk)
+	}
 	m := NewMachine(s)
 	var res workload.CopyResult
 	m.K.Spawn("copier", func(p *kernel.Proc) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kdp/internal/kernel"
+	"kdp/internal/trace"
 )
 
 type devblk struct {
@@ -216,10 +217,12 @@ func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep bool) (
 			c.freeRemove(b)
 			b.Flags |= BBusy
 			c.hits++
+			c.k.TraceEmit(trace.KindBufHit, 0, blkno, 0, dev.DevName())
 			return b, nil
 		}
 		// Miss: recycle from the head of the free list.
 		c.misses++
+		c.k.TraceEmit(trace.KindBufMiss, 0, blkno, 0, dev.DevName())
 		b, err := c.reclaim(ctx, canSleep)
 		if err != nil {
 			return nil, err
@@ -494,6 +497,7 @@ func (c *Cache) FlushBlocks(ctx kernel.Ctx, dev Device, blknos []int64) (int, er
 
 func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 	c.flushes++
+	c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
 	for _, b := range dirty {
 		c.freeRemove(b)
 		b.Flags |= BBusy
@@ -559,6 +563,7 @@ func (c *Cache) flushDirtyAsync() {
 	}
 	if len(dirty) > 0 {
 		c.flushes++
+		c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
 	}
 }
 

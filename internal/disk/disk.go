@@ -17,6 +17,7 @@ import (
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
 
 // Params describes a disk model. All rates are bytes per second.
@@ -229,6 +230,7 @@ func (d *Disk) Strategy(b *buf.Buf) {
 	if n := len(d.queue); n > d.maxQueueObserved {
 		d.maxQueueObserved = n
 	}
+	d.k.TraceEmit(trace.KindDiskQueue, 0, b.Blkno, int64(len(d.queue)), d.p.Name)
 	if !d.active {
 		d.active = true
 		d.k.Hold() // keep the machine alive while the queue drains
@@ -241,6 +243,7 @@ func (d *Disk) Strategy(b *buf.Buf) {
 // immediately — no completion interrupt ever fires.
 func (d *Disk) completeSync(b *buf.Buf) {
 	svc := d.p.Overhead + sim.BytesAt(int64(b.Bcount), d.p.CPUCopyRate)
+	d.k.TraceEmit(trace.KindDiskStart, 0, b.Blkno, int64(svc), d.p.Name)
 	d.k.StealCPU(svc)
 	d.busyTime += svc
 	off := b.Blkno * int64(d.p.BlockSize)
@@ -256,6 +259,7 @@ func (d *Disk) completeSync(b *buf.Buf) {
 		d.nwrites++
 		d.writeBytes += int64(b.Bcount)
 	}
+	d.traceCompletion(b)
 	d.lastComplete = d.k.Now()
 	if d.cache == nil {
 		panic("disk: no buffer cache attached")
@@ -274,6 +278,7 @@ func (d *Disk) startNext() {
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
 	svc := d.serviceTime(b)
 	d.busyTime += svc
+	d.k.TraceEmit(trace.KindDiskStart, 0, b.Blkno, int64(svc), d.p.Name)
 	d.k.Engine().Schedule(svc, "disk:"+d.p.Name, func() {
 		d.complete(b)
 	})
@@ -318,6 +323,7 @@ func (d *Disk) complete(b *buf.Buf) {
 		d.writeBytes += int64(b.Bcount)
 	}
 	d.headBlk = b.Blkno + 1
+	d.traceCompletion(b)
 	d.lastComplete = d.k.Now()
 	d.k.Interrupt(func() {
 		if d.cache == nil {
@@ -330,6 +336,19 @@ func (d *Disk) complete(b *buf.Buf) {
 	} else {
 		d.active = false
 		d.k.Release()
+	}
+}
+
+// traceCompletion emits the completion event matching the transfer's
+// outcome (read, write, or error).
+func (d *Disk) traceCompletion(b *buf.Buf) {
+	switch {
+	case b.Flags&buf.BError != 0:
+		d.k.TraceEmit(trace.KindDiskError, 0, b.Blkno, 0, d.p.Name)
+	case b.Flags&buf.BRead != 0:
+		d.k.TraceEmit(trace.KindDiskRead, 0, b.Blkno, int64(b.Bcount), d.p.Name)
+	default:
+		d.k.TraceEmit(trace.KindDiskWrite, 0, b.Blkno, int64(b.Bcount), d.p.Name)
 	}
 }
 

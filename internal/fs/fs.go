@@ -1,10 +1,12 @@
 package fs
 
 import (
+	"sort"
 	"strings"
 
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
+	"kdp/internal/trace"
 )
 
 // FS is a mounted filesystem instance. It implements kernel.FileSystem.
@@ -556,8 +558,15 @@ func (f *FS) Remove(ctx kernel.Ctx, path string) error {
 
 // SyncAll flushes the superblock and every dirty buffer of the device.
 func (f *FS) SyncAll(ctx kernel.Ctx) error {
-	for _, ip := range f.inodes {
-		if ip.dirty {
+	// Deterministic inode order: map iteration order must not leak
+	// into I/O issue order (it would show up in trace digests).
+	inos := make([]uint32, 0, len(f.inodes))
+	for ino := range f.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		if ip := f.inodes[ino]; ip.dirty {
 			if err := f.iupdate(ctx, ip); err != nil {
 				return err
 			}
@@ -569,7 +578,10 @@ func (f *FS) SyncAll(ctx kernel.Ctx) error {
 		f.cache.Bdwrite(ctx, b)
 		f.sbDirty = false
 	}
-	_, err := f.cache.FlushDev(ctx, f.dev)
+	n, err := f.cache.FlushDev(ctx, f.dev)
+	if err == nil {
+		f.k.TraceEmit(trace.KindFSSync, 0, int64(n), 0, f.dev.DevName())
+	}
 	return err
 }
 

@@ -1,5 +1,7 @@
 package kernel
 
+import "kdp/internal/trace"
+
 // The callout list is the classic 4.3BSD mechanism for deferred kernel
 // work: timeout(fn, ticks) queues fn to run from softclock after the
 // given number of clock ticks. Entries are kept in a delta list, as in
@@ -119,6 +121,7 @@ func (k *Kernel) softclock() {
 	}
 	for _, c := range due {
 		k.StealCPU(k.cfg.CalloutDispatchCost)
+		k.TraceEmit(trace.KindCalloutFire, 0, int64(cl.n), 0, "")
 		c.fn()
 	}
 }

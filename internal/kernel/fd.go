@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
 
 // Errno-style errors shared across the I/O stack.
@@ -162,15 +163,27 @@ func (p *Proc) InstallFile(ops FileOps, flags int) int {
 	return p.installFD(ops, flags)
 }
 
-// syscallEnter charges the fixed trap cost and counts the call.
-func (p *Proc) syscallEnter() {
+// SyscallEnter charges the fixed trap cost, counts the call, and emits
+// the syscall-enter trace event. It returns name so the idiomatic
+// call pattern pairs enter and exit in one line:
+//
+//	defer p.SyscallExit(p.SyscallEnter("open"))
+//
+// Syscalls implemented outside this package (splice) use the same
+// pair, which keeps enter/exit events matched per process — a property
+// the trace checker enforces.
+func (p *Proc) SyscallEnter(name string) string {
 	p.nsys++
+	p.k.TraceEmit(trace.KindSyscallEnter, p.pid, 0, 0, name)
 	p.UseK(p.k.cfg.SyscallCost)
+	return name
 }
 
-// ChargeSyscall charges the fixed system-call trap cost; used by
-// syscalls implemented outside this package (splice).
-func (p *Proc) ChargeSyscall() { p.syscallEnter() }
+// SyscallExit emits the syscall-exit trace event matching a prior
+// SyscallEnter of the same name.
+func (p *Proc) SyscallExit(name string) {
+	p.k.TraceEmit(trace.KindSyscallExit, p.pid, 0, 0, name)
+}
 
 // closeAllFDs closes every open descriptor; called from the process's
 // own goroutine at exit, since closing may sleep.
@@ -185,7 +198,7 @@ func (p *Proc) closeAllFDs() {
 // Open opens path with the given flags and returns a descriptor,
 // resolving device special files and mounted filesystems.
 func (p *Proc) Open(path string, flags int) (int, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("open"))
 	dev, fsys, rel, err := p.k.lookup(path)
 	if err != nil {
 		return -1, err
@@ -210,7 +223,7 @@ func (p *Proc) Open(path string, flags int) (int, error) {
 
 // Close closes a descriptor.
 func (p *Proc) Close(fd int) error {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("close"))
 	return p.k.closeFD(p, fd)
 }
 
@@ -226,7 +239,7 @@ func (k *Kernel) closeFD(p *Proc, fd int) error {
 // Read reads up to len(b) bytes at the current offset, charging the
 // kernel-to-user copy for the bytes moved. Returns 0, nil at EOF.
 func (p *Proc) Read(fd int, b []byte) (int, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("read"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return 0, err
@@ -245,7 +258,7 @@ func (p *Proc) Read(fd int, b []byte) (int, error) {
 // Write writes len(b) bytes at the current offset, charging the
 // user-to-kernel copy.
 func (p *Proc) Write(fd int, b []byte) (int, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("write"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return 0, err
@@ -272,7 +285,7 @@ const (
 
 // Lseek repositions the file offset.
 func (p *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("lseek"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return 0, err
@@ -302,7 +315,7 @@ func (p *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
 // Fcntl implements F_GETFL/F_SETFL; setting FAsync is how a caller
 // requests asynchronous splice operation, per the paper's interface.
 func (p *Proc) Fcntl(fd int, cmd int, arg int) (int, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("fcntl"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return 0, err
@@ -320,7 +333,7 @@ func (p *Proc) Fcntl(fd int, cmd int, arg int) (int, error) {
 
 // Fsync forces the file's dirty blocks to stable storage and waits.
 func (p *Proc) Fsync(fd int) error {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("fsync"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return err
@@ -330,7 +343,7 @@ func (p *Proc) Fsync(fd int) error {
 
 // FileSize returns the current size of the open file (fstat st_size).
 func (p *Proc) FileSize(fd int) (int64, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("fstat"))
 	f, err := p.FD(fd)
 	if err != nil {
 		return 0, err
@@ -340,7 +353,7 @@ func (p *Proc) FileSize(fd int) (int64, error) {
 
 // Unlink removes a file by path.
 func (p *Proc) Unlink(path string) error {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("unlink"))
 	dev, fsys, rel, err := p.k.lookup(path)
 	if err != nil {
 		return err
@@ -374,7 +387,7 @@ type RenameFS interface {
 
 // Stat returns metadata for path.
 func (p *Proc) Stat(path string) (StatInfo, error) {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("stat"))
 	dev, fsys, rel, err := p.k.lookup(path)
 	if err != nil {
 		return StatInfo{}, err
@@ -392,7 +405,7 @@ func (p *Proc) Stat(path string) (StatInfo, error) {
 // Rename moves oldPath to newPath; both must live on the same mounted
 // filesystem (there is no cross-device rename, as on the real system).
 func (p *Proc) Rename(oldPath, newPath string) error {
-	p.syscallEnter()
+	defer p.SyscallExit(p.SyscallEnter("rename"))
 	dev1, fs1, rel1, err := p.k.lookup(oldPath)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
 
 // ErrDeadlock is returned by Run when live processes remain but neither
@@ -50,7 +51,7 @@ type Kernel struct {
 	nSwitches  int64
 	nIntr      int64
 
-	tracer   func(t sim.Time, what string)
+	tr       *trace.Tracer
 	probe    func() // invoked at every scheduling boundary (simcheck)
 	abortErr error  // set by Abort; Run returns it at the next boundary
 }
@@ -86,14 +87,34 @@ func (k *Kernel) Now() sim.Time { return k.engine.Now() }
 // Ticks returns the number of hardclock ticks since boot.
 func (k *Kernel) Ticks() int64 { return k.ticks }
 
-// SetTracer installs a callback invoked with scheduler-level trace
-// lines; nil disables tracing.
-func (k *Kernel) SetTracer(fn func(t sim.Time, what string)) { k.tracer = fn }
+// StartTrace installs a structured tracer forwarding every event to
+// sink (which may be nil for metrics-only tracing) and returns it.
+// Tracing charges no virtual time, so enabling it cannot change the
+// simulation's timing or outcome. With no tracer installed the
+// per-event cost is a single nil check.
+func (k *Kernel) StartTrace(sink trace.Sink) *trace.Tracer {
+	k.tr = trace.New(sink)
+	return k.tr
+}
 
-func (k *Kernel) trace(format string, args ...any) {
-	if k.tracer != nil {
-		k.tracer(k.engine.Now(), fmt.Sprintf(format, args...))
+// StopTrace removes the installed tracer, if any.
+func (k *Kernel) StopTrace() { k.tr = nil }
+
+// Tracer returns the installed tracer, or nil.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tr }
+
+// Tracing reports whether a tracer is installed. Subsystems with
+// event-argument computation that is itself costly may gate on it.
+func (k *Kernel) Tracing() bool { return k.tr != nil }
+
+// TraceEmit emits one structured event stamped with the current
+// virtual time. It is the emission point for every subsystem (buffer
+// cache, disks, network, splice); a no-op without a tracer.
+func (k *Kernel) TraceEmit(kind trace.Kind, pid int, a1, a2 int64, name string) {
+	if k.tr == nil {
+		return
 	}
+	k.tr.Emit(trace.Event{T: k.engine.Now(), Kind: kind, Pid: int32(pid), Arg1: a1, Arg2: a2, Name: name})
 }
 
 // DurationToTicks converts a duration to a whole number of clock ticks,
@@ -180,6 +201,7 @@ func (k *Kernel) StealCPU(d sim.Duration) {
 	}
 	k.engine.Consume(d)
 	k.intrTime += d
+	k.TraceEmit(trace.KindCPUIntr, 0, int64(d), 0, "")
 }
 
 // Interrupt models taking a device interrupt: the fixed interrupt cost
@@ -233,7 +255,7 @@ func (k *Kernel) makeRunnable(p *Proc, pri int) {
 	if k.current != nil && pri < k.current.pri {
 		k.needResched = true
 	}
-	k.trace("wakeup %s pri=%d", p.name, pri)
+	k.TraceEmit(trace.KindSchedWakeup, p.pid, int64(pri), 0, p.name)
 }
 
 // unsleep removes p from its sleep queue (signal interruption).
@@ -323,7 +345,11 @@ func (k *Kernel) Run() error {
 				}
 				return ErrDeadlock
 			}
-			k.idleTime += k.engine.Now().Sub(t0)
+			idle := k.engine.Now().Sub(t0)
+			k.idleTime += idle
+			if idle > 0 {
+				k.TraceEmit(trace.KindCPUIdle, 0, int64(idle), 0, "")
+			}
 			continue
 		}
 		k.runStep(p)
@@ -349,10 +375,11 @@ func (k *Kernel) runStep(p *Proc) {
 			k.engine.Consume(k.cfg.ContextSwitchCost)
 			k.switchTime += k.cfg.ContextSwitchCost
 			k.nSwitches++
+			k.TraceEmit(trace.KindCPUSwitch, p.pid, int64(k.cfg.ContextSwitchCost), 0, "")
 		}
 		k.lastRun = p
 		k.quantumLeft = k.cfg.QuantumTicks
-		k.trace("switch to %s", p.name)
+		k.TraceEmit(trace.KindSchedSwitch, p.pid, 0, 0, p.name)
 	}
 	k.current = p
 	p.state = ProcRunning
@@ -375,7 +402,7 @@ func (k *Kernel) runStep(p *Proc) {
 		p.pri = p.sleepPri
 		p.nvcsw++
 		k.current = nil
-		k.trace("sleep %s pri=%d", p.name, p.sleepPri)
+		k.TraceEmit(trace.KindSchedSleep, p.pid, int64(p.sleepPri), 0, p.name)
 	case reqYield:
 		p.state = ProcRunnable
 		p.nvcsw++
@@ -402,7 +429,7 @@ func (k *Kernel) reapProc(p *Proc) {
 	}
 	close(p.exited)
 	k.Wakeup(p) // anyone waiting on the proc itself
-	k.trace("exit %s", p.name)
+	k.TraceEmit(trace.KindProcExit, p.pid, 0, 0, p.name)
 	if p.panicVal != nil {
 		panic(p.panicVal)
 	}
@@ -453,10 +480,15 @@ func (k *Kernel) serveUse(p *Proc) {
 }
 
 func (k *Kernel) chargeUse(p *Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
 	if p.useKernel {
 		p.stime += d
+		k.TraceEmit(trace.KindCPUSys, p.pid, int64(d), 0, "")
 	} else {
 		p.utime += d
+		k.TraceEmit(trace.KindCPUUser, p.pid, int64(d), 0, "")
 	}
 }
 
@@ -466,7 +498,7 @@ func (k *Kernel) preempt(p *Proc) {
 	k.runq = append(k.runq, p)
 	k.current = nil
 	k.needResched = false
-	k.trace("preempt %s (rem %v)", p.name, p.useRem)
+	k.TraceEmit(trace.KindSchedPreempt, p.pid, int64(p.useRem), 0, p.name)
 }
 
 // startClock arms the periodic hardclock.

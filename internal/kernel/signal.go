@@ -1,6 +1,9 @@
 package kernel
 
-import "kdp/internal/sim"
+import (
+	"kdp/internal/sim"
+	"kdp/internal/trace"
+)
 
 // Signal identifies a UNIX-style signal. Only the signals the paper's
 // interface needs are modelled.
@@ -47,12 +50,12 @@ func (k *Kernel) Post(p *Proc, sig Signal) {
 		return
 	}
 	p.sigPending |= 1 << uint(sig)
+	k.TraceEmit(trace.KindSignalPost, p.pid, int64(sig), 0, sig.String())
 	if p.state == ProcSleeping && p.sleepSig {
 		k.unsleep(p)
 		p.wakeErr = ErrIntr
 		k.makeRunnable(p, p.sleepPri)
 	}
-	k.trace("post %v to %s", sig, p.name)
 }
 
 // deliverSignals runs pending handlers in process context. Called by
@@ -64,6 +67,7 @@ func (k *Kernel) deliverSignals(p *Proc) {
 			continue
 		}
 		p.sigPending &^= bit
+		k.TraceEmit(trace.KindSignalDeliver, p.pid, int64(sig), 0, sig.String())
 		if h := p.sigHandler[sig]; h != nil {
 			h(p, sig)
 		}
@@ -82,8 +86,7 @@ func (p *Proc) DeliverSignals() {
 // Pause blocks the process until a signal is delivered, like pause(2).
 // Pending handlers run before Pause returns.
 func (p *Proc) Pause() {
-	p.nsys++
-	p.UseK(p.k.cfg.SyscallCost)
+	defer p.SyscallExit(p.SyscallEnter("pause"))
 	for p.sigPending == 0 {
 		_ = p.Sleep(&p.sigPending, PSLEP) // interruptible: broken by Post
 	}
@@ -121,8 +124,7 @@ func (t *itimer) stop(k *Kernel) {
 // interval timer: the first SIGALRM after value, then one every
 // interval. Granularity is the clock tick, as on the real system.
 func (p *Proc) SetITimer(value, interval sim.Duration) {
-	p.nsys++
-	p.UseK(p.k.cfg.SyscallCost)
+	defer p.SyscallExit(p.SyscallEnter("setitimer"))
 	k := p.k
 	if p.itimer != nil {
 		p.itimer.stop(k)

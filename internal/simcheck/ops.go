@@ -28,6 +28,7 @@ const (
 	opSpliceSock // splice file → socket, concurrent reader drains
 	opSpliceSig  // synchronous splice interrupted by a posted signal
 	opFault      // arm a one-shot disk fault on the tight volume
+	opTraceSnap  // snapshot the trace counters into the event log
 )
 
 // Generation sizes. Files stay under 12 direct blocks (96KB) so the
@@ -83,6 +84,8 @@ func (o *op) describe() string {
 			mode = "read"
 		}
 		return fmt.Sprintf("fault d1 blk=%d on %s", o.faultBlk, mode)
+	case opTraceSnap:
+		return "trace-snapshot"
 	default:
 		return fmt.Sprintf("op?%d", int(o.kind))
 	}
@@ -127,9 +130,11 @@ func genOps(cfg Config) []*op {
 			o.size = 1 + r.Intn(maxStreamIO)
 		case w < 92:
 			o.kind = opSpliceSock
-		case w < 96:
+		case w < 95:
 			o.kind = opSpliceSig
 			o.sigTicks = 1 + r.Intn(15)
+		case w < 97:
+			o.kind = opTraceSnap
 		default:
 			o.kind = opFault
 			o.faultBlk = r.Int63n(d1Blocks)
@@ -216,7 +221,31 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.disks[1].InjectFault(o.faultBlk, o.faultRead, !o.faultRead, 1)
 		m.d1Faulted = true
 		m.logf("op %d w%d %s", o.idx, w, o.describe())
+	case opTraceSnap:
+		m.doTraceSnap(o, w)
 	}
+}
+
+// doTraceSnap folds the current counter snapshot into the event log:
+// the snapshot is a pure function of the event stream so far, so replay
+// divergence in any counter shows up as a digest mismatch, and the
+// mid-run aggregator/stream cross-check runs under live load.
+func (m *machine) doTraceSnap(o *op, w int) {
+	if err := m.tchk.CheckMetrics(m.tr.Metrics()); err != nil {
+		m.fail(err)
+		return
+	}
+	snap := m.tr.Metrics().Snapshot()
+	var sum uint64 = 14695981039346656037
+	for _, c := range snap {
+		for i := 0; i < len(c.Name); i++ {
+			sum ^= uint64(c.Name[i])
+			sum *= 1099511628211
+		}
+		sum ^= uint64(c.Value)
+		sum *= 1099511628211
+	}
+	m.opLog(o, w, "counters=%d events=%d sum=%016x", len(snap), m.tr.Metrics().Events(), sum)
 }
 
 func (m *machine) opLog(o *op, w int, format string, args ...any) {

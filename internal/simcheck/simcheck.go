@@ -11,7 +11,7 @@
 // re-running it reproduces the failure exactly, and bisecting its op
 // sequence (Minimize) shrinks it to a minimal repro.
 //
-// Three layers of checking:
+// Four layers of checking:
 //
 //  1. Invariant hooks. At every scheduling boundary the kernel probe
 //     (kernel.SetProbe) re-validates the buffer cache
@@ -22,9 +22,15 @@
 //     file contents; reads verify against it inline and a final sweep
 //     re-reads every file. Disk-fault injection taints the affected
 //     volume, downgrading content checks to error-tolerance checks.
-//  3. Replay. VerifyReplay runs the same seed twice and asserts the
-//     event-log digest and CPU accounting are bit-identical — the
-//     property that makes "rerun the seed" a faithful repro.
+//  3. Trace stream. Every machine runs with structured tracing on: a
+//     trace.Checker validates the stream at each probe (nondecreasing
+//     virtual time, matched syscall enter/exit pairs, counter snapshots
+//     consistent with event deltas), and a clean run must quiesce with
+//     no syscall left open.
+//  4. Replay. VerifyReplay runs the same seed twice and asserts the
+//     event-log digest — which folds in the typed trace-stream digest —
+//     and CPU accounting are bit-identical, the property that makes
+//     "rerun the seed" a faithful repro.
 //
 // Not safe for concurrent use: splice invariant tracking is
 // process-global, so run one harness machine at a time.
@@ -42,6 +48,7 @@ import (
 	"kdp/internal/sim"
 	"kdp/internal/socket"
 	"kdp/internal/splice"
+	"kdp/internal/trace"
 )
 
 // Machine geometry. Small on purpose: a 64-buffer cache and a nearly
@@ -102,6 +109,14 @@ type machine struct {
 
 	oracle map[string]*ofile
 	log    []string
+
+	// Structured tracing runs on every harness machine: the checker
+	// validates stream invariants (nondecreasing time, matched syscall
+	// pairs, counter/aggregator agreement) and the digester folds the
+	// typed event stream into the replay digest.
+	tr   *trace.Tracer
+	tchk *trace.Checker
+	tdig *trace.Digester
 
 	violation   error
 	curOp       string
@@ -202,6 +217,9 @@ func execute(cfg Config, ops []*op) *Result {
 		m.disks[i] = d
 	}
 	m.net = socket.NewNet(m.k, socket.Loopback())
+	m.tchk = trace.NewChecker()
+	m.tdig = trace.NewDigester()
+	m.tr = m.k.StartTrace(trace.Tee(m.tchk, m.tdig))
 
 	splice.EnableInvariants(true)
 	defer splice.EnableInvariants(false)
@@ -240,6 +258,20 @@ func execute(cfg Config, ops []*op) *Result {
 	if err := m.k.Run(); err != nil && m.violation == nil {
 		m.fail(fmt.Errorf("simulation aborted: %w", err))
 	}
+
+	// End-of-run trace checks (the abort path can legitimately leave
+	// syscalls open, so only a clean run must quiesce). The trace digest
+	// goes into the event log, so VerifyReplay covers the typed stream.
+	if m.violation == nil {
+		if err := m.tchk.CheckQuiesced(); err != nil {
+			m.violation = fmt.Errorf("simcheck: seed %d: %w", cfg.Seed, err)
+			m.logf("VIOLATION %v", m.violation)
+		} else if err := m.tchk.CheckMetrics(m.tr.Metrics()); err != nil {
+			m.violation = fmt.Errorf("simcheck: seed %d: %w", cfg.Seed, err)
+			m.logf("VIOLATION %v", m.violation)
+		}
+	}
+	m.logf("trace: events=%d digest=%016x", m.tchk.Events(), m.tdig.Sum())
 
 	m.logf("end: d0 errors=%d d1 errors=%d cache hits=%d",
 		m.disks[0].Errors(), m.disks[1].Errors(), m.cache.Stats().Hits)
@@ -285,6 +317,12 @@ func (m *machine) checkInvariants() error {
 		if err := f.CheckLive(); err != nil {
 			return err
 		}
+	}
+	if err := m.tchk.Err(); err != nil {
+		return err
+	}
+	if err := m.tchk.CheckMetrics(m.tr.Metrics()); err != nil {
+		return err
 	}
 	return splice.CheckInvariants()
 }

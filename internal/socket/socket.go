@@ -14,6 +14,7 @@ import (
 
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
 
 // NetParams describes the simulated link all sockets of one Net share.
@@ -119,6 +120,7 @@ func (n *Net) txNext() {
 	ser := sim.BytesAt(int64(len(req.pkt.data)), n.p.Bandwidth)
 	n.k.Engine().Schedule(ser, "net:tx", func() {
 		n.sent++
+		n.k.TraceEmit(trace.KindNetTx, 0, int64(len(req.pkt.data)), int64(req.dst), "")
 		// Sender-side completion: the datagram is on the wire.
 		n.k.Interrupt(func() {
 			n.k.StealCPU(n.p.PerPacketCost)
@@ -144,19 +146,23 @@ func (n *Net) deliver(port int, pkt packet) {
 		n.rxCount++
 		if n.rxCount%int64(n.p.DropEvery) == 0 {
 			n.dropped++
+			n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
 			return
 		}
 	}
 	s, ok := n.socks[port]
 	if !ok || s.closed {
 		n.dropped++
+		n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
 		return
 	}
 	if s.rcvBytes+len(pkt.data) > n.p.RcvBufBytes {
 		n.dropped++
+		n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
 		return
 	}
 	n.delivered++
+	n.k.TraceEmit(trace.KindNetRx, 0, int64(len(pkt.data)), int64(port), "")
 	s.rcvBytes += len(pkt.data)
 	s.rcvq = append(s.rcvq, pkt)
 	s.serveWaiters()

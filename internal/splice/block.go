@@ -3,6 +3,7 @@ package splice
 import (
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
+	"kdp/internal/trace"
 )
 
 // Splice implements the system call: move size bytes (or EOF for the
@@ -20,7 +21,7 @@ func Splice(p *kernel.Proc, srcFD, dstFD int, size int64) (int64, error) {
 // SpliceOpts is Splice with explicit flow-control options, returning a
 // Handle for observing an asynchronous transfer.
 func SpliceOpts(p *kernel.Proc, srcFD, dstFD int, size int64, opts Options) (int64, *Handle, error) {
-	p.ChargeSyscall()
+	defer p.SyscallExit(p.SyscallEnter("splice"))
 	if size < 0 && size != EOF {
 		return 0, nil, kernel.ErrInval
 	}
@@ -76,6 +77,7 @@ func SpliceOpts(p *kernel.Proc, srcFD, dstFD int, size int64, opts Options) (int
 	}
 
 	registerDesc(d)
+	d.k.TraceEmit(trace.KindSpliceStart, p.Pid(), d.total, 0, d.mode.String())
 	h := &Handle{d: d}
 	if d.done {
 		// Degenerate transfer (zero bytes): already complete.
@@ -294,9 +296,11 @@ func (d *desc) startReads(ctx kernel.Ctx) {
 			hdr.Flags |= buf.BDone
 			hdr.SpliceDesc = d
 			hdr.SpliceLblk = lblk
+			d.k.TraceEmit(trace.KindSpliceRead, 0, lblk, int64(d.pendingReads), "")
 			d.readDone(d.k, hdr)
 			continue
 		}
+		d.k.TraceEmit(trace.KindSpliceRead, 0, lblk, int64(d.pendingReads), "")
 		hit, err := d.cache.StartRead(ctx, d.srcFile.Dev(), int64(pblk), d, lblk, d.readDone)
 		if err != nil {
 			// No buffer available without sleeping: back off and retry
@@ -332,6 +336,7 @@ func (d *desc) armRetry() {
 		return
 	}
 	d.retryArmed = true
+	d.k.TraceEmit(trace.KindSpliceStall, 0, int64(d.pendingReads), int64(d.pendingWrites), "")
 	d.k.Timeout(func() {
 		d.retryArmed = false
 		d.startReads(d.k.IntrCtx())
@@ -344,6 +349,7 @@ func (d *desc) armRetry() {
 func (d *desc) readDone(k *kernel.Kernel, b *buf.Buf) {
 	d.handlerCharge()
 	d.pendingReads--
+	k.TraceEmit(trace.KindSpliceReadDone, 0, b.SpliceLblk, int64(d.pendingReads), "")
 	if d.err != nil {
 		d.dropReadBuf(b)
 		d.fail(d.err)
@@ -439,6 +445,7 @@ func (d *desc) writeSideFile(b *buf.Buf) {
 	hdr.Flags |= buf.BCall
 	hdr.Iodone = d.writeDone
 	d.stats.WritesIssued++
+	d.k.TraceEmit(trace.KindSpliceWrite, 0, lblk, int64(d.pendingWrites), "")
 	trackHdr(d, hdr)
 	d.dstFile.Dev().Strategy(hdr)
 }
@@ -458,6 +465,7 @@ func (d *desc) writeDone(k *kernel.Kernel, hdr *buf.Buf) {
 	}
 	d.cache.ReleaseHeader(hdr)
 	d.pendingWrites--
+	k.TraceEmit(trace.KindSpliceWriteDone, 0, int64(n), int64(d.pendingWrites), "")
 
 	if failed {
 		if werr == nil {

@@ -3,6 +3,7 @@ package splice
 import (
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
+	"kdp/internal/trace"
 )
 
 // source → file splice: an extension beyond the paper's prototype
@@ -72,10 +73,12 @@ func (d *desc) pumpSourceToFile() {
 	d.readOutstanding = true
 	d.pendingReads++
 	d.stats.ReadsIssued++
+	d.k.TraceEmit(trace.KindSpliceRead, 0, d.sfReceived, int64(d.pendingReads), "")
 	d.source.SpliceRead(max, func(data []byte, eof bool, err error) {
 		d.handlerCharge()
 		d.readOutstanding = false
 		d.pendingReads--
+		d.k.TraceEmit(trace.KindSpliceReadDone, 0, int64(len(data)), int64(d.pendingReads), "")
 		if err != nil {
 			d.sfAbort(err)
 			return
@@ -163,6 +166,7 @@ func (d *desc) sfFlushBlock() {
 	if d.pendingWrites > d.stats.PeakWrites {
 		d.stats.PeakWrites = d.pendingWrites
 	}
+	d.k.TraceEmit(trace.KindSpliceWrite, 0, int64(hdr.SpliceN), int64(d.pendingWrites), "")
 	d.dstFile.Dev().Strategy(hdr)
 }
 
@@ -180,6 +184,7 @@ func (d *desc) sfWriteDone(k *kernel.Kernel, hdr *buf.Buf) {
 	}
 	d.cache.Brelse(k.IntrCtx(), hdr)
 	d.pendingWrites--
+	k.TraceEmit(trace.KindSpliceWriteDone, 0, int64(n), int64(d.pendingWrites), "")
 	if failed {
 		if werr == nil {
 			werr = kernel.ErrNxIO
@@ -202,6 +207,7 @@ func (d *desc) armSFRetry() {
 		return
 	}
 	d.retryArmed = true
+	d.k.TraceEmit(trace.KindSpliceStall, 0, int64(d.pendingReads), int64(d.pendingWrites), "")
 	d.k.Timeout(func() {
 		d.retryArmed = false
 		d.sfDrainStash()

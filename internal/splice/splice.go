@@ -27,6 +27,11 @@
 // the framebuffer) participate through the small Source and Sink
 // interfaces, which are satisfied structurally by internal/dev and
 // internal/socket.
+//
+// Every engine emits structured trace events (splice.start, the
+// read/write pipeline with its pending-I/O gauges, stalls, and
+// completion) through the kernel's tracer; the taxonomy is documented
+// in docs/TRACING.md.
 package splice
 
 import (
@@ -35,6 +40,7 @@ import (
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
+	"kdp/internal/trace"
 )
 
 // EOF is the special size value requesting that the splice run until
@@ -229,6 +235,21 @@ const (
 	modeSourceFile
 )
 
+func (m spliceMode) String() string {
+	switch m {
+	case modeFileFile:
+		return "file-file"
+	case modeFileSink:
+		return "file-sink"
+	case modeSourceSink:
+		return "source-sink"
+	case modeSourceFile:
+		return "source-file"
+	default:
+		return "mode?"
+	}
+}
+
 // handlerCharge charges one handler execution at interrupt level.
 func (d *desc) handlerCharge() {
 	d.k.StealCPU(d.k.Config().SpliceHandlerCost)
@@ -241,6 +262,11 @@ func (d *desc) complete() {
 		return
 	}
 	d.done = true
+	errFlag := int64(0)
+	if d.err != nil {
+		errFlag = 1
+	}
+	d.k.TraceEmit(trace.KindSpliceDone, 0, d.moved, errFlag, d.mode.String())
 	unregisterDesc(d)
 	d.k.Release()
 	if d.async && d.caller != nil {

@@ -3,6 +3,7 @@ package splice
 import (
 	"kdp/internal/buf"
 	"kdp/internal/kernel"
+	"kdp/internal/trace"
 )
 
 // This file holds the byte-stream endpoints of the splice engine:
@@ -99,10 +100,12 @@ func (d *desc) deliverSink(b *buf.Buf) {
 	slice := b.Data[lo:hi]
 	d.stats.WritesIssued++
 	d.stats.Shared++
+	d.k.TraceEmit(trace.KindSpliceWrite, 0, lblk, int64(d.pendingWrites), "")
 	d.sink.SpliceWrite(slice, func(err error) {
 		d.handlerCharge()
 		d.dropReadBuf(b)
 		d.pendingWrites--
+		d.k.TraceEmit(trace.KindSpliceWriteDone, 0, int64(len(slice)), int64(d.pendingWrites), "")
 		if err != nil {
 			d.fail(err)
 			return
@@ -151,10 +154,12 @@ func (d *desc) pumpSource() {
 	d.readOutstanding = true
 	d.pendingReads++
 	d.stats.ReadsIssued++
+	d.k.TraceEmit(trace.KindSpliceRead, 0, d.streamScheduled, int64(d.pendingReads), "")
 	d.source.SpliceRead(max, func(data []byte, eof bool, err error) {
 		d.handlerCharge()
 		d.readOutstanding = false
 		d.pendingReads--
+		d.k.TraceEmit(trace.KindSpliceReadDone, 0, int64(len(data)), int64(d.pendingReads), "")
 		if err != nil {
 			d.fail(err)
 			return
@@ -184,9 +189,11 @@ func (d *desc) streamWrite(data []byte) {
 	}
 	d.pendingWrites++
 	d.stats.WritesIssued++
+	d.k.TraceEmit(trace.KindSpliceWrite, 0, int64(len(data)), int64(d.pendingWrites), "")
 	d.sink.SpliceWrite(data, func(err error) {
 		d.handlerCharge()
 		d.pendingWrites--
+		d.k.TraceEmit(trace.KindSpliceWriteDone, 0, int64(len(data)), int64(d.pendingWrites), "")
 		if err != nil {
 			d.fail(err)
 			return

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kdp/internal/sim"
+)
+
+// Metrics aggregates the event stream into named counters that can be
+// snapshotted at any virtual time. Every Tracer owns one and updates it
+// on each Emit, so counters are exact functions of the event stream —
+// the property the trace Checker verifies.
+//
+// Counter names are canonical and documented in the "counters
+// glossary" appendix of EXPERIMENTS.md; EventCount indexes by Kind.
+type Metrics struct {
+	EventCount [kindMax]int64
+	First      sim.Time // timestamp of the first event observed
+	Last       sim.Time // timestamp of the most recent event
+
+	// CPU time by category, in virtual nanoseconds (sums of Arg1 of
+	// the corresponding KindCPU* events).
+	CPUUser   sim.Duration
+	CPUSys    sim.Duration
+	CPUIntr   sim.Duration
+	CPUIdle   sim.Duration
+	CPUSwitch sim.Duration
+
+	perProc  map[int32]*ProcCPU
+	syscalls map[string]int64
+	disks    map[string]*DiskMetrics
+
+	// Buffer cache.
+	BufHits    int64
+	BufMisses  int64
+	BufFlushed int64 // dirty buffers pushed by flush passes (sum of Arg1)
+
+	// Network.
+	NetTxBytes int64
+	NetRxBytes int64
+
+	// Splice engine. The in-flight gauges track the engine's pending
+	// read/write block counts (Arg2 of the read/write events); peaks
+	// are maxima over the run, comparable against the watermarks.
+	SpliceBytes          int64
+	SpliceInflightReads  int64
+	SpliceInflightWrites int64
+	SplicePeakReads      int64
+	SplicePeakWrites     int64
+}
+
+// ProcCPU is per-process CPU accounting derived from the stream.
+type ProcCPU struct {
+	User sim.Duration
+	Sys  sim.Duration
+}
+
+// DiskMetrics is per-device accounting derived from the stream.
+type DiskMetrics struct {
+	Reads        int64
+	Writes       int64
+	Errors       int64
+	ReadBytes    int64
+	WriteBytes   int64
+	Busy         sim.Duration // sum of service times (KindDiskStart Arg2)
+	QueueSamples int64        // one per KindDiskQueue event
+	QueueSum     int64        // sum of queue lengths at queue time
+	QueuePeak    int64
+}
+
+func (m *Metrics) reset() {
+	*m = Metrics{
+		perProc:  make(map[int32]*ProcCPU),
+		syscalls: make(map[string]int64),
+		disks:    make(map[string]*DiskMetrics),
+	}
+}
+
+func (m *Metrics) proc(pid int32) *ProcCPU {
+	pc := m.perProc[pid]
+	if pc == nil {
+		pc = &ProcCPU{}
+		m.perProc[pid] = pc
+	}
+	return pc
+}
+
+func (m *Metrics) disk(name string) *DiskMetrics {
+	dm := m.disks[name]
+	if dm == nil {
+		dm = &DiskMetrics{}
+		m.disks[name] = dm
+	}
+	return dm
+}
+
+// observe folds one event into the counters.
+func (m *Metrics) observe(ev Event) {
+	if ev.Kind < kindMax {
+		m.EventCount[ev.Kind]++
+	}
+	if m.eventsTotal() == 1 {
+		m.First = ev.T
+	}
+	m.Last = ev.T
+
+	switch ev.Kind {
+	case KindCPUUser:
+		m.CPUUser += sim.Duration(ev.Arg1)
+		m.proc(ev.Pid).User += sim.Duration(ev.Arg1)
+	case KindCPUSys:
+		m.CPUSys += sim.Duration(ev.Arg1)
+		m.proc(ev.Pid).Sys += sim.Duration(ev.Arg1)
+	case KindCPUIntr:
+		m.CPUIntr += sim.Duration(ev.Arg1)
+	case KindCPUIdle:
+		m.CPUIdle += sim.Duration(ev.Arg1)
+	case KindCPUSwitch:
+		m.CPUSwitch += sim.Duration(ev.Arg1)
+	case KindSyscallEnter:
+		m.syscalls[ev.Name]++
+	case KindBufHit:
+		m.BufHits++
+	case KindBufMiss:
+		m.BufMisses++
+	case KindBufFlush:
+		m.BufFlushed += ev.Arg1
+	case KindDiskQueue:
+		dm := m.disk(ev.Name)
+		dm.QueueSamples++
+		dm.QueueSum += ev.Arg2
+		if ev.Arg2 > dm.QueuePeak {
+			dm.QueuePeak = ev.Arg2
+		}
+	case KindDiskStart:
+		m.disk(ev.Name).Busy += sim.Duration(ev.Arg2)
+	case KindDiskRead:
+		dm := m.disk(ev.Name)
+		dm.Reads++
+		dm.ReadBytes += ev.Arg2
+	case KindDiskWrite:
+		dm := m.disk(ev.Name)
+		dm.Writes++
+		dm.WriteBytes += ev.Arg2
+	case KindDiskError:
+		m.disk(ev.Name).Errors++
+	case KindNetTx:
+		m.NetTxBytes += ev.Arg1
+	case KindNetRx:
+		m.NetRxBytes += ev.Arg1
+	case KindSpliceRead, KindSpliceReadDone:
+		m.SpliceInflightReads = ev.Arg2
+		if ev.Arg2 > m.SplicePeakReads {
+			m.SplicePeakReads = ev.Arg2
+		}
+	case KindSpliceWrite:
+		m.SpliceInflightWrites = ev.Arg2
+		if ev.Arg2 > m.SplicePeakWrites {
+			m.SplicePeakWrites = ev.Arg2
+		}
+	case KindSpliceWriteDone:
+		m.SpliceInflightWrites = ev.Arg2
+	case KindSpliceDone:
+		m.SpliceBytes += ev.Arg1
+	}
+}
+
+func (m *Metrics) eventsTotal() int64 {
+	var n int64
+	for _, c := range m.EventCount {
+		n += c
+	}
+	return n
+}
+
+// Events returns the total number of events observed.
+func (m *Metrics) Events() int64 { return m.eventsTotal() }
+
+// ProcCPUSnapshot returns per-process CPU accounting, sorted by pid.
+func (m *Metrics) ProcCPUSnapshot() []struct {
+	Pid int32
+	ProcCPU
+} {
+	pids := make([]int32, 0, len(m.perProc))
+	for pid := range m.perProc {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	out := make([]struct {
+		Pid int32
+		ProcCPU
+	}, 0, len(pids))
+	for _, pid := range pids {
+		out = append(out, struct {
+			Pid int32
+			ProcCPU
+		}{pid, *m.perProc[pid]})
+	}
+	return out
+}
+
+// CacheHitRatio returns hits/(hits+misses), or 0 with no lookups.
+func (m *Metrics) CacheHitRatio() float64 {
+	total := m.BufHits + m.BufMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.BufHits) / float64(total)
+}
+
+// Counter is one named counter value in a snapshot.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter under its canonical name, sorted by
+// name — a deterministic flattening of the aggregator, suitable for
+// digesting, diffing, and the counters glossary in EXPERIMENTS.md.
+// Durations are in virtual nanoseconds.
+func (m *Metrics) Snapshot() []Counter {
+	var out []Counter
+	add := func(name string, v int64) { out = append(out, Counter{name, v}) }
+
+	for k := Kind(1); k < kindMax; k++ {
+		if m.EventCount[k] != 0 {
+			add("events."+k.String(), m.EventCount[k])
+		}
+	}
+	add("cpu.user", int64(m.CPUUser))
+	add("cpu.sys", int64(m.CPUSys))
+	add("cpu.intr", int64(m.CPUIntr))
+	add("cpu.idle", int64(m.CPUIdle))
+	add("cpu.switch", int64(m.CPUSwitch))
+	for _, pc := range m.ProcCPUSnapshot() {
+		add(fmt.Sprintf("cpu.user.pid%d", pc.Pid), int64(pc.User))
+		add(fmt.Sprintf("cpu.sys.pid%d", pc.Pid), int64(pc.Sys))
+	}
+	names := make([]string, 0, len(m.syscalls))
+	for name := range m.syscalls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		add("syscall."+name, m.syscalls[name])
+	}
+	add("buf.hits", m.BufHits)
+	add("buf.misses", m.BufMisses)
+	add("buf.flushed", m.BufFlushed)
+	devs := make([]string, 0, len(m.disks))
+	for name := range m.disks {
+		devs = append(devs, name)
+	}
+	sort.Strings(devs)
+	for _, name := range devs {
+		dm := m.disks[name]
+		add("disk."+name+".reads", dm.Reads)
+		add("disk."+name+".writes", dm.Writes)
+		add("disk."+name+".errors", dm.Errors)
+		add("disk."+name+".read_bytes", dm.ReadBytes)
+		add("disk."+name+".write_bytes", dm.WriteBytes)
+		add("disk."+name+".busy", int64(dm.Busy))
+		add("disk."+name+".queue_samples", dm.QueueSamples)
+		add("disk."+name+".queue_sum", dm.QueueSum)
+		add("disk."+name+".queue_peak", dm.QueuePeak)
+	}
+	add("net.tx_bytes", m.NetTxBytes)
+	add("net.rx_bytes", m.NetRxBytes)
+	add("splice.bytes", m.SpliceBytes)
+	add("splice.inflight_reads", m.SpliceInflightReads)
+	add("splice.inflight_writes", m.SpliceInflightWrites)
+	add("splice.peak_reads", m.SplicePeakReads)
+	add("splice.peak_writes", m.SplicePeakWrites)
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Format writes a human-readable summary of the aggregated counters —
+// the kdptrace -stats renderer.
+func (m *Metrics) Format(w io.Writer) {
+	span := m.Last.Sub(m.First)
+	fmt.Fprintf(w, "events: %d over %v (t=%v..%v)\n", m.eventsTotal(), span, m.First, m.Last)
+
+	fmt.Fprintf(w, "cpu: user=%v sys=%v intr=%v idle=%v switch=%v\n",
+		m.CPUUser, m.CPUSys, m.CPUIntr, m.CPUIdle, m.CPUSwitch)
+	for _, pc := range m.ProcCPUSnapshot() {
+		fmt.Fprintf(w, "  pid%-4d user=%v sys=%v\n", pc.Pid, pc.User, pc.Sys)
+	}
+
+	if n := m.EventCount[KindSyscallEnter]; n > 0 {
+		fmt.Fprintf(w, "syscalls: %d", n)
+		names := make([]string, 0, len(m.syscalls))
+		for name := range m.syscalls {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, " %s=%d", name, m.syscalls[name])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if m.BufHits+m.BufMisses > 0 {
+		fmt.Fprintf(w, "cache: hits=%d misses=%d ratio=%.1f%% flushed=%d\n",
+			m.BufHits, m.BufMisses, 100*m.CacheHitRatio(), m.BufFlushed)
+	}
+
+	devs := make([]string, 0, len(m.disks))
+	for name := range m.disks {
+		devs = append(devs, name)
+	}
+	sort.Strings(devs)
+	for _, name := range devs {
+		dm := m.disks[name]
+		util := 0.0
+		if span > 0 {
+			util = 100 * float64(dm.Busy) / float64(span)
+		}
+		mean := 0.0
+		if dm.QueueSamples > 0 {
+			mean = float64(dm.QueueSum) / float64(dm.QueueSamples)
+		}
+		fmt.Fprintf(w, "disk %s: reads=%d writes=%d errors=%d busy=%v util=%.1f%% queue mean=%.2f peak=%d\n",
+			name, dm.Reads, dm.Writes, dm.Errors, dm.Busy, util, mean, dm.QueuePeak)
+	}
+
+	if m.EventCount[KindNetTx]+m.EventCount[KindNetRx]+m.EventCount[KindNetDrop] > 0 {
+		fmt.Fprintf(w, "net: tx=%d (%dB) rx=%d (%dB) drops=%d\n",
+			m.EventCount[KindNetTx], m.NetTxBytes,
+			m.EventCount[KindNetRx], m.NetRxBytes,
+			m.EventCount[KindNetDrop])
+	}
+
+	if m.EventCount[KindSpliceStart] > 0 {
+		fmt.Fprintf(w, "splice: transfers=%d bytes=%d reads=%d writes=%d stalls=%d peak reads=%d writes=%d\n",
+			m.EventCount[KindSpliceStart], m.SpliceBytes,
+			m.EventCount[KindSpliceRead], m.EventCount[KindSpliceWrite],
+			m.EventCount[KindSpliceStall], m.SplicePeakReads, m.SplicePeakWrites)
+	}
+
+	if n := m.EventCount[KindCalloutFire]; n > 0 {
+		fmt.Fprintf(w, "callouts: %d fired\n", n)
+	}
+	if n := m.EventCount[KindSignalPost]; n > 0 {
+		fmt.Fprintf(w, "signals: posted=%d delivered=%d\n", n, m.EventCount[KindSignalDeliver])
+	}
+}
