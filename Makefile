@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench tables trace-ci ci
+.PHONY: all build test vet race check bench tables trace-ci server-ci ci
 
 all: build
 
@@ -41,4 +41,12 @@ trace-ci:
 	$(GO) run ./cmd/kdpbench -validate $(TRACE_DIR)/kdp-trace-a.json
 	cmp $(TRACE_DIR)/kdp-trace-a.json $(TRACE_DIR)/kdp-trace-b.json
 
-ci: vet build race check trace-ci
+# Server gate: regenerate the server-scalability sweep twice (second
+# run under GOMAXPROCS=1) and require byte-identical tables — the
+# stream transport and server engine must be deterministic end to end.
+server-ci:
+	$(GO) run ./cmd/kdpbench -sweep server > $(TRACE_DIR)/kdp-server-a.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep server > $(TRACE_DIR)/kdp-server-b.txt
+	cmp $(TRACE_DIR)/kdp-server-a.txt $(TRACE_DIR)/kdp-server-b.txt
+
+ci: vet build race check trace-ci server-ci

@@ -1,0 +1,131 @@
+// Streamserver demonstrates the stream transport (a TCP-lite reliable
+// protocol layered on the simulated Ethernet) and the concurrent
+// file-server engine built on it, contrasting the paper's two serving
+// data paths at fan-out:
+//
+//   - cp: each request is served by read()/write() copy loops — two
+//     user-space copies per served byte, burning the server's CPU, and
+//   - scp: each request is served by one splice(file, conn) call — the
+//     bytes move at interrupt level and the handler process sleeps.
+//
+// A CPU-bound "test program" runs beside the server in both runs; how
+// long it takes to finish is a direct measure of how much CPU the
+// serving path left available (§7 of the paper).
+//
+// Run with: go run ./examples/streamserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kdp"
+)
+
+const (
+	fileBytes = 128 << 10
+	clients   = 4
+	reqsEach  = 2
+	srvPort   = 80
+	testOps   = 100
+	testCost  = 10 * kdp.Millisecond
+)
+
+// serve runs one machine in the given mode and reports the test
+// program's elapsed time plus the server's own counters.
+func serve(mode kdp.ServerMode) (elapsed kdp.Duration, served int64) {
+	m := kdp.New(kdp.Config{
+		Disks: []kdp.DiskSpec{{Mount: "/srv", Kind: kdp.DiskRAM}},
+	})
+	net := m.AddNet(kdp.NetEthernet10)
+	st, err := m.AddStreamTransport(net, srvPort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cts := make([]*kdp.StreamTransport, clients)
+	for i := range cts {
+		if cts[i], err = m.AddStreamTransport(net, 5001+i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var srv *kdp.Server
+	ready := false
+	m.Spawn("boot", func(p *kdp.Proc) {
+		fd, err := p.Open("/srv/file", kdp.OCreat|kdp.ORdWr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		block := make([]byte, kdp.BlockSize)
+		for off := 0; off < fileBytes; off += len(block) {
+			if _, err := p.Write(fd, block); err != nil {
+				log.Fatal(err)
+			}
+		}
+		_ = p.Close(fd)
+		srv = m.StartServer(kdp.ServerConfig{
+			Name:      "fsrv",
+			Transport: st,
+			Path:      "/srv/file",
+			FileBytes: fileBytes,
+			Mode:      mode,
+			Conns:     clients,
+		})
+		ready = true
+		m.Kernel().Wakeup(&ready)
+	})
+
+	for i := 0; i < clients; i++ {
+		i := i
+		m.Spawn(fmt.Sprintf("client-%d", i), func(p *kdp.Proc) {
+			for !ready {
+				_ = p.Sleep(&ready, kdp.PWait)
+			}
+			fd, _, err := cts[i].Connect(p, srvPort)
+			if err != nil {
+				log.Fatal(err)
+			}
+			buf := make([]byte, 8192)
+			for r := 0; r < reqsEach; r++ {
+				if _, err := p.Write(fd, []byte{1}); err != nil {
+					log.Fatal(err)
+				}
+				for got := 0; got < fileBytes; {
+					n, err := p.Read(fd, buf)
+					if err != nil || n == 0 {
+						log.Fatalf("client %d: short response (%d of %d): %v", i, got, fileBytes, err)
+					}
+					got += n
+				}
+			}
+			_ = p.Close(fd)
+		})
+	}
+
+	m.Spawn("test", func(p *kdp.Proc) {
+		for !ready {
+			_ = p.Sleep(&ready, kdp.PWait)
+		}
+		t0 := p.Now()
+		for i := 0; i < testOps; i++ {
+			p.Compute(testCost)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return elapsed, srv.BytesServed()
+}
+
+func main() {
+	baseline := kdp.Duration(testOps) * testCost
+	for _, mode := range []kdp.ServerMode{kdp.ServeCopy, kdp.ServeSplice} {
+		elapsed, served := serve(mode)
+		avail := 100 * float64(baseline) / float64(elapsed)
+		fmt.Printf("%-3s: served %d KB to %d clients; test program %v (%.1f%% CPU available)\n",
+			mode, served>>10, clients, elapsed, avail)
+	}
+	fmt.Printf("(baseline: test program alone takes %v)\n", baseline)
+}

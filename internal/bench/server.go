@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/server"
+	"kdp/internal/sim"
+	"kdp/internal/socket"
+	"kdp/internal/stream"
+)
+
+// Server-scalability experiment (§7's server scenario at fan-out): one
+// machine serves a fully cached file to N closed-loop clients over the
+// 10Mb Ethernet, either through the read/write copy path (cp) or by
+// splicing the file onto each stream connection (scp), while the
+// CPU-bound test program from Table 1 runs alongside. The interesting
+// output is how much CPU the serving path leaves the test program as
+// clients multiply: cp burns two user copies per served byte, so its
+// availability collapses with offered load, while scp's interrupt-level
+// path keeps the CPU nearly free at every fan-out.
+const (
+	serverPort      = 80
+	serverFileBytes = 128 << 10
+	serverFile      = "/srv/file"
+	clientThink     = 400 * sim.Millisecond
+	serverTestOps   = 300
+	serverTestCost  = 10 * sim.Millisecond
+)
+
+// ServerCell is one (client count, mode) measurement.
+type ServerCell struct {
+	Clients  int
+	Mode     server.Mode
+	KBs      float64      // aggregate delivered KB/s over the test window
+	AvailPct float64      // 100 x baseline / test-elapsed
+	P99      sim.Duration // p99 client request latency
+	Requests int64
+}
+
+// MeasureServer runs one cell: clients closed-loop requesters against a
+// warm-cache file server in the given mode, concurrent with the
+// CPU-bound test program.
+func MeasureServer(clients int, mode server.Mode) ServerCell {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 3600 * sim.Second
+	k := kernel.New(cfg)
+	cache := buf.NewCache(k, 400, 8192)
+	d := disk.New(k, disk.RAMDisk(2048, 8192))
+	d.SetCache(cache)
+	if _, err := fs.Mkfs(d, 64); err != nil {
+		panic(err)
+	}
+	net := socket.NewNet(k, socket.Ethernet10())
+	st, err := stream.NewTransport(k, net, serverPort)
+	if err != nil {
+		panic(err)
+	}
+	cts := make([]*stream.Transport, clients)
+	for i := range cts {
+		if cts[i], err = stream.NewTransport(k, net, 5001+i); err != nil {
+			panic(err)
+		}
+	}
+
+	ready := false
+	stop := false
+	var elapsed sim.Duration
+	latencies := make([][]sim.Duration, clients)
+	var totalBytes int64
+
+	// Boot: mount, create the file, warm the cache, then start the
+	// server engine and release the clients.
+	k.Spawn("boot", func(p *kernel.Proc) {
+		f, err := fs.Mount(p.Ctx(), cache, d)
+		if err != nil {
+			panic(err)
+		}
+		k.Mount("/srv", f)
+		fd, err := p.Open(serverFile, kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			panic(err)
+		}
+		block := make([]byte, 8192)
+		for i := range block {
+			block[i] = byte(i) ^ 0x5A
+		}
+		for off := 0; off < serverFileBytes; off += len(block) {
+			if _, err := p.Write(fd, block); err != nil {
+				panic(err)
+			}
+		}
+		_ = p.Close(fd)
+		// One full read leaves every block resident, so the network is
+		// the only device in the serving path.
+		rfd, err := p.Open(serverFile, kernel.ORdOnly)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			n, err := p.Read(rfd, block)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		_ = p.Close(rfd)
+		server.Start(k, server.Config{
+			Name:      "fsrv",
+			Transport: st,
+			Path:      serverFile,
+			FileBytes: serverFileBytes,
+			Mode:      mode,
+			Conns:     clients,
+		})
+		ready = true
+		k.Wakeup(&ready)
+	})
+
+	for i := 0; i < clients; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("client-%d", i), func(p *kernel.Proc) {
+			for !ready {
+				_ = p.Sleep(&ready, kernel.PWAIT)
+			}
+			fd, _, err := cts[i].Connect(p, serverPort)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 8192)
+			for !stop {
+				t0 := p.Now()
+				if _, err := p.Write(fd, []byte{1}); err != nil {
+					break
+				}
+				var got int
+				for got < serverFileBytes {
+					n, err := p.Read(fd, buf)
+					if err != nil || n == 0 {
+						break
+					}
+					got += n
+				}
+				latencies[i] = append(latencies[i], p.Now().Sub(t0))
+				totalBytes += int64(got)
+				p.SleepFor(clientThink)
+			}
+			_ = p.Close(fd)
+		})
+	}
+
+	k.Spawn("test", func(p *kernel.Proc) {
+		for !ready {
+			_ = p.Sleep(&ready, kernel.PWAIT)
+		}
+		t0 := p.Now()
+		for i := 0; i < serverTestOps; i++ {
+			p.Compute(serverTestCost)
+		}
+		elapsed = p.Now().Sub(t0)
+		stop = true
+	})
+
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+
+	var all []sim.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cell := ServerCell{
+		Clients:  clients,
+		Mode:     mode,
+		Requests: int64(len(all)),
+	}
+	baseline := sim.Duration(serverTestOps) * serverTestCost
+	if elapsed > 0 {
+		cell.AvailPct = 100 * float64(baseline) / float64(elapsed)
+		cell.KBs = float64(totalBytes) / 1024 / (float64(elapsed) / float64(sim.Second))
+	}
+	if len(all) > 0 {
+		idx := (len(all)*99 + 99) / 100
+		if idx > len(all) {
+			idx = len(all)
+		}
+		cell.P99 = all[idx-1]
+	}
+	return cell
+}
+
+// SweepServer produces the server-scalability table: clients x {cp,scp}
+// with aggregate throughput, CPU availability, and p99 client latency.
+func SweepServer() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Server scalability (128 KB cached file, 10Mb Ethernet, concurrent test program)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %11s %10s %10s %11s %9s\n",
+		"Clients", "CP KB/s", "CP avail", "CP p99(ms)", "SCP KB/s", "SCP avail", "SCP p99(ms)", "Gap(pts)")
+	for _, n := range []int{1, 2, 4, 8} {
+		cp := MeasureServer(n, server.ModeCopy)
+		scp := MeasureServer(n, server.ModeSplice)
+		fmt.Fprintf(&b, "%-8d %10.0f %9.1f%% %11.1f %10.0f %9.1f%% %11.1f %9.1f\n",
+			n,
+			cp.KBs, cp.AvailPct, float64(cp.P99)/float64(sim.Millisecond),
+			scp.KBs, scp.AvailPct, float64(scp.P99)/float64(sim.Millisecond),
+			scp.AvailPct-cp.AvailPct)
+	}
+	return b.String()
+}

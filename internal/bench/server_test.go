@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"kdp/internal/server"
+)
+
+// TestServerSweepShape checks the paper's qualitative claim at fan-out:
+// splice serving leaves more CPU available than read/write serving at
+// every client count, and the availability gap widens as clients grow.
+func TestServerSweepShape(t *testing.T) {
+	prevGap := -1.0
+	for _, n := range []int{1, 2, 4, 8} {
+		cp := MeasureServer(n, server.ModeCopy)
+		scp := MeasureServer(n, server.ModeSplice)
+		if scp.AvailPct <= cp.AvailPct {
+			t.Fatalf("%d clients: scp availability %.1f%% not above cp %.1f%%",
+				n, scp.AvailPct, cp.AvailPct)
+		}
+		gap := scp.AvailPct - cp.AvailPct
+		if gap <= prevGap {
+			t.Fatalf("%d clients: availability gap %.1f did not widen (previous %.1f)",
+				n, gap, prevGap)
+		}
+		prevGap = gap
+		if cp.Requests == 0 || scp.Requests == 0 {
+			t.Fatalf("%d clients: no requests completed (cp=%d scp=%d)",
+				n, cp.Requests, scp.Requests)
+		}
+	}
+}
+
+// TestServerSweepDeterministic regenerates the table under different
+// GOMAXPROCS settings and requires byte-identical output.
+func TestServerSweepDeterministic(t *testing.T) {
+	first := SweepServer()
+	prev := runtime.GOMAXPROCS(1)
+	second := SweepServer()
+	runtime.GOMAXPROCS(prev)
+	if first != second {
+		t.Fatalf("server sweep differs across GOMAXPROCS:\n--- default ---\n%s\n--- GOMAXPROCS=1 ---\n%s", first, second)
+	}
+}

@@ -29,8 +29,10 @@ func RunSweep(name string, disks []DiskKind) (string, error) {
 		return SweepRate(), nil
 	case "layout":
 		return SweepLayout(), nil
+	case "server":
+		return SweepServer(), nil
 	default:
-		return "", fmt.Errorf("unknown sweep %q (want quantum, watermark, sharing, filesize, socket, rate, layout)", name)
+		return "", fmt.Errorf("unknown sweep %q (want quantum, watermark, sharing, filesize, socket, rate, layout, server)", name)
 	}
 }
 

@@ -10,19 +10,21 @@ import (
 
 // Errno-style errors shared across the I/O stack.
 var (
-	ErrNoEnt      = errorString("no such file or directory")
-	ErrBadFD      = errorString("bad file descriptor")
-	ErrInval      = errorString("invalid argument")
-	ErrExist      = errorString("file exists")
-	ErrIsDir      = errorString("is a directory")
-	ErrNotDir     = errorString("not a directory")
-	ErrNoSpace    = errorString("no space left on device")
-	ErrNxIO       = errorString("no such device or address")
-	ErrROFS       = errorString("read-only file system")
-	ErrOpNotSupp  = errorString("operation not supported")
-	ErrFileTooBig = errorString("file too large")
-	ErrWouldBlock = errorString("operation would block")
-	ErrIO         = errorString("I/O error")
+	ErrNoEnt       = errorString("no such file or directory")
+	ErrBadFD       = errorString("bad file descriptor")
+	ErrInval       = errorString("invalid argument")
+	ErrExist       = errorString("file exists")
+	ErrIsDir       = errorString("is a directory")
+	ErrNotDir      = errorString("not a directory")
+	ErrNoSpace     = errorString("no space left on device")
+	ErrNxIO        = errorString("no such device or address")
+	ErrROFS        = errorString("read-only file system")
+	ErrOpNotSupp   = errorString("operation not supported")
+	ErrFileTooBig  = errorString("file too large")
+	ErrWouldBlock  = errorString("operation would block")
+	ErrIO          = errorString("I/O error")
+	ErrConnRefused = errorString("connection refused")
+	ErrTimedOut    = errorString("connection timed out")
 )
 
 // Open flags, fcntl commands and the FASYNC bit, in the spirit of the
@@ -161,6 +163,19 @@ func (p *Proc) FD(fd int) (*FDesc, error) {
 // fixtures) into the descriptor table and returns its fd.
 func (p *Proc) InstallFile(ops FileOps, flags int) int {
 	return p.installFD(ops, flags)
+}
+
+// ReleaseFD removes fd from the descriptor table without closing the
+// underlying object, returning it — the fd-passing primitive a server's
+// accept loop uses to hand a connection to its handler process (which
+// re-installs it with InstallFile).
+func (p *Proc) ReleaseFD(fd int) (FileOps, error) {
+	f, err := p.FD(fd)
+	if err != nil {
+		return nil, err
+	}
+	p.fds[fd] = nil
+	return f.ops, nil
 }
 
 // SyscallEnter charges the fixed trap cost, counts the call, and emits

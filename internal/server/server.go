@@ -1,0 +1,154 @@
+// Package server implements a concurrent file-server engine on top of
+// the stream transport: an accept loop hands each incoming connection
+// to its own handler process, and each handler serves file requests
+// either through the read/write copy path (cp) or by splicing the file
+// straight onto the connection (scp) — the paper's §7 server scenario,
+// where the in-kernel data path is what keeps the CPU available as
+// client fan-out grows.
+//
+// The request protocol is deliberately minimal: a client sends one
+// request byte, the server answers with the whole file, and the
+// connection carries any number of requests until the client closes
+// its half, at which point the handler closes the other.
+package server
+
+import (
+	"fmt"
+
+	"kdp/internal/kernel"
+	"kdp/internal/splice"
+	"kdp/internal/stream"
+	"kdp/internal/trace"
+)
+
+// Mode selects the serving data path.
+type Mode int
+
+// Serving modes.
+const (
+	// ModeCopy serves with read(file)+write(conn): two user copies per
+	// block, both charged to the handler process.
+	ModeCopy Mode = iota
+	// ModeSplice serves with splice(file, conn): the data moves at
+	// interrupt level and never crosses the user boundary.
+	ModeSplice
+)
+
+func (m Mode) String() string {
+	if m == ModeSplice {
+		return "scp"
+	}
+	return "cp"
+}
+
+// Config describes one server instance.
+type Config struct {
+	// Name labels the server's processes and trace events.
+	Name string
+	// Transport is the listening endpoint (the engine calls Listen).
+	Transport *stream.Transport
+	// Path is the file served for every request.
+	Path string
+	// FileBytes is the response length (the file's size; clients know
+	// it and read exactly this much per request).
+	FileBytes int64
+	// Mode picks the data path.
+	Mode Mode
+	// Conns is the number of connections to accept before the accept
+	// loop exits; the engine is done once they all close.
+	Conns int
+}
+
+// Server is a running file server.
+type Server struct {
+	cfg Config
+	k   *kernel.Kernel
+
+	accepted int64
+	requests int64
+	bytes    int64
+}
+
+// Accepted returns connections accepted so far.
+func (s *Server) Accepted() int64 { return s.accepted }
+
+// Requests returns requests served to completion.
+func (s *Server) Requests() int64 { return s.requests }
+
+// BytesServed returns total response bytes written or spliced.
+func (s *Server) BytesServed() int64 { return s.bytes }
+
+// Start spawns the accept loop. Handlers are spawned one per accepted
+// connection and run until their client closes.
+func Start(k *kernel.Kernel, cfg Config) *Server {
+	s := &Server{cfg: cfg, k: k}
+	k.Spawn(cfg.Name+"-accept", s.acceptLoop)
+	return s
+}
+
+func (s *Server) acceptLoop(p *kernel.Proc) {
+	if err := s.cfg.Transport.Listen(p); err != nil {
+		panic(fmt.Sprintf("server %s: listen: %v", s.cfg.Name, err))
+	}
+	for i := 0; i < s.cfg.Conns; i++ {
+		fd, conn, err := s.cfg.Transport.Accept(p)
+		if err != nil {
+			panic(fmt.Sprintf("server %s: accept: %v", s.cfg.Name, err))
+		}
+		s.accepted++
+		s.k.TraceEmit(trace.KindServerAccept, p.Pid(), int64(conn.RemotePort()), s.accepted, s.cfg.Name)
+		// The handler owns the descriptor: re-home it into the new
+		// process's table and release it here, so the accept loop can
+		// exit while handlers are still serving.
+		handler := fmt.Sprintf("%s-h%d", s.cfg.Name, s.accepted)
+		if _, err := p.ReleaseFD(fd); err != nil {
+			panic(fmt.Sprintf("server %s: release fd: %v", s.cfg.Name, err))
+		}
+		s.k.Spawn(handler, func(hp *kernel.Proc) {
+			s.handle(hp, conn)
+		})
+	}
+}
+
+// handle serves requests on one connection until the client closes.
+func (s *Server) handle(p *kernel.Proc, conn *stream.Conn) {
+	cfd := p.InstallFile(conn, kernel.ORdWr)
+	src, err := p.Open(s.cfg.Path, kernel.ORdOnly)
+	if err != nil {
+		panic(fmt.Sprintf("server %s: open %s: %v", s.cfg.Name, s.cfg.Path, err))
+	}
+	req := make([]byte, 1)
+	for {
+		n, err := p.Read(cfd, req)
+		if err != nil || n == 0 {
+			break // client closed (or connection failed)
+		}
+		if _, err := p.Lseek(src, 0, kernel.SeekSet); err != nil {
+			panic(fmt.Sprintf("server %s: lseek: %v", s.cfg.Name, err))
+		}
+		if s.cfg.Mode == ModeSplice {
+			moved, err := splice.Splice(p, src, cfd, s.cfg.FileBytes)
+			if err != nil {
+				break
+			}
+			s.bytes += moved
+		} else {
+			buf := make([]byte, 8192)
+			var served int64
+			for served < s.cfg.FileBytes {
+				rn, err := p.Read(src, buf)
+				if err != nil || rn == 0 {
+					break
+				}
+				if _, err := p.Write(cfd, buf[:rn]); err != nil {
+					break
+				}
+				served += int64(rn)
+			}
+			s.bytes += served
+		}
+		s.requests++
+	}
+	_ = p.Close(src)
+	_ = p.Close(cfd)
+}

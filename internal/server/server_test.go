@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kdp/internal/buf"
+	"kdp/internal/disk"
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/socket"
+	"kdp/internal/stream"
+	"kdp/internal/trace"
+)
+
+const (
+	testFileBytes = 64 << 10
+	testPort      = 80
+)
+
+// runServer serves nClients closed-loop clients (reqs requests each) in
+// the given mode and returns the per-client received data and the trace
+// collector.
+func runServer(t *testing.T, mode Mode, nClients, reqs int) ([][]byte, *trace.Collector, *Server) {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 3600 * sim.Second
+	k := kernel.New(cfg)
+	col := &trace.Collector{}
+	k.StartTrace(col)
+	cache := buf.NewCache(k, 400, 8192)
+	d := disk.New(k, disk.RAMDisk(1024, 8192))
+	d.SetCache(cache)
+	if _, err := fs.Mkfs(d, 64); err != nil {
+		t.Fatal(err)
+	}
+	net := socket.NewNet(k, socket.Loopback())
+	st, err := stream.NewTransport(k, net, testPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := make([]*stream.Transport, nClients)
+	for i := range cts {
+		if cts[i], err = stream.NewTransport(k, net, 5001+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var srv *Server
+	ready := false
+	k.Spawn("boot", func(p *kernel.Proc) {
+		f, err := fs.Mount(p.Ctx(), cache, d)
+		if err != nil {
+			panic(err)
+		}
+		k.Mount("/srv", f)
+		fd, err := p.Open("/srv/file", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			panic(err)
+		}
+		block := make([]byte, 8192)
+		for i := range block {
+			block[i] = byte(i) ^ 0xC3
+		}
+		for off := 0; off < testFileBytes; off += len(block) {
+			if _, err := p.Write(fd, block); err != nil {
+				panic(err)
+			}
+		}
+		_ = p.Close(fd)
+		srv = Start(k, Config{
+			Name:      "fsrv",
+			Transport: st,
+			Path:      "/srv/file",
+			FileBytes: testFileBytes,
+			Mode:      mode,
+			Conns:     nClients,
+		})
+		ready = true
+		k.Wakeup(&ready)
+	})
+
+	got := make([][]byte, nClients)
+	for i := 0; i < nClients; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("client-%d", i), func(p *kernel.Proc) {
+			for !ready {
+				_ = p.Sleep(&ready, kernel.PWAIT)
+			}
+			fd, _, err := cts[i].Connect(p, testPort)
+			if err != nil {
+				t.Errorf("client %d: connect: %v", i, err)
+				return
+			}
+			buf := make([]byte, 8192)
+			for r := 0; r < reqs; r++ {
+				if _, err := p.Write(fd, []byte{1}); err != nil {
+					t.Errorf("client %d: request: %v", i, err)
+					return
+				}
+				var resp int
+				for resp < testFileBytes {
+					n, err := p.Read(fd, buf)
+					if err != nil || n == 0 {
+						t.Errorf("client %d: response truncated at %d: %v", i, resp, err)
+						return
+					}
+					got[i] = append(got[i], buf[:n]...)
+					resp += n
+				}
+			}
+			_ = p.Close(fd)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got, col, srv
+}
+
+func TestServerServesConcurrentClients(t *testing.T) {
+	for _, mode := range []Mode{ModeCopy, ModeSplice} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const nClients, reqs = 3, 2
+			got, col, srv := runServer(t, mode, nClients, reqs)
+
+			want := make([]byte, 0, testFileBytes*reqs)
+			block := make([]byte, 8192)
+			for i := range block {
+				block[i] = byte(i) ^ 0xC3
+			}
+			for len(want) < testFileBytes*reqs {
+				want = append(want, block...)
+			}
+			for i := 0; i < nClients; i++ {
+				if !bytes.Equal(got[i], want) {
+					t.Fatalf("client %d received %d bytes, want %d (mode %s)", i, len(got[i]), len(want), mode)
+				}
+			}
+			if srv.Accepted() != nClients {
+				t.Fatalf("accepted %d connections, want %d", srv.Accepted(), nClients)
+			}
+			if srv.Requests() != nClients*reqs {
+				t.Fatalf("served %d requests, want %d", srv.Requests(), nClients*reqs)
+			}
+			if srv.BytesServed() != int64(nClients*reqs*testFileBytes) {
+				t.Fatalf("served %d bytes, want %d", srv.BytesServed(), nClients*reqs*testFileBytes)
+			}
+			accepts := 0
+			for _, ev := range col.Events {
+				if ev.Kind == trace.KindServerAccept {
+					accepts++
+					if ev.Name != "fsrv" {
+						t.Fatalf("server.accept event named %q, want fsrv", ev.Name)
+					}
+				}
+			}
+			if accepts != nClients {
+				t.Fatalf("%d server.accept events, want %d", accepts, nClients)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
 	"kdp/internal/splice"
+	"kdp/internal/stream"
 )
 
 // The op vocabulary. Every op is self-contained — it opens what it
@@ -29,6 +30,8 @@ const (
 	opSpliceSig  // synchronous splice interrupted by a posted signal
 	opFault      // arm a one-shot disk fault on the tight volume
 	opTraceSnap  // snapshot the trace counters into the event log
+	opStreamConn // stream connect/accept handshake + close on the lossy net
+	opStreamXfer // stream transfer over the lossy net, byte-exact delivery
 )
 
 // Generation sizes. Files stay under 12 direct blocks (96KB) so the
@@ -86,6 +89,10 @@ func (o *op) describe() string {
 		return fmt.Sprintf("fault d1 blk=%d on %s", o.faultBlk, mode)
 	case opTraceSnap:
 		return "trace-snapshot"
+	case opStreamConn:
+		return "stream-connect"
+	case opStreamXfer:
+		return fmt.Sprintf("stream-transfer n=%d pat=%#02x", o.size, o.pat)
 	default:
 		return fmt.Sprintf("op?%d", int(o.kind))
 	}
@@ -111,34 +118,39 @@ func genOps(cfg Config) []*op {
 		// Weighted kind selection: plain file traffic dominates, splice
 		// variants and fault/signal events season the mix.
 		switch w := r.Intn(100); {
-		case w < 28:
+		case w < 25:
 			o.kind = opWrite
-		case w < 48:
+		case w < 43:
 			o.kind = opRead
-		case w < 54:
+		case w < 48:
 			o.kind = opTrunc
-		case w < 58:
+		case w < 52:
 			o.kind = opUnlink
-		case w < 63:
+		case w < 56:
 			o.kind = opFsync
-		case w < 75:
+		case w < 66:
 			o.kind = opSpliceFF
-		case w < 81:
+		case w < 71:
 			o.kind = opSplicePipe
-		case w < 87:
+		case w < 76:
 			o.kind = opPipeSplice
 			o.size = 1 + r.Intn(maxStreamIO)
-		case w < 92:
+		case w < 81:
 			o.kind = opSpliceSock
-		case w < 95:
+		case w < 84:
 			o.kind = opSpliceSig
 			o.sigTicks = 1 + r.Intn(15)
-		case w < 97:
+		case w < 86:
 			o.kind = opTraceSnap
-		default:
+		case w < 89:
 			o.kind = opFault
 			o.faultBlk = r.Int63n(d1Blocks)
 			o.faultRead = r.Intn(2) == 0
+		case w < 92:
+			o.kind = opStreamConn
+		default:
+			o.kind = opStreamXfer
+			o.size = 1 + r.Intn(maxStreamIO)
 		}
 		if o.kind == opSpliceFF || o.kind == opSpliceSig {
 			o.disk2 = r.Intn(2)
@@ -223,6 +235,10 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.logf("op %d w%d %s", o.idx, w, o.describe())
 	case opTraceSnap:
 		m.doTraceSnap(o, w)
+	case opStreamConn:
+		m.doStreamConn(p, w, o)
+	case opStreamXfer:
+		m.doStreamXfer(p, w, o)
 	}
 }
 
@@ -659,4 +675,150 @@ func (m *machine) doSpliceSock(p *kernel.Proc, w int, o *op) {
 		return
 	}
 	m.opLog(o, w, "ok moved=%d", moved)
+}
+
+// streamPorts allocates the per-op port pair on the lossy net. Four
+// apart so an op's transports can never collide with a neighbour's.
+func streamPorts(o *op) (int, int) {
+	return 5000 + 4*o.idx, 5002 + 4*o.idx
+}
+
+// doStreamConn exercises the transport handshake and teardown under
+// loss: SYN, SYN-ACK, FIN exchanges all cross the dropping link, so
+// every control segment's retransmission path gets fuzzed. The op
+// succeeds only if both sides close cleanly; the client's retransmit
+// count is folded into the log, so a replay that retransmits
+// differently diverges the digest.
+func (m *machine) doStreamConn(p *kernel.Proc, w int, o *op) {
+	srvPort, cliPort := streamPorts(o)
+	st, err := stream.NewTransport(m.k, m.snet, srvPort)
+	if err != nil {
+		m.fail(fmt.Errorf("stream-conn: server transport: %w", err))
+		return
+	}
+	ct, err := stream.NewTransport(m.k, m.snet, cliPort)
+	if err != nil {
+		m.fail(fmt.Errorf("stream-conn: client transport: %w", err))
+		return
+	}
+
+	var (
+		doneFlag bool
+		srvErr   error
+	)
+	m.k.Spawn(fmt.Sprintf("acc%d", o.idx), func(rp *kernel.Proc) {
+		if err := st.Listen(rp); err != nil {
+			srvErr = err
+		} else if fd, _, err := st.Accept(rp); err != nil {
+			srvErr = err
+		} else {
+			srvErr = rp.Close(fd)
+		}
+		doneFlag = true
+		m.k.Wakeup(&doneFlag)
+	})
+
+	fd, conn, cerr := ct.Connect(p, srvPort)
+	if cerr == nil {
+		cerr = p.Close(fd)
+	}
+	for !doneFlag {
+		if err := p.Sleep(&doneFlag, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	if cerr != nil || srvErr != nil {
+		m.fail(fmt.Errorf("stream-conn: client err %v, server err %v", cerr, srvErr))
+		return
+	}
+	m.opLog(o, w, "ok retx=%d", conn.Retransmits())
+}
+
+// doStreamXfer pushes a generated pattern through a full stream
+// connection over the dropping link and requires byte-exact in-order
+// delivery. Unlike the splice-to-socket op this one needs no file
+// oracle: the expected bytes are a pure function of (pat, size), so
+// the check is self-contained and survives op-sequence bisection.
+func (m *machine) doStreamXfer(p *kernel.Proc, w int, o *op) {
+	srvPort, cliPort := streamPorts(o)
+	st, err := stream.NewTransport(m.k, m.snet, srvPort)
+	if err != nil {
+		m.fail(fmt.Errorf("stream-xfer: server transport: %w", err))
+		return
+	}
+	ct, err := stream.NewTransport(m.k, m.snet, cliPort)
+	if err != nil {
+		m.fail(fmt.Errorf("stream-xfer: client transport: %w", err))
+		return
+	}
+	want := make([]byte, o.size)
+	fillPattern(want, 0, o.pat)
+
+	var (
+		got      []byte
+		doneFlag bool
+		srvRetx  int64
+		srvErr   error
+	)
+	m.k.Spawn(fmt.Sprintf("str%d", o.idx), func(rp *kernel.Proc) {
+		defer func() {
+			doneFlag = true
+			m.k.Wakeup(&doneFlag)
+		}()
+		if err := st.Listen(rp); err != nil {
+			srvErr = err
+			return
+		}
+		fd, sc, err := st.Accept(rp)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		buf := make([]byte, 8<<10)
+		for {
+			n, err := rp.Read(fd, buf)
+			if err != nil {
+				srvErr = err
+				break
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if err := rp.Close(fd); err != nil && srvErr == nil {
+			srvErr = err
+		}
+		srvRetx = sc.Retransmits()
+	})
+
+	fd, conn, cerr := ct.Connect(p, srvPort)
+	if cerr == nil {
+		if n, err := p.Write(fd, want); err != nil {
+			cerr = err
+		} else if n != len(want) {
+			cerr = fmt.Errorf("short write: %d of %d", n, len(want))
+		}
+		if err := p.Close(fd); err != nil && cerr == nil {
+			cerr = err
+		}
+	}
+	for !doneFlag {
+		if err := p.Sleep(&doneFlag, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	if cerr != nil || srvErr != nil {
+		m.fail(fmt.Errorf("stream-xfer: client err %v, server err %v", cerr, srvErr))
+		return
+	}
+	if len(got) != len(want) {
+		m.fail(fmt.Errorf("stream-xfer: delivered %d bytes, want %d", len(got), len(want)))
+		return
+	}
+	if i := firstDiff(got, want); i >= 0 {
+		m.fail(fmt.Errorf("stream-xfer-content: byte %d differs: got %#02x, want %#02x", i, got[i], want[i]))
+		return
+	}
+	m.opLog(o, w, "ok retx=%d/%d", conn.Retransmits(), srvRetx)
 }

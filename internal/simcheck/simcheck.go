@@ -16,8 +16,9 @@
 //  1. Invariant hooks. At every scheduling boundary the kernel probe
 //     (kernel.SetProbe) re-validates the buffer cache
 //     (buf.CheckInvariants), scheduler/callouts (kernel.CheckInvariants),
-//     in-core filesystem state (fs.CheckLive), and live splice
-//     descriptors (splice.CheckInvariants).
+//     in-core filesystem state (fs.CheckLive), live splice
+//     descriptors (splice.CheckInvariants), and live stream
+//     connections (stream.CheckInvariants).
 //  2. Oracle. Every generated op updates an in-memory model of expected
 //     file contents; reads verify against it inline and a final sweep
 //     re-reads every file. Disk-fault injection taints the affected
@@ -48,6 +49,7 @@ import (
 	"kdp/internal/sim"
 	"kdp/internal/socket"
 	"kdp/internal/splice"
+	"kdp/internal/stream"
 	"kdp/internal/trace"
 )
 
@@ -106,6 +108,10 @@ type machine struct {
 	disks [2]*disk.Disk
 	fss   [2]*fs.FS
 	net   *socket.Net
+	// snet is a second, deliberately lossy link reserved for the stream
+	// ops, so the datagram oracle on net keeps its no-loss assumptions
+	// while the transport's retransmission machinery sees real drops.
+	snet *socket.Net
 
 	oracle map[string]*ofile
 	log    []string
@@ -217,12 +223,17 @@ func execute(cfg Config, ops []*op) *Result {
 		m.disks[i] = d
 	}
 	m.net = socket.NewNet(m.k, socket.Loopback())
+	lossy := socket.Loopback()
+	lossy.DropEvery = 5
+	m.snet = socket.NewNet(m.k, lossy)
 	m.tchk = trace.NewChecker()
 	m.tdig = trace.NewDigester()
 	m.tr = m.k.StartTrace(trace.Tee(m.tchk, m.tdig))
 
 	splice.EnableInvariants(true)
 	defer splice.EnableInvariants(false)
+	stream.EnableInvariants(true)
+	defer stream.EnableInvariants(false)
 	m.k.SetProbe(m.probe)
 
 	perWorker := make([][]*op, cfg.Workers)
@@ -324,7 +335,10 @@ func (m *machine) checkInvariants() error {
 	if err := m.tchk.CheckMetrics(m.tr.Metrics()); err != nil {
 		return err
 	}
-	return splice.CheckInvariants()
+	if err := splice.CheckInvariants(); err != nil {
+		return err
+	}
+	return stream.CheckInvariants()
 }
 
 // fail records the first violation, stamped with the seed, the op in
@@ -443,6 +457,10 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 	}
 
 	if err := splice.CheckDrained(); err != nil {
+		m.fail(err)
+		return
+	}
+	if err := stream.CheckDrained(); err != nil {
 		m.fail(err)
 		return
 	}

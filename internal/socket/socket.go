@@ -156,6 +156,15 @@ func (n *Net) deliver(port int, pkt packet) {
 		n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
 		return
 	}
+	if s.handler != nil {
+		// Protocol input processing: the handler consumes the packet
+		// immediately at interrupt level, so no receive queue (and no
+		// receive-buffer bound) is involved.
+		n.delivered++
+		n.k.TraceEmit(trace.KindNetRx, 0, int64(len(pkt.data)), int64(port), "")
+		s.handler(pkt.data, pkt.from, pkt.eof)
+		return
+	}
 	if s.rcvBytes+len(pkt.data) > n.p.RcvBufBytes {
 		n.dropped++
 		n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
@@ -178,6 +187,10 @@ type Socket struct {
 	rcvq     []packet
 	rcvBytes int
 
+	// handler, when set, receives every arriving packet at interrupt
+	// level instead of the receive queue (see SetHandler).
+	handler func(data []byte, from int, eof bool)
+
 	pendingMax     int
 	pendingDeliver func([]byte, bool, error)
 
@@ -194,8 +207,17 @@ func (n *Net) NewSocket(port int) (*Socket, error) {
 	return s, nil
 }
 
-// Connect sets the default destination port for writes.
-func (s *Socket) Connect(port int) { s.peer = port }
+// Connect sets the default destination port for writes. The peer port
+// must already be bound on the Net: a datagram "connection" to a
+// nonexistent port would silently blackhole every write, so the check
+// happens here, where the caller can still handle it.
+func (s *Socket) Connect(port int) error {
+	if _, ok := s.net.socks[port]; !ok {
+		return kernel.ErrConnRefused
+	}
+	s.peer = port
+	return nil
+}
 
 // Port returns the bound port.
 func (s *Socket) Port() int { return s.port }
@@ -240,6 +262,25 @@ func (s *Socket) takeDatagram(max int) (data []byte, eof bool) {
 		return d, false
 	}
 	return nil, s.closed
+}
+
+// SetHandler installs an interrupt-level input handler: every packet
+// arriving for this socket is handed to fn directly — with the sending
+// port, as protocol input routines need — instead of being queued for
+// readers. A handler socket has no receive-buffer bound (the handler
+// consumes each packet as it arrives). The stream transport uses this
+// to demultiplex segments onto connections. Pass nil to restore queued
+// delivery.
+func (s *Socket) SetHandler(fn func(data []byte, from int, eof bool)) {
+	s.handler = fn
+}
+
+// SendTo transmits one datagram toward dst, independent of the
+// connected peer — the transport-layer send path (stream segments carry
+// their own addressing). onSent, if non-nil, fires at interrupt level
+// once the link has accepted the datagram.
+func (s *Socket) SendTo(dst int, data []byte, onSent func()) {
+	s.sendTo(dst, data, false, onSent)
 }
 
 // sendTo transmits one datagram toward port dst.

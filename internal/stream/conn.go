@@ -1,0 +1,642 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"kdp/internal/kernel"
+	"kdp/internal/trace"
+)
+
+// Protocol parameters. The RTO starts well above the worst-case link
+// queueing delay seen at full fan-out (so loss-free runs never
+// retransmit spuriously) and backs off exponentially, as in TCP.
+const (
+	// MaxSeg is the maximum payload per segment.
+	MaxSeg = 8192
+	// sndCap bounds the unacknowledged send buffer per connection.
+	sndCap = 64 << 10
+	// rcvCap is the receive buffer capacity each side advertises.
+	rcvCap = 32 << 10
+	// initialRTO / maxRTO are retransmission timeouts in clock ticks.
+	initialRTO = 50
+	maxRTO     = 400
+	// maxRetries bounds consecutive retransmissions of one segment
+	// before the connection is declared dead.
+	maxRetries = 12
+	// reasmLimit bounds how far past rcvNxt an out-of-order segment may
+	// be stashed for reassembly.
+	reasmLimit = 2 * rcvCap
+)
+
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateEstablished
+	stateClosed
+)
+
+type connWrite struct {
+	data []byte
+	done func(error)
+}
+
+// Conn is one reliable stream connection. All protocol processing runs
+// at interrupt level (segments arrive via the transport's socket
+// handler, retransmissions fire from the callout list); process-context
+// entry points are the FileOps methods and Close. It implements
+// kernel.FileOps plus the splice Source and Sink interfaces, so a file
+// can be spliced straight onto a connection.
+type Conn struct {
+	t      *Transport
+	remote int
+	id     uint32
+	label  string
+	state  connState
+
+	// Sender. sndBuf holds bytes [sndUna, sndUna+len(sndBuf)); sndNxt
+	// is the next offset to transmit; peerWnd is the receiver's most
+	// recent advertised credit.
+	sndBuf       []byte
+	sndUna       int64
+	sndNxt       int64
+	peerWnd      int64
+	finAt        int64 // FIN sequence offset; -1 until Close
+	finAcked     bool
+	writeWaiters []connWrite
+	rtx          *kernel.Callout
+	rtoTicks     int
+	retries      int64
+	retx         int64 // total retransmitted segments (stable under GOMAXPROCS)
+	stalled      bool
+	failed       error
+
+	// Receiver. rcvBuf holds in-order bytes awaiting the consumer;
+	// reasm holds out-of-order segments keyed by start offset; advWnd
+	// is the window last advertised to the peer.
+	rcvNxt    int64
+	rcvBuf    []byte
+	reasm     map[int64][]byte
+	advWnd    int64
+	remoteFin int64 // FIN offset announced by the peer; -1 until seen
+	rcvClosed bool
+
+	// Parked splice read.
+	pendingMax     int
+	pendingDeliver func([]byte, bool, error)
+
+	// Sleep channels (one per wait reason, so wakeups are targeted).
+	connW byte // Connect waiting for SYNACK
+	rdW   byte // blocked readers
+	clW   byte // Close waiting for the FIN acknowledgement
+
+	ckRcvNxt int64 // high-water mark for the reordering invariant
+}
+
+func newConn(t *Transport, remote int, id uint32, st connState) *Conn {
+	c := &Conn{
+		t:         t,
+		remote:    remote,
+		id:        id,
+		label:     fmt.Sprintf("%d->%d#%d", t.port, remote, id),
+		state:     st,
+		finAt:     -1,
+		remoteFin: -1,
+		rtoTicks:  initialRTO,
+		advWnd:    rcvCap,
+		reasm:     make(map[int64][]byte),
+	}
+	registerConn(c)
+	return c
+}
+
+// Label identifies the connection in traces ("80->5001#1").
+func (c *Conn) Label() string { return c.label }
+
+// RemotePort returns the peer's socket port.
+func (c *Conn) RemotePort() int { return c.remote }
+
+// Retransmits returns the number of segments this side retransmitted.
+func (c *Conn) Retransmits() int64 { return c.retx }
+
+// Err returns the terminal error, if the connection failed.
+func (c *Conn) Err() error { return c.failed }
+
+func (c *Conn) key() uint64 { return connKey(c.remote, c.id) }
+
+func (c *Conn) freeWnd() int64 {
+	if f := int64(rcvCap - len(c.rcvBuf)); f > 0 {
+		return f
+	}
+	return 0
+}
+
+// dataEnd is the offset just past the last byte accepted for sending.
+func (c *Conn) dataEnd() int64 { return c.sndUna + int64(len(c.sndBuf)) }
+
+// seqEnd is the last offset the peer must acknowledge: dataEnd, plus
+// one for the FIN once Close has queued it.
+func (c *Conn) seqEnd() int64 {
+	if c.finAt >= 0 {
+		return c.finAt + 1
+	}
+	return c.dataEnd()
+}
+
+// ---- sending ----
+
+// sendSeg emits one segment toward the peer, piggybacking the current
+// cumulative ack and receive window.
+func (c *Conn) sendSeg(typ byte, seq int64, payload []byte) {
+	c.advWnd = c.freeWnd()
+	seg := segment{
+		typ:     typ,
+		connID:  c.id,
+		seq:     seq,
+		ack:     c.rcvNxt,
+		wnd:     c.advWnd,
+		payload: payload,
+	}
+	c.t.sock.SendTo(c.remote, seg.encode(), nil)
+}
+
+// admit moves pending write data into the send buffer while capacity
+// allows, completing write callbacks whose data is fully admitted —
+// admission, not acknowledgement, is the sink-side flow control that
+// composes with the splice watermarks.
+func (c *Conn) admit() {
+	for len(c.writeWaiters) > 0 {
+		w := &c.writeWaiters[0]
+		space := sndCap - len(c.sndBuf)
+		if space <= 0 {
+			return
+		}
+		n := len(w.data)
+		if n > space {
+			n = space
+		}
+		c.sndBuf = append(c.sndBuf, w.data[:n]...)
+		w.data = w.data[n:]
+		if len(w.data) > 0 {
+			return
+		}
+		done := w.done
+		c.writeWaiters = c.writeWaiters[1:]
+		if done != nil {
+			done(nil)
+		}
+	}
+}
+
+// pump transmits as much buffered data as the peer's window allows,
+// then the FIN once all data is out. Emits stream.stall (once per
+// episode) when data is ready but the window is closed.
+func (c *Conn) pump() {
+	if c.state != stateEstablished {
+		return
+	}
+	for c.sndNxt < c.dataEnd() {
+		inflight := c.sndNxt - c.sndUna
+		if inflight >= c.peerWnd {
+			if !c.stalled {
+				c.stalled = true
+				c.t.k.TraceEmit(trace.KindStreamStall, 0,
+					c.dataEnd()-c.sndNxt, inflight, c.label)
+			}
+			break
+		}
+		n := c.dataEnd() - c.sndNxt
+		if n > MaxSeg {
+			n = MaxSeg
+		}
+		if w := c.peerWnd - inflight; n > w {
+			n = w
+		}
+		off := c.sndNxt - c.sndUna
+		c.sendSeg(segDATA, c.sndNxt, c.sndBuf[off:off+n])
+		c.sndNxt += n
+		c.stalled = false
+	}
+	// The FIN consumes one offset and, like TCP's, ignores the window.
+	if c.finAt >= 0 && c.sndNxt == c.finAt {
+		c.sendSeg(segFIN, c.finAt, nil)
+		c.sndNxt = c.finAt + 1
+	}
+	c.armRtx()
+}
+
+// armRtx keeps the retransmission callout pending whenever the peer
+// still owes an acknowledgement — including when nothing is in flight
+// because the window is closed, where the timer doubles as the
+// zero-window probe (a lost window update would otherwise deadlock the
+// connection).
+func (c *Conn) armRtx() {
+	if c.rtx != nil || c.state == stateClosed {
+		return
+	}
+	if c.state == stateEstablished && c.sndUna >= c.seqEnd() {
+		return
+	}
+	c.rtx = c.t.k.Timeout(c.rtxFire, c.rtoTicks)
+}
+
+// rtxFire retransmits the oldest unacknowledged segment with
+// exponential backoff. Zero-window probes (window closed, nothing
+// lost) do not count against the retry limit, mirroring TCP's persist
+// timer.
+func (c *Conn) rtxFire() {
+	c.rtx = nil
+	if c.state == stateClosed {
+		return
+	}
+	probing := c.state == stateEstablished && c.peerWnd == 0
+	if !probing {
+		c.retries++
+		if c.retries > maxRetries {
+			c.fail(kernel.ErrTimedOut)
+			return
+		}
+	}
+	c.retx++
+	switch {
+	case c.state == stateSynSent:
+		c.t.k.TraceEmit(trace.KindStreamRetx, 0, 0, c.retries, c.label)
+		c.sendSeg(segSYN, 0, nil)
+	case c.sndUna < c.dataEnd():
+		n := c.dataEnd() - c.sndUna
+		if n > MaxSeg {
+			n = MaxSeg
+		}
+		c.t.k.TraceEmit(trace.KindStreamRetx, 0, c.sndUna, c.retries, c.label)
+		c.sendSeg(segDATA, c.sndUna, c.sndBuf[:n])
+	case c.finAt >= 0 && c.sndUna == c.finAt:
+		c.t.k.TraceEmit(trace.KindStreamRetx, 0, c.finAt, c.retries, c.label)
+		c.sendSeg(segFIN, c.finAt, nil)
+	default:
+		return // fully acknowledged in the meantime
+	}
+	if c.rtoTicks *= 2; c.rtoTicks > maxRTO {
+		c.rtoTicks = maxRTO
+	}
+	c.armRtx()
+}
+
+func (c *Conn) stopRtx() {
+	if c.rtx != nil {
+		c.t.k.Untimeout(c.rtx)
+		c.rtx = nil
+	}
+}
+
+// ---- segment input (interrupt level) ----
+
+// handleSegment is the protocol input routine, called from the
+// transport demultiplexer at interrupt level.
+func (c *Conn) handleSegment(seg segment) {
+	if c.state == stateClosed {
+		return
+	}
+	if c.state == stateSynSent {
+		if seg.typ != segSYNACK {
+			return
+		}
+		c.state = stateEstablished
+		c.peerWnd = seg.wnd
+		c.stopRtx()
+		c.retries = 0
+		c.rtoTicks = initialRTO
+		c.t.k.Wakeup(&c.connW)
+		return
+	}
+
+	// Acknowledgement and window processing (every segment carries
+	// both).
+	if seg.ack >= c.sndUna && seg.ack <= c.seqEnd() {
+		c.peerWnd = seg.wnd
+		if seg.ack > c.sndUna {
+			c.t.k.TraceEmit(trace.KindStreamAck, 0, seg.ack, seg.wnd, c.label)
+			acked := seg.ack - c.sndUna
+			if db := int64(len(c.sndBuf)); acked > db {
+				acked = db // the FIN's offset carries no buffer bytes
+			}
+			c.sndBuf = c.sndBuf[acked:]
+			c.sndUna = seg.ack
+			if c.sndNxt < c.sndUna {
+				c.sndNxt = c.sndUna
+			}
+			c.retries = 0
+			c.rtoTicks = initialRTO
+			c.stopRtx()
+			if c.finAt >= 0 && seg.ack > c.finAt && !c.finAcked {
+				c.finAcked = true
+				c.t.k.Wakeup(&c.clW)
+			}
+			c.admit()
+		}
+		c.pump()
+	}
+
+	switch seg.typ {
+	case segDATA:
+		c.acceptData(seg.seq, seg.payload)
+		c.sendSeg(segACK, 0, nil) // receivers always answer, even duplicates
+	case segFIN:
+		if c.remoteFin < 0 {
+			c.remoteFin = seg.seq
+		}
+		c.tryConsumeFin()
+		c.sendSeg(segACK, 0, nil)
+	}
+	c.maybeGhost()
+}
+
+// acceptData admits payload at offset seq. In-order data is accepted
+// while receive space remains (one segment of overshoot is allowed, so
+// a window probe never wedges at an exact boundary); out-of-order data
+// is stashed for reassembly within a bounded horizon.
+func (c *Conn) acceptData(seq int64, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	end := seq + int64(len(payload))
+	switch {
+	case end <= c.rcvNxt:
+		return // entirely duplicate
+	case seq <= c.rcvNxt:
+		if c.freeWnd() == 0 {
+			return // window closed: acknowledge only
+		}
+		c.rcvBuf = append(c.rcvBuf, payload[c.rcvNxt-seq:]...)
+		c.rcvNxt = end
+		c.drainReasm()
+		c.tryConsumeFin()
+		c.serveReader()
+	case seq <= c.rcvNxt+reasmLimit:
+		if _, dup := c.reasm[seq]; !dup {
+			c.reasm[seq] = append([]byte(nil), payload...)
+		}
+	}
+}
+
+// drainReasm folds stashed out-of-order segments into the in-order
+// buffer. Keys are walked in sorted order so reassembly is
+// deterministic regardless of arrival interleaving.
+func (c *Conn) drainReasm() {
+	for len(c.reasm) > 0 {
+		keys := make([]int64, 0, len(c.reasm))
+		for k := range c.reasm {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		progressed := false
+		for _, k := range keys {
+			if k > c.rcvNxt {
+				continue
+			}
+			p := c.reasm[k]
+			delete(c.reasm, k)
+			if end := k + int64(len(p)); end > c.rcvNxt {
+				c.rcvBuf = append(c.rcvBuf, p[c.rcvNxt-k:]...)
+				c.rcvNxt = end
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// tryConsumeFin advances over the peer's FIN once all data before it
+// has been received; readers then see EOF after draining the buffer.
+func (c *Conn) tryConsumeFin() {
+	if c.rcvClosed || c.remoteFin < 0 || c.rcvNxt != c.remoteFin {
+		return
+	}
+	c.rcvNxt = c.remoteFin + 1
+	c.rcvClosed = true
+	c.serveReader()
+}
+
+// serveReader hands buffered data (or EOF) to a parked splice read and
+// wakes blocked readers.
+func (c *Conn) serveReader() {
+	if c.pendingDeliver != nil && (len(c.rcvBuf) > 0 || c.rcvClosed) {
+		deliver := c.pendingDeliver
+		c.pendingDeliver = nil
+		data, eof := c.take(c.pendingMax)
+		deliver(data, eof, nil)
+	}
+	c.t.k.Wakeup(&c.rdW)
+}
+
+// take removes up to max in-order bytes, sending a window update when
+// the drain opens enough new credit to matter (a full segment, or any
+// space after the window was closed).
+func (c *Conn) take(max int) (data []byte, eof bool) {
+	n := len(c.rcvBuf)
+	if n > max {
+		n = max
+	}
+	if n > 0 {
+		data = append([]byte(nil), c.rcvBuf[:n]...)
+		c.rcvBuf = c.rcvBuf[n:]
+	}
+	if c.state == stateEstablished && !c.rcvClosed {
+		if f := c.freeWnd(); f-c.advWnd >= MaxSeg || (c.advWnd == 0 && f > 0) {
+			c.sendSeg(segACK, 0, nil)
+		}
+	}
+	return data, c.rcvClosed && len(c.rcvBuf) == 0
+}
+
+// maybeGhost retires the connection once both directions are done: our
+// FIN is acknowledged and the peer's FIN consumed. The transport keeps
+// only the final ack for the key (see Transport.ghosts), so a
+// retransmitted FIN from a slow peer still gets its answer without a
+// TIME_WAIT timer.
+func (c *Conn) maybeGhost() {
+	if c.state != stateEstablished || !c.finAcked || !c.rcvClosed {
+		return
+	}
+	c.state = stateClosed
+	c.stopRtx()
+	delete(c.t.conns, c.key())
+	c.t.ghosts[c.key()] = c.rcvNxt
+	unregisterConn(c)
+}
+
+// fail tears the connection down on retry exhaustion, erroring every
+// parked caller.
+func (c *Conn) fail(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.failed = err
+	c.state = stateClosed
+	c.stopRtx()
+	delete(c.t.conns, c.key())
+	unregisterConn(c)
+	for _, w := range c.writeWaiters {
+		if w.done != nil {
+			w.done(err)
+		}
+	}
+	c.writeWaiters = nil
+	if deliver := c.pendingDeliver; deliver != nil {
+		c.pendingDeliver = nil
+		deliver(nil, false, err)
+	}
+	c.t.k.Wakeup(&c.connW)
+	c.t.k.Wakeup(&c.rdW)
+	c.t.k.Wakeup(&c.clW)
+}
+
+// ---- kernel.FileOps ----
+
+// Read implements kernel.FileOps: blocks for in-order stream bytes;
+// zero-length return means the peer closed.
+func (c *Conn) Read(ctx kernel.Ctx, b []byte, off int64) (int, error) {
+	for len(c.rcvBuf) == 0 {
+		if c.failed != nil {
+			return 0, c.failed
+		}
+		if c.rcvClosed {
+			return 0, nil
+		}
+		if !ctx.CanSleep() {
+			return 0, kernel.ErrWouldBlock
+		}
+		if err := ctx.Sleep(&c.rdW, kernel.PSOCK+1); err != nil {
+			return 0, err
+		}
+	}
+	data, _ := c.take(len(b))
+	copy(b, data)
+	return len(data), nil
+}
+
+// Write implements kernel.FileOps: blocks until the bytes have been
+// admitted to the send buffer (transport acknowledgement proceeds
+// asynchronously).
+func (c *Conn) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
+	if c.failed != nil {
+		return 0, c.failed
+	}
+	if c.finAt >= 0 || c.state != stateEstablished {
+		return 0, kernel.ErrBadFD
+	}
+	var werr error
+	donef := false
+	c.SpliceWrite(b, func(err error) {
+		werr = err
+		donef = true
+		c.t.k.Wakeup(&donef)
+	})
+	for !donef {
+		if !ctx.CanSleep() {
+			break
+		}
+		if err := ctx.Sleep(&donef, kernel.PSOCK); err != nil {
+			return 0, err
+		}
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	return len(b), nil
+}
+
+// Size implements kernel.FileOps.
+func (c *Conn) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
+
+// Sync implements kernel.FileOps.
+func (c *Conn) Sync(ctx kernel.Ctx) error { return nil }
+
+// Close implements kernel.FileOps: queues the FIN after all buffered
+// data and blocks until the peer acknowledges it (or the retry limit
+// declares the peer dead, returning ErrTimedOut). The blocked process
+// is what keeps the machine alive while retransmissions drain.
+func (c *Conn) Close(ctx kernel.Ctx) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	if c.finAt >= 0 || c.state == stateClosed {
+		return nil
+	}
+	// Force-admit any writes still pending so the FIN covers them.
+	for _, w := range c.writeWaiters {
+		c.sndBuf = append(c.sndBuf, w.data...)
+		if w.done != nil {
+			w.done(nil)
+		}
+	}
+	c.writeWaiters = nil
+	c.finAt = c.dataEnd()
+	c.pump()
+	for !c.finAcked && c.failed == nil {
+		if !ctx.CanSleep() {
+			return kernel.ErrWouldBlock
+		}
+		if err := ctx.Sleep(&c.clW, kernel.PSOCK); err != nil {
+			return err
+		}
+	}
+	return c.failed
+}
+
+// ---- splice endpoints ----
+
+// SpliceWrite implements the splice Sink interface: done fires once the
+// chunk is admitted to the send buffer, so splice's write watermark
+// composes with the transport window — a closed window holds bytes in
+// the send buffer, the full send buffer parks admissions, and the
+// parked admissions throttle the splice engine.
+func (c *Conn) SpliceWrite(data []byte, done func(error)) {
+	if c.failed != nil {
+		done(c.failed)
+		return
+	}
+	if c.finAt >= 0 || c.state != stateEstablished {
+		done(kernel.ErrBadFD)
+		return
+	}
+	c.writeWaiters = append(c.writeWaiters, connWrite{
+		data: append([]byte(nil), data...),
+		done: done,
+	})
+	c.admit()
+	c.pump()
+}
+
+// SpliceRead implements the splice Source interface: in-order bytes are
+// delivered immediately if buffered, otherwise on the arrival
+// interrupt.
+func (c *Conn) SpliceRead(max int, deliver func([]byte, bool, error)) {
+	if c.failed != nil {
+		deliver(nil, false, c.failed)
+		return
+	}
+	if len(c.rcvBuf) > 0 || c.rcvClosed {
+		data, eof := c.take(max)
+		deliver(data, eof, nil)
+		return
+	}
+	if c.pendingDeliver != nil {
+		deliver(nil, false, kernel.ErrWouldBlock)
+		return
+	}
+	c.pendingMax = max
+	c.pendingDeliver = deliver
+}
+
+// CancelSpliceRead withdraws a parked splice read (splice interrupt
+// path); the deliver callback will never run.
+func (c *Conn) CancelSpliceRead() bool {
+	if c.pendingDeliver == nil {
+		return false
+	}
+	c.pendingDeliver = nil
+	return true
+}

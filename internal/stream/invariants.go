@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Invariant checker for the simcheck harness, mirroring the splice
+// one: a registry of live connections is maintained only while
+// EnableInvariants(true) is in effect, so production runs pay nothing.
+//
+// Invariant catalog (stream):
+//
+//	stream-seq-order       sndUna <= sndNxt <= seqEnd; rcvNxt never
+//	                       moves backward (no data reordering past the
+//	                       cumulative-ack point)
+//	stream-wnd-neg         advertised and peer windows never negative
+//	stream-rcv-bound       the receive buffer never exceeds its
+//	                       capacity by more than one segment (the
+//	                       allowed probe overshoot)
+//	stream-reasm-bound     reassembly holds only offsets in
+//	                       (rcvNxt, rcvNxt+reasmLimit]
+//	stream-retry-bound     consecutive retransmissions of one segment
+//	                       never exceed maxRetries
+//	stream-conn-leak       (CheckDrained) once a machine has run to
+//	                       idle, every live connection is quiescent:
+//	                       no unacknowledged or unadmitted send data,
+//	                       no undelivered receive data, no parked
+//	                       splice read, no half-finished handshake
+var (
+	invariantsOn bool
+	liveConns    map[*Conn]struct{}
+)
+
+// EnableInvariants switches connection tracking on or off. Not safe to
+// toggle while a machine is running.
+func EnableInvariants(on bool) {
+	invariantsOn = on
+	if on {
+		liveConns = make(map[*Conn]struct{})
+	} else {
+		liveConns = nil
+	}
+}
+
+func registerConn(c *Conn) {
+	if invariantsOn {
+		liveConns[c] = struct{}{}
+	}
+}
+
+func unregisterConn(c *Conn) {
+	if invariantsOn {
+		delete(liveConns, c)
+	}
+}
+
+func violation(name, label, format string, args ...any) error {
+	return fmt.Errorf("invariant %s violated on %s: %s", name, label, fmt.Sprintf(format, args...))
+}
+
+// sortedLive returns the registered connections in label order, so
+// checker errors are deterministic.
+func sortedLive() []*Conn {
+	conns := make([]*Conn, 0, len(liveConns))
+	for c := range liveConns {
+		conns = append(conns, c)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].label < conns[j].label })
+	return conns
+}
+
+// CheckInvariants verifies every live connection, returning the first
+// violation found (nil when consistent, or when tracking is disabled).
+// It never sleeps.
+func CheckInvariants() error {
+	for _, c := range sortedLive() {
+		if err := c.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckDrained verifies that every connection still registered once a
+// machine has run to idle is quiescent — nothing unsent, unacked,
+// undelivered, or parked. Retired (ghosted) and failed connections
+// unregister themselves.
+func CheckDrained() error {
+	for _, c := range sortedLive() {
+		switch {
+		case c.state == stateSynSent:
+			return violation("stream-conn-leak", c.label, "handshake never completed")
+		case len(c.writeWaiters) > 0:
+			return violation("stream-conn-leak", c.label, "%d write(s) never admitted", len(c.writeWaiters))
+		case len(c.sndBuf) > 0 || c.sndUna != c.sndNxt:
+			return violation("stream-conn-leak", c.label,
+				"unacknowledged send data: una=%d nxt=%d buffered=%d", c.sndUna, c.sndNxt, len(c.sndBuf))
+		case c.finAt >= 0 && !c.finAcked:
+			return violation("stream-conn-leak", c.label, "FIN at %d never acknowledged", c.finAt)
+		case len(c.rcvBuf) > 0:
+			return violation("stream-conn-leak", c.label, "%d received byte(s) never read", len(c.rcvBuf))
+		case len(c.reasm) > 0:
+			return violation("stream-conn-leak", c.label, "%d segment(s) stuck in reassembly", len(c.reasm))
+		case c.pendingDeliver != nil:
+			return violation("stream-conn-leak", c.label, "splice read still parked")
+		}
+	}
+	return nil
+}
+
+func (c *Conn) check() error {
+	if c.sndUna > c.sndNxt || c.sndNxt > c.seqEnd() {
+		return violation("stream-seq-order", c.label,
+			"una=%d nxt=%d end=%d", c.sndUna, c.sndNxt, c.seqEnd())
+	}
+	if c.rcvNxt < c.ckRcvNxt {
+		return violation("stream-seq-order", c.label,
+			"rcvNxt moved backward: %d -> %d", c.ckRcvNxt, c.rcvNxt)
+	}
+	c.ckRcvNxt = c.rcvNxt
+	if c.peerWnd < 0 || c.advWnd < 0 {
+		return violation("stream-wnd-neg", c.label, "peerWnd=%d advWnd=%d", c.peerWnd, c.advWnd)
+	}
+	if len(c.rcvBuf) > rcvCap+MaxSeg {
+		return violation("stream-rcv-bound", c.label,
+			"%d buffered bytes exceed cap %d + one segment", len(c.rcvBuf), rcvCap)
+	}
+	for k := range c.reasm {
+		if k <= c.rcvNxt || k > c.rcvNxt+reasmLimit {
+			return violation("stream-reasm-bound", c.label,
+				"reassembly offset %d outside (%d, %d]", k, c.rcvNxt, c.rcvNxt+reasmLimit)
+		}
+	}
+	if c.retries > maxRetries {
+		return violation("stream-retry-bound", c.label, "%d consecutive retries", c.retries)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package stream
+
+import "encoding/binary"
+
+// Segment wire format. Every segment — control or data — carries the
+// sender's cumulative acknowledgement and advertised receive window, so
+// acknowledgements piggyback on data flowing the other way and a pure
+// ACK is just a segment with no payload.
+//
+//	byte  0     type (SYN, SYNACK, DATA, ACK, FIN)
+//	bytes 1-4   connection id (chosen by the initiator)
+//	bytes 5-12  seq: byte offset of the payload (DATA) or of the FIN
+//	bytes 13-20 ack: next byte offset expected from the peer
+//	bytes 21-24 wnd: advertised receive window in bytes
+//	bytes 25-   payload (DATA only)
+//
+// Sequence numbers are byte offsets from zero, as in TCP; SYN and
+// SYNACK carry no sequence space, data starts at offset 0, and the FIN
+// consumes one offset past the last data byte.
+const (
+	segSYN = iota + 1
+	segSYNACK
+	segDATA
+	segACK
+	segFIN
+)
+
+// hdrBytes is the fixed header length; it is charged on the wire like
+// payload, standing in for the TCP/IP header overhead.
+const hdrBytes = 25
+
+type segment struct {
+	typ     byte
+	connID  uint32
+	seq     int64
+	ack     int64
+	wnd     int64
+	payload []byte
+}
+
+func (s segment) encode() []byte {
+	b := make([]byte, hdrBytes+len(s.payload))
+	b[0] = s.typ
+	binary.BigEndian.PutUint32(b[1:5], s.connID)
+	binary.BigEndian.PutUint64(b[5:13], uint64(s.seq))
+	binary.BigEndian.PutUint64(b[13:21], uint64(s.ack))
+	binary.BigEndian.PutUint32(b[21:25], uint32(s.wnd))
+	copy(b[hdrBytes:], s.payload)
+	return b
+}
+
+func decodeSegment(b []byte) (segment, bool) {
+	if len(b) < hdrBytes || b[0] < segSYN || b[0] > segFIN {
+		return segment{}, false
+	}
+	return segment{
+		typ:     b[0],
+		connID:  binary.BigEndian.Uint32(b[1:5]),
+		seq:     int64(binary.BigEndian.Uint64(b[5:13])),
+		ack:     int64(binary.BigEndian.Uint64(b[13:21])),
+		wnd:     int64(binary.BigEndian.Uint32(b[21:25])),
+		payload: b[hdrBytes:],
+	}, true
+}

@@ -1,0 +1,170 @@
+// Package stream implements a TCP-lite reliable stream transport
+// layered on the datagram network (internal/socket): sequence-numbered
+// segments with cumulative acknowledgements, retransmission driven by
+// the kernel callout list with exponential backoff, and a sliding
+// sender window fed by receiver-advertised credit.
+//
+// Connections implement kernel.FileOps and the splice Source/Sink
+// interfaces, so splice(file_fd, conn_fd, SPLICE_EOF) streams a file to
+// a client entirely at interrupt level, with the splice watermarks
+// composing with the transport window — the in-kernel data path the
+// paper's §5.1/§7 server scenario calls for.
+//
+// All protocol input runs at interrupt level: the transport binds one
+// datagram socket and installs an input handler that demultiplexes
+// arriving segments onto connections, the way netisr-level protocol
+// processing feeds socket buffers in the BSD stack.
+package stream
+
+import (
+	"kdp/internal/kernel"
+	"kdp/internal/socket"
+)
+
+// connKey identifies a connection by peer port and initiator-chosen id,
+// so ids from different peers never collide.
+func connKey(remote int, id uint32) uint64 {
+	return uint64(uint32(remote))<<32 | uint64(id)
+}
+
+// Transport is a stream endpoint bound to one port on a Net. One
+// transport serves both roles: Listen/Accept for servers, Connect for
+// clients; many connections share the port.
+type Transport struct {
+	k    *kernel.Kernel
+	sock *socket.Socket
+	port int
+
+	nextID uint32
+	conns  map[uint64]*Conn
+	// ghosts maps retired connection keys to their final cumulative
+	// ack. A FIN retransmitted after both sides finished still earns an
+	// acknowledgement from here, without keeping TIME_WAIT state on the
+	// callout list.
+	ghosts map[uint64]int64
+
+	listening bool
+	acceptq   []*Conn
+	acceptW   byte // Accept sleep channel
+
+	accepted int64
+}
+
+// NewTransport binds a stream transport to port on net.
+func NewTransport(k *kernel.Kernel, net *socket.Net, port int) (*Transport, error) {
+	s, err := net.NewSocket(port)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		k:      k,
+		sock:   s,
+		port:   port,
+		conns:  make(map[uint64]*Conn),
+		ghosts: make(map[uint64]int64),
+	}
+	s.SetHandler(t.input)
+	return t, nil
+}
+
+// Port returns the bound port.
+func (t *Transport) Port() int { return t.port }
+
+// Accepted returns the number of connections handed out by Accept.
+func (t *Transport) Accepted() int64 { return t.accepted }
+
+// input is the protocol input routine, invoked at interrupt level for
+// every datagram arriving on the transport's port.
+func (t *Transport) input(data []byte, from int, eof bool) {
+	seg, ok := decodeSegment(data)
+	if !ok || eof {
+		return
+	}
+	key := connKey(from, seg.connID)
+	if seg.typ == segSYN {
+		t.handleSYN(key, from, seg)
+		return
+	}
+	if c, live := t.conns[key]; live {
+		c.handleSegment(seg)
+		return
+	}
+	if final, ghost := t.ghosts[key]; ghost && seg.typ != segACK {
+		// A lost final ACK left the peer retransmitting its FIN:
+		// answer with the recorded cumulative ack.
+		reply := segment{typ: segACK, connID: seg.connID, ack: final}
+		t.sock.SendTo(from, reply.encode(), nil)
+	}
+}
+
+func (t *Transport) handleSYN(key uint64, from int, seg segment) {
+	delete(t.ghosts, key) // key reuse starts a fresh connection
+	if c, live := t.conns[key]; live {
+		// Duplicate SYN: the SYNACK was lost; repeat it.
+		c.sendSeg(segSYNACK, 0, nil)
+		return
+	}
+	if !t.listening {
+		return
+	}
+	c := newConn(t, from, seg.connID, stateEstablished)
+	c.peerWnd = seg.wnd
+	t.conns[key] = c
+	t.acceptq = append(t.acceptq, c)
+	c.sendSeg(segSYNACK, 0, nil)
+	t.k.Wakeup(&t.acceptW)
+}
+
+// ---- connection-setup syscalls ----
+
+// Listen marks the transport as accepting connections.
+func (t *Transport) Listen(p *kernel.Proc) error {
+	defer p.SyscallExit(p.SyscallEnter("listen"))
+	t.listening = true
+	return nil
+}
+
+// Accept blocks until a connection arrives, installs it in the caller's
+// descriptor table, and returns the descriptor.
+func (t *Transport) Accept(p *kernel.Proc) (int, *Conn, error) {
+	defer p.SyscallExit(p.SyscallEnter("accept"))
+	if !t.listening {
+		return -1, nil, kernel.ErrInval
+	}
+	for len(t.acceptq) == 0 {
+		if err := p.Sleep(&t.acceptW, kernel.PSOCK+1); err != nil {
+			return -1, nil, err
+		}
+	}
+	c := t.acceptq[0]
+	t.acceptq = t.acceptq[1:]
+	t.accepted++
+	fd := p.InstallFile(c, kernel.ORdWr)
+	return fd, c, nil
+}
+
+// Connect opens a connection to the transport listening on remotePort,
+// blocking through the handshake. It returns the installed descriptor.
+// Connecting to an unbound port fails immediately with ErrConnRefused;
+// a bound but unresponsive port times out after the retry budget.
+func (t *Transport) Connect(p *kernel.Proc, remotePort int) (int, *Conn, error) {
+	defer p.SyscallExit(p.SyscallEnter("connect"))
+	if err := t.sock.Connect(remotePort); err != nil {
+		return -1, nil, err
+	}
+	t.nextID++
+	c := newConn(t, remotePort, t.nextID, stateSynSent)
+	t.conns[c.key()] = c
+	c.sendSeg(segSYN, 0, nil)
+	c.armRtx()
+	for c.state == stateSynSent {
+		if err := p.Sleep(&c.connW, kernel.PSOCK+1); err != nil {
+			return -1, nil, err
+		}
+	}
+	if c.failed != nil {
+		return -1, nil, c.failed
+	}
+	fd := p.InstallFile(c, kernel.ORdWr)
+	return fd, c, nil
+}

@@ -170,7 +170,7 @@ func exportRun(emit func(chromeEvent) error, pid int, run Run) error {
 	}
 
 	// Second pass: the events themselves.
-	openSys := map[int32]int{}   // depth of open syscall slices per pid
+	openSys := map[int32]int{} // depth of open syscall slices per pid
 	openSleep := map[int32]bool{}
 	bufHits, bufMisses := int64(0), int64(0)
 	spliceReads, spliceWrites := int64(0), int64(0)

@@ -49,6 +49,11 @@ type Metrics struct {
 	SpliceInflightWrites int64
 	SplicePeakReads      int64
 	SplicePeakWrites     int64
+
+	// Stream transport. Retransmitted and cumulatively acknowledged
+	// bytes (Arg1 deltas folded per event), plus the peak consecutive
+	// retry count seen on any one segment.
+	StreamRetxPeakTries int64
 }
 
 // ProcCPU is per-process CPU accounting derived from the stream.
@@ -164,6 +169,10 @@ func (m *Metrics) observe(ev Event) {
 		m.SpliceInflightWrites = ev.Arg2
 	case KindSpliceDone:
 		m.SpliceBytes += ev.Arg1
+	case KindStreamRetx:
+		if ev.Arg2 > m.StreamRetxPeakTries {
+			m.StreamRetxPeakTries = ev.Arg2
+		}
 	}
 }
 
@@ -273,6 +282,7 @@ func (m *Metrics) Snapshot() []Counter {
 	add("splice.inflight_writes", m.SpliceInflightWrites)
 	add("splice.peak_reads", m.SplicePeakReads)
 	add("splice.peak_writes", m.SplicePeakWrites)
+	add("stream.retx_peak_tries", m.StreamRetxPeakTries)
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -339,6 +349,15 @@ func (m *Metrics) Format(w io.Writer) {
 			m.EventCount[KindSpliceStart], m.SpliceBytes,
 			m.EventCount[KindSpliceRead], m.EventCount[KindSpliceWrite],
 			m.EventCount[KindSpliceStall], m.SplicePeakReads, m.SplicePeakWrites)
+	}
+
+	if m.EventCount[KindStreamAck]+m.EventCount[KindStreamRetx]+m.EventCount[KindStreamStall] > 0 {
+		fmt.Fprintf(w, "stream: acks=%d retransmits=%d (peak tries=%d) stalls=%d\n",
+			m.EventCount[KindStreamAck], m.EventCount[KindStreamRetx],
+			m.StreamRetxPeakTries, m.EventCount[KindStreamStall])
+	}
+	if n := m.EventCount[KindServerAccept]; n > 0 {
+		fmt.Fprintf(w, "server: accepts=%d\n", n)
 	}
 
 	if n := m.EventCount[KindCalloutFire]; n > 0 {

@@ -96,6 +96,15 @@ const (
 	// Filesystem events. Name = device name.
 	KindFSSync // full-filesystem sync; Arg1 = dirty blocks pushed
 
+	// Stream-transport events (internal/stream). Name = connection
+	// label ("cli:5001->80#1").
+	KindStreamRetx  // segment retransmitted; Arg1 = seq byte offset, Arg2 = consecutive retries
+	KindStreamAck   // cumulative ACK advanced the send window; Arg1 = acked byte offset, Arg2 = advertised window
+	KindStreamStall // sender blocked by a closed window; Arg1 = bytes waiting, Arg2 = bytes in flight
+
+	// File-server events (internal/server). Name = server name.
+	KindServerAccept // connection accepted; Pid = server pid, Arg1 = conn id, Arg2 = connections accepted so far
+
 	kindMax // count sentinel; keep last
 )
 
@@ -138,6 +147,10 @@ var kindNames = [kindMax]string{
 	KindSignalPost:      "signal.post",
 	KindSignalDeliver:   "signal.deliver",
 	KindFSSync:          "fs.sync",
+	KindStreamRetx:      "stream.retx",
+	KindStreamAck:       "stream.ack",
+	KindStreamStall:     "stream.stall",
+	KindServerAccept:    "server.accept",
 }
 
 // String returns the kind's canonical dotted name.
@@ -222,6 +235,14 @@ func (ev Event) String() string {
 		return fmt.Sprintf("deliver %s to pid%d", ev.Name, ev.Pid)
 	case KindFSSync:
 		return fmt.Sprintf("fs.sync %s %d blocks", ev.Name, ev.Arg1)
+	case KindStreamRetx:
+		return fmt.Sprintf("stream.retx %s seq=%d try=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindStreamAck:
+		return fmt.Sprintf("stream.ack %s acked=%d wnd=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindStreamStall:
+		return fmt.Sprintf("stream.stall %s waiting=%d inflight=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindServerAccept:
+		return fmt.Sprintf("server.accept %s conn=%d total=%d", ev.Name, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}

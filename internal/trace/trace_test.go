@@ -146,9 +146,9 @@ func TestCheckerViolations(t *testing.T) {
 			{T: 10, Kind: KindBufHit},
 			{T: 9, Kind: KindBufHit},
 		},
-		"invalid-kind":  {{T: 1, Kind: Kind(250)}},
-		"negative-pid":  {{T: 1, Kind: KindBufHit, Pid: -2}},
-		"orphan-exit":   {{T: 1, Kind: KindSyscallExit, Pid: 1, Name: "read"}},
+		"invalid-kind": {{T: 1, Kind: Kind(250)}},
+		"negative-pid": {{T: 1, Kind: KindBufHit, Pid: -2}},
+		"orphan-exit":  {{T: 1, Kind: KindSyscallExit, Pid: 1, Name: "read"}},
 		"name-mismatch": {
 			{T: 1, Kind: KindSyscallEnter, Pid: 1, Name: "read"},
 			{T: 2, Kind: KindSyscallExit, Pid: 1, Name: "write"},
@@ -242,17 +242,17 @@ func TestMetricsAggregation(t *testing.T) {
 		}
 	}
 	for name, want := range map[string]int64{
-		"cpu.user":                int64(5 * sim.Millisecond),
-		"cpu.intr":                int64(500 * sim.Microsecond),
-		"cpu.user.pid2":           int64(2 * sim.Millisecond),
-		"syscall.read":            1,
-		"buf.hits":                2,
-		"disk.rz58-0.reads":       1,
-		"disk.rz58-0.read_bytes":  8192,
-		"disk.rz58-0.busy":        int64(10 * sim.Millisecond),
-		"disk.rz58-0.queue_peak":  3,
-		"splice.bytes":            1 << 20,
-		"events.buf.hit":          2,
+		"cpu.user":               int64(5 * sim.Millisecond),
+		"cpu.intr":               int64(500 * sim.Microsecond),
+		"cpu.user.pid2":          int64(2 * sim.Millisecond),
+		"syscall.read":           1,
+		"buf.hits":               2,
+		"disk.rz58-0.reads":      1,
+		"disk.rz58-0.read_bytes": 8192,
+		"disk.rz58-0.busy":       int64(10 * sim.Millisecond),
+		"disk.rz58-0.queue_peak": 3,
+		"splice.bytes":           1 << 20,
+		"events.buf.hit":         2,
 	} {
 		if got, ok := byName[name]; !ok || got != want {
 			t.Errorf("snapshot[%q] = %d (present=%v), want %d", name, got, ok, want)

@@ -45,9 +45,11 @@ import (
 	"kdp/internal/disk"
 	"kdp/internal/fs"
 	"kdp/internal/kernel"
+	"kdp/internal/server"
 	"kdp/internal/sim"
 	"kdp/internal/socket"
 	"kdp/internal/splice"
+	"kdp/internal/stream"
 )
 
 // Re-exported core types. Proc is the simulated process handle passed
@@ -118,12 +120,14 @@ const SpliceEOF = splice.EOF
 
 // Common errors.
 var (
-	ErrNoEnt   = kernel.ErrNoEnt
-	ErrBadFD   = kernel.ErrBadFD
-	ErrInval   = kernel.ErrInval
-	ErrExist   = kernel.ErrExist
-	ErrIntr    = kernel.ErrIntr
-	ErrNoSpace = kernel.ErrNoSpace
+	ErrNoEnt       = kernel.ErrNoEnt
+	ErrBadFD       = kernel.ErrBadFD
+	ErrInval       = kernel.ErrInval
+	ErrExist       = kernel.ErrExist
+	ErrIntr        = kernel.ErrIntr
+	ErrNoSpace     = kernel.ErrNoSpace
+	ErrConnRefused = kernel.ErrConnRefused
+	ErrTimedOut    = kernel.ErrTimedOut
 )
 
 // DiskKind selects a device model.
@@ -357,4 +361,43 @@ func (m *Machine) AddNet(kind NetKind) *socket.Net {
 	default:
 		return socket.NewNet(m.k, socket.Ethernet10())
 	}
+}
+
+// ---- stream transport and file-server engine ----
+
+// Re-exported stream/server types. A StreamTransport is a TCP-lite
+// endpoint multiplexing reliable connections onto one datagram port;
+// connection descriptors returned by its Accept/Connect syscalls are
+// ordinary files (Read/Write/Close) and splice endpoints.
+type (
+	// StreamTransport is a reliable stream endpoint bound to one port.
+	StreamTransport = stream.Transport
+	// StreamConn is one reliable, flow-controlled stream connection.
+	StreamConn = stream.Conn
+	// Server is the concurrent file-server engine.
+	Server = server.Server
+	// ServerConfig configures a file server (see server.Config).
+	ServerConfig = server.Config
+	// ServerMode selects the serving data path: copy or splice.
+	ServerMode = server.Mode
+)
+
+// File-server data paths: per-request read/write copying through user
+// space, or a single in-kernel splice per request.
+const (
+	ServeCopy   = server.ModeCopy
+	ServeSplice = server.ModeSplice
+)
+
+// AddStreamTransport binds a reliable stream-transport endpoint to
+// port on net. Its Listen/Accept/Connect methods are kernel syscalls
+// (call them from process context).
+func (m *Machine) AddStreamTransport(net *socket.Net, port int) (*StreamTransport, error) {
+	return stream.NewTransport(m.k, net, port)
+}
+
+// StartServer launches the concurrent file-server engine: an accept
+// loop that hands each connection to a spawned handler process.
+func (m *Machine) StartServer(cfg ServerConfig) *Server {
+	return server.Start(m.k, cfg)
 }
