@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench tables trace-ci server-ci ci
+.PHONY: all build test vet race check bench tables trace-ci server-ci crash-ci ci
 
 all: build
 
@@ -41,6 +41,16 @@ trace-ci:
 	$(GO) run ./cmd/kdpbench -validate $(TRACE_DIR)/kdp-trace-a.json
 	cmp $(TRACE_DIR)/kdp-trace-a.json $(TRACE_DIR)/kdp-trace-b.json
 
+# Crash gate: a bounded crash sweep (power cut at a seed-derived op
+# boundary, repairing fsck, remount, durability oracle for every
+# pre-crash fsync'd file), run twice — the second under GOMAXPROCS=1 —
+# with per-seed digests compared byte-for-byte.
+CRASH_SEEDS ?= 100
+crash-ci:
+	$(GO) run ./cmd/kdpcheck -crash -seeds $(CRASH_SEEDS) > $(TRACE_DIR)/kdp-crash-a.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpcheck -crash -seeds $(CRASH_SEEDS) > $(TRACE_DIR)/kdp-crash-b.txt
+	cmp $(TRACE_DIR)/kdp-crash-a.txt $(TRACE_DIR)/kdp-crash-b.txt
+
 # Server gate: regenerate the server-scalability sweep twice (second
 # run under GOMAXPROCS=1) and require byte-identical tables — the
 # stream transport and server engine must be deterministic end to end.
@@ -49,4 +59,4 @@ server-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep server > $(TRACE_DIR)/kdp-server-b.txt
 	cmp $(TRACE_DIR)/kdp-server-a.txt $(TRACE_DIR)/kdp-server-b.txt
 
-ci: vet build race check trace-ci server-ci
+ci: vet build race check crash-ci trace-ci server-ci

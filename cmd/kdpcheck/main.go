@@ -12,6 +12,7 @@
 //	kdpcheck -seed 39 -minimize    # shrink a failing seed's op sequence
 //	kdpcheck -ops 200 -workers 3   # heavier per-seed workload
 //	kdpcheck -seed 3 -damage busy-on-freelist   # self-test the checkers
+//	kdpcheck -crash -seeds 100     # crash sweep: power cut + repair + remount per seed
 //
 // A failing seed prints the violated invariant, the minimal failing op
 // subsequence (ddmin bisection), and the exact command to reproduce it.
@@ -63,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		noReplay = fl.Bool("noreplay", false, "skip the second run that verifies seed-replay determinism")
 		damage   = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key)")
 		damageAt = fl.Int("damage-after", 5, "with -damage: corrupt after this many ops")
+		crash    = fl.Bool("crash", false, "crash sweep: one power cut per seed, then repair, remount, and durability checks")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -82,11 +84,14 @@ func run(args []string, out io.Writer) error {
 	if *damage != "" && *seed < 0 {
 		return fmt.Errorf("-damage requires -seed")
 	}
+	if *damage != "" && *crash {
+		return fmt.Errorf("-damage and -crash are mutually exclusive")
+	}
 
 	if *seed >= 0 {
 		cfg := simcheck.Config{
 			Seed: uint64(*seed), Ops: *ops, Workers: *workers,
-			Damage: *damage, DamageAfter: *damageAt,
+			Damage: *damage, DamageAfter: *damageAt, Crash: *crash,
 		}
 		if *verbose {
 			cfg.Verbose = out
@@ -99,7 +104,7 @@ func run(args []string, out io.Writer) error {
 	if n <= 0 {
 		n = 25
 	}
-	return runSweep(*start, n, *ops, *workers, *verbose, !*noReplay, out)
+	return runSweep(*start, n, *ops, *workers, *crash, *verbose, !*noReplay, out)
 }
 
 // runOne checks a single seed, minimizing on failure when asked.
@@ -117,7 +122,7 @@ func runOne(cfg simcheck.Config, minimize, replay bool, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "seed %d ok: %d ops, %d workers, digest %016x\n", res.Seed, res.Ops, res.Workers, res.Digest)
 	if replay {
-		if err := simcheck.VerifyReplay(cfg.Seed); err != nil {
+		if err := simcheck.VerifyReplayConfig(cfg); err != nil {
 			fmt.Fprintf(out, "seed %d REPLAY FAILED: %v\n", cfg.Seed, err)
 			return errFailed
 		}
@@ -129,12 +134,14 @@ func runOne(cfg simcheck.Config, minimize, replay bool, out io.Writer) error {
 // runSweep checks seeds [start, start+n), reporting a one-line verdict
 // per seed and a summary. Every failing seed is minimized and printed
 // with its repro command; the sweep keeps going so one bad seed does
-// not hide another.
-func runSweep(start uint64, n, ops, workers int, verbose, replay bool, out io.Writer) error {
+// not hide another. In crash mode every seed's digest is printed, so
+// two sweeps (e.g. under different GOMAXPROCS) can be compared
+// line-by-line for cross-process determinism.
+func runSweep(start uint64, n, ops, workers int, crash, verbose, replay bool, out io.Writer) error {
 	failed := 0
 	for i := 0; i < n; i++ {
 		s := start + uint64(i)
-		cfg := simcheck.Config{Seed: s, Ops: ops, Workers: workers}
+		cfg := simcheck.Config{Seed: s, Ops: ops, Workers: workers, Crash: crash}
 		if verbose {
 			cfg.Verbose = out
 		}
@@ -144,11 +151,14 @@ func runSweep(start uint64, n, ops, workers int, verbose, replay bool, out io.Wr
 			fmt.Fprintf(out, "seed %d FAILED: %v\n", s, res.Violation)
 			min, idx := simcheck.Minimize(cfg)
 			fmt.Fprintf(out, "  minimized to %d op(s), original indices %v\n", min.Ops, idx)
-			fmt.Fprintf(out, "  repro: %s\n", simcheck.ReproCommand(simcheck.Config{Seed: s, Ops: ops, Workers: res.Workers}))
+			fmt.Fprintf(out, "  repro: %s\n", simcheck.ReproCommand(simcheck.Config{Seed: s, Ops: ops, Workers: res.Workers, Crash: crash}))
 			continue
 		}
+		if crash {
+			fmt.Fprintf(out, "seed %d digest %016x\n", s, res.Digest)
+		}
 		if replay {
-			if err := simcheck.VerifyReplay(s); err != nil {
+			if err := simcheck.VerifyReplayConfig(simcheck.Config{Seed: s, Ops: ops, Workers: workers, Crash: crash}); err != nil {
 				failed++
 				fmt.Fprintf(out, "seed %d REPLAY FAILED: %v\n", s, err)
 				continue
@@ -163,6 +173,10 @@ func runSweep(start uint64, n, ops, workers int, verbose, replay bool, out io.Wr
 	if !replay {
 		mode = "run"
 	}
-	fmt.Fprintf(out, "ok: %d seed(s) [%d..%d] clean (%s, %d ops each)\n", n, start, start+uint64(n)-1, mode, ops)
+	kind := "seed(s)"
+	if crash {
+		kind = "crash seed(s)"
+	}
+	fmt.Fprintf(out, "ok: %d %s [%d..%d] clean (%s, %d ops each)\n", n, kind, start, start+uint64(n)-1, mode, ops)
 	return nil
 }

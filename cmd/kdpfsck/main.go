@@ -7,6 +7,7 @@
 //
 //	kdpfsck                  # clean volume after a copy workload
 //	kdpfsck -corrupt leak    # inject a corruption first: leak, crosslink
+//	kdpfsck -corrupt crosslink -repair   # repair the damage, then re-check
 package main
 
 import (
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	fl := flag.NewFlagSet("kdpfsck", flag.ContinueOnError)
 	fl.SetOutput(out)
 	corrupt := fl.String("corrupt", "", "inject corruption before checking: leak or crosslink")
+	repair := fl.Bool("repair", false, "repair inconsistencies (fsck -p style), then re-check")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	s.FileBytes = 2 << 20
 	m := bench.NewMachine(s)
 
-	var rep *fs.FsckReport
+	var rep, repRepair *fs.FsckReport
 	m.K.Spawn("fsck", func(p *kernel.Proc) {
 		if err := m.Boot(p); err != nil {
 			panic(err)
@@ -104,9 +106,27 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			panic(err)
 		}
+		if *repair && !rep.Clean() {
+			fixed, err := fs.FsckRepair(p.Ctx(), m.Cache, m.Disks[0])
+			if err != nil {
+				panic(err)
+			}
+			repRepair = fixed
+			rep, err = fs.Fsck(p.Ctx(), m.Cache, m.Disks[0])
+			if err != nil {
+				panic(err)
+			}
+		}
 	})
 	m.Run()
 
+	if repRepair != nil {
+		fmt.Fprintf(out, "repair: %d problem(s) found, %d fix(es) applied\n",
+			len(repRepair.Problems), repRepair.Repaired)
+		for _, p := range repRepair.Problems {
+			fmt.Fprintln(out, "  -", p)
+		}
+	}
 	fmt.Fprintf(out, "volume: %d inodes (%d files, %d dirs), %d blocks in use\n",
 		rep.Inodes, rep.Files, rep.Dirs, rep.UsedBlocks)
 	if rep.Clean() {

@@ -26,6 +26,12 @@ type Cache struct {
 	nfree    int
 	nbuf     int
 
+	// Sticky per-device write errors: a failed asynchronous write has
+	// no caller left to report to (biodone's brelse invalidates the
+	// buffer), so the first error per device is latched here and
+	// surfaced at the next fsync/close/SyncAll.
+	werrs map[Device]error
+
 	// Stats
 	hits      int64
 	misses    int64
@@ -49,6 +55,7 @@ func NewCache(k *kernel.Kernel, nbuf, blockSize int) *Cache {
 		k:         k,
 		blockSize: blockSize,
 		hash:      make(map[devblk]*Buf, nbuf),
+		werrs:     make(map[Device]error),
 		nbuf:      nbuf,
 	}
 	for i := 0; i < nbuf; i++ {
@@ -402,10 +409,39 @@ func (c *Cache) Biodone(b *Buf) {
 		return
 	}
 	if b.Flags&BAsync != 0 {
+		if b.Flags&(BError|BRead) == BError {
+			// Failed async write: brelse below invalidates the buffer,
+			// so latch the error or it is lost with the data.
+			c.noteWriteError(b)
+		}
 		c.Brelse(c.k.IntrCtx(), b)
 		return
 	}
 	c.k.Wakeup(b)
+}
+
+// noteWriteError latches the first async-write error seen on a device.
+func (c *Cache) noteWriteError(b *Buf) {
+	if _, ok := c.werrs[b.Dev]; !ok {
+		err := b.Err
+		if err == nil {
+			err = kernel.ErrIO
+		}
+		c.werrs[b.Dev] = err
+	}
+}
+
+// WriteError returns the sticky write error latched for dev, if any,
+// without consuming it.
+func (c *Cache) WriteError(dev Device) error { return c.werrs[dev] }
+
+// TakeWriteError returns and clears the sticky write error for dev. A
+// latched error is reported exactly once, at the first fsync, close or
+// SyncAll that looks; later syncs of unaffected data succeed again.
+func (c *Cache) TakeWriteError(dev Device) error {
+	err := c.werrs[dev]
+	delete(c.werrs, dev)
+	return err
 }
 
 // ---- splice support ----
@@ -498,6 +534,21 @@ func (c *Cache) FlushBlocks(ctx kernel.Ctx, dev Device, blknos []int64) (int, er
 func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 	c.flushes++
 	c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
+	// Record the devices involved now: an errored buffer is recycled by
+	// the time the drain loop observes it, so b.Dev is unreliable later.
+	var devs []Device
+	for _, b := range dirty {
+		seen := false
+		for _, d := range devs {
+			if d == b.Dev {
+				seen = true
+				break
+			}
+		}
+		if !seen && b.Dev != nil {
+			devs = append(devs, b.Dev)
+		}
+	}
 	for _, b := range dirty {
 		c.freeRemove(b)
 		b.Flags |= BBusy
@@ -512,8 +563,14 @@ func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 				return 0, err
 			}
 		}
-		if b.Flags&BError != 0 {
-			return 0, b.Err
+	}
+	// A failed write never shows on the buffer here: biodone's brelse
+	// invalidates it (clearing BError) before this waiter runs. The
+	// error lands in the sticky per-device flag instead; report and
+	// consume it for every device involved in this flush.
+	for _, dev := range devs {
+		if err := c.TakeWriteError(dev); err != nil {
+			return 0, err
 		}
 	}
 	return len(dirty), nil
@@ -605,6 +662,49 @@ func (c *Cache) InvalidateBlocks(ctx kernel.Ctx, dev Device, blknos []int64) err
 		}
 	}
 	return nil
+}
+
+// Crash models the cache side of a power cut for dev (nil = every
+// device): all buffered state is volatile, so every cached block is
+// discarded without being written — delayed writes that have not hit
+// the platter are simply lost, exactly the state fsck repair must put
+// back together. The machine must be quiesced at the crash point (no
+// transfer in progress, no process mid-operation); a busy buffer
+// belonging to dev is a harness error and panics. Returns the number
+// of delayed-write buffers lost and the total discarded.
+func (c *Cache) Crash(dev Device) (dirtyLost, discarded int) {
+	for _, b := range c.hash {
+		for ; b != nil; b = b.hashNext {
+			if (dev == nil || b.Dev == dev) && b.Flags&BBusy != 0 {
+				panic("buf: crash with busy buffer " + b.String())
+			}
+		}
+	}
+	var victims []*Buf
+	for b := c.freeHead; b != nil; b = b.freeNext {
+		if (dev == nil || b.Dev == dev) && b.Flags&BInval == 0 {
+			victims = append(victims, b)
+		}
+	}
+	for _, b := range victims {
+		if b.Flags&BDelwri != 0 {
+			dirtyLost++
+		}
+		c.freeRemove(b)
+		c.hashRemove(b)
+		b.Flags = BInval
+		b.Dev = nil
+		b.Err = nil
+		c.freePush(b, true)
+	}
+	// The volume is being reset to its durable state: a latched write
+	// error describes data that no longer exists.
+	if dev == nil {
+		c.werrs = make(map[Device]error)
+	} else {
+		delete(c.werrs, dev)
+	}
+	return dirtyLost, len(victims)
 }
 
 // InvalidateDev drops every non-busy cached block of dev (dirty blocks

@@ -352,6 +352,38 @@ func (d *Disk) traceCompletion(b *buf.Buf) {
 	}
 }
 
+// Busy reports whether a transfer is in progress (or queued). Crash
+// recovery uses it to wait out the point-of-no-return request.
+func (d *Disk) Busy() bool { return d.active }
+
+// Crash models the device side of a power cut: every queued request is
+// lost (the data never reaches the platter; the buffer completes with
+// an error so the cache can discard it), and the drive's volatile
+// read-ahead cache is cleared. The request being serviced — if any —
+// is past the point of no return and still completes: its sector lands
+// on the platter when the already-scheduled completion event fires.
+// Returns the number of dropped requests.
+func (d *Disk) Crash() int {
+	dropped := d.queue
+	d.queue = nil
+	for _, b := range dropped {
+		b.Flags |= buf.BError
+		b.Err = kernel.ErrIO
+		b.Resid = b.Bcount
+		d.traceCompletion(b)
+		d.k.Interrupt(func() {
+			if d.cache == nil {
+				panic("disk: no buffer cache attached")
+			}
+			d.cache.Biodone(b)
+		})
+	}
+	for i := range d.segments {
+		d.segments[i] = raSegment{}
+	}
+	return len(dropped)
+}
+
 // ReadRaw copies block contents directly out of the backing store
 // (host-side helper for tests and verification; no simulated time).
 func (d *Disk) ReadRaw(blkno int64, p []byte) {

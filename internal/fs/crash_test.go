@@ -1,0 +1,378 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+)
+
+// readDinodeRaw decodes inode ino straight off the media, bypassing
+// the cache (tests must InvalidateDev before mutating raw media).
+func (r *rig) readDinodeRaw(ino uint32) dinode {
+	sb := superRaw(r)
+	raw := make([]byte, sb.BlockSize)
+	per := int(sb.BlockSize) / InodeSize
+	r.d.ReadRaw(int64(sb.ITableStart)+int64(int(ino)/per), raw)
+	var di dinode
+	di.decode(raw[(int(ino)%per)*InodeSize:])
+	return di
+}
+
+// writeDinodeRaw encodes inode ino straight onto the media.
+func (r *rig) writeDinodeRaw(ino uint32, di dinode) {
+	sb := superRaw(r)
+	raw := make([]byte, sb.BlockSize)
+	per := int(sb.BlockSize) / InodeSize
+	blk := int64(sb.ITableStart) + int64(int(ino)/per)
+	r.d.ReadRaw(blk, raw)
+	di.encode(raw[(int(ino)%per)*InodeSize:])
+	r.d.WriteRaw(blk, raw)
+}
+
+// superRaw decodes the superblock off the media.
+func superRaw(r *rig) Superblock {
+	raw := make([]byte, testBlockSize)
+	r.d.ReadRaw(0, raw)
+	var sb Superblock
+	if err := sb.decode(raw); err != nil {
+		panic(err)
+	}
+	return sb
+}
+
+// flipBitmapRaw flips one allocation bit on the media.
+func (r *rig) flipBitmapRaw(blk uint32, set bool) {
+	sb := superRaw(r)
+	raw := make([]byte, sb.BlockSize)
+	per := int(sb.BlockSize) * 8
+	bmBlk := int64(sb.BitmapStart) + int64(int(blk)/per)
+	r.d.ReadRaw(bmBlk, raw)
+	bit := int(blk) % per
+	if set {
+		raw[bit/8] |= 1 << uint(bit%8)
+	} else {
+		raw[bit/8] &^= 1 << uint(bit%8)
+	}
+	r.d.WriteRaw(bmBlk, raw)
+}
+
+// TestDaemonFlushedWriteErrorSurfacesAtFsync is the regression test for
+// the silently-dropped delayed-write error: a bdwrite buffer pushed out
+// by the flush daemon hits a media error at interrupt level, with no
+// process waiting to hear about it. The error must latch per-device and
+// surface at the next fsync — not vanish.
+func TestDaemonFlushedWriteErrorSurfacesAtFsync(t *testing.T) {
+	r := newRig(t, 512)
+	stop := r.c.StartFlushDaemon(5)
+	defer stop()
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/f", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := fl.Write(ctx, pattern(testBlockSize, 9), 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Fail the physical block backing the delayed write, then let
+		// the daemon flush it asynchronously.
+		blk := fl.(*File).Inode().direct[0]
+		r.d.InjectFault(int64(blk), false, true, 1)
+		p.SleepFor(200 * sim.Millisecond)
+		if r.c.WriteError(r.d) == nil {
+			t.Fatal("daemon flush error did not latch on the device")
+		}
+		if err := fl.Sync(ctx); err != kernel.ErrIO {
+			t.Fatalf("fsync after daemon-flushed write error = %v, want ErrIO", err)
+		}
+		// The error was consumed; the fault was one-shot, so rewriting
+		// and syncing again must succeed.
+		if _, err := fl.Write(ctx, pattern(testBlockSize, 9), 0); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		if err := fl.Sync(ctx); err != nil {
+			t.Fatalf("fsync after repair write = %v, want nil", err)
+		}
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+// TestDaemonFlushedWriteErrorSurfacesAtClose is the close-path variant:
+// with no intervening fsync, close is the last chance to report the
+// lost delayed write.
+func TestDaemonFlushedWriteErrorSurfacesAtClose(t *testing.T) {
+	r := newRig(t, 512)
+	stop := r.c.StartFlushDaemon(5)
+	defer stop()
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/f", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := fl.Write(ctx, pattern(testBlockSize, 3), 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		blk := fl.(*File).Inode().direct[0]
+		r.d.InjectFault(int64(blk), false, true, 1)
+		p.SleepFor(200 * sim.Millisecond)
+		if err := fl.Close(ctx); err != kernel.ErrIO {
+			t.Fatalf("close after daemon-flushed write error = %v, want ErrIO", err)
+		}
+	})
+}
+
+// TestEnospcMidExtensionRollsBack is the regression test for leaked
+// blocks on a failed multi-block extension: when a single Write call
+// runs out of space partway through, the blocks it allocated earlier in
+// the same call (beyond the successfully written prefix) must be given
+// back — fsck must find zero leaked blocks.
+func TestEnospcMidExtensionRollsBack(t *testing.T) {
+	r := newRig(t, 32) // tiny volume: a handful of data blocks
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/big", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		// One call asking for far more than the volume holds.
+		big := pattern(64*testBlockSize, 5)
+		n, werr := fl.Write(ctx, big, 0)
+		if werr != kernel.ErrNoSpace {
+			t.Fatalf("oversized write: n=%d err=%v, want ErrNoSpace", n, werr)
+		}
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := f.SyncAll(ctx); err != nil {
+			t.Fatalf("syncall: %v", err)
+		}
+		rep, err := Fsck(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck after ENOSPC rollback: %d problem(s), first: %s",
+				len(rep.Problems), rep.Problems[0])
+		}
+		// The written prefix must still read back.
+		fl2, err := f.OpenFile(ctx, "/big", kernel.ORdOnly)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		got := make([]byte, n)
+		if rn, err := fl2.Read(ctx, got, 0); err != nil || rn != n {
+			t.Fatalf("read prefix: n=%d err=%v, want %d", rn, err, n)
+		}
+		if !bytes.Equal(got, big[:n]) {
+			t.Fatal("surviving prefix differs from what Write reported written")
+		}
+		_ = fl2.Close(ctx)
+	})
+}
+
+// TestFsckRepairMatrix drives the repairing fsck over a matrix of media
+// corruptions. Every case must converge: repair reports and fixes the
+// damage, and the follow-up plain fsck finds a clean volume.
+func TestFsckRepairMatrix(t *testing.T) {
+	// Inode numbers are deterministic: ialloc scans from the bottom, so
+	// with root=1 the files below land at 2, 3 and the dir at 4.
+	const (
+		inoA   = 2
+		inoB   = 3
+		inoSub = 4
+	)
+	cases := []struct {
+		name string
+		// wantProblems=false marks damage fsck tolerates silently; all
+		// other cases must be detected and repaired.
+		wantProblems bool
+		corrupt      func(t *testing.T, r *rig)
+	}{
+		{"bad-pointer", true, func(t *testing.T, r *rig) {
+			di := r.readDinodeRaw(inoA)
+			di.Direct[0] = superRaw(r).TotalBlocks + 5
+			r.writeDinodeRaw(inoA, di)
+		}},
+		{"crosslink", true, func(t *testing.T, r *rig) {
+			a, b := r.readDinodeRaw(inoA), r.readDinodeRaw(inoB)
+			b.Direct[0] = a.Direct[0]
+			r.writeDinodeRaw(inoB, b)
+		}},
+		{"orphan-inode", true, func(t *testing.T, r *rig) {
+			r.writeDinodeRaw(20, dinode{Mode: ModeFile, Nlink: 1, Size: 0})
+		}},
+		{"torn-dir-size", true, func(t *testing.T, r *rig) {
+			di := r.readDinodeRaw(RootIno)
+			di.Size += 13
+			r.writeDinodeRaw(RootIno, di)
+		}},
+		{"bad-nlink", true, func(t *testing.T, r *rig) {
+			di := r.readDinodeRaw(inoA)
+			di.Nlink = 7
+			r.writeDinodeRaw(inoA, di)
+		}},
+		{"bad-mode", true, func(t *testing.T, r *rig) {
+			di := r.readDinodeRaw(inoB)
+			di.Mode = 0x1234
+			r.writeDinodeRaw(inoB, di)
+		}},
+		{"bitmap-both-ways", true, func(t *testing.T, r *rig) {
+			sb := superRaw(r)
+			r.flipBitmapRaw(sb.TotalBlocks-3, true) // spurious in-use
+			di := r.readDinodeRaw(inoA)
+			r.flipBitmapRaw(di.Direct[0], false) // used block marked free
+		}},
+		{"sb-counts", true, func(t *testing.T, r *rig) {
+			sb := superRaw(r)
+			sb.FreeBlocks += 17
+			sb.FreeInodes--
+			raw := make([]byte, sb.BlockSize)
+			r.d.ReadRaw(0, raw)
+			sb.encode(raw)
+			r.d.WriteRaw(0, raw)
+		}},
+		{"clean-volume", false, func(t *testing.T, r *rig) {}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, 512)
+			r.run(t, func(p *kernel.Proc, f *FS) {
+				ctx := p.Ctx()
+				for _, path := range []string{"/a", "/b"} {
+					fl, err := f.OpenFile(ctx, path, kernel.OCreat|kernel.ORdWr)
+					if err != nil {
+						t.Fatalf("create %s: %v", path, err)
+					}
+					if _, err := fl.Write(ctx, pattern(2*testBlockSize, 7), 0); err != nil {
+						t.Fatalf("write %s: %v", path, err)
+					}
+					if err := fl.Close(ctx); err != nil {
+						t.Fatalf("close %s: %v", path, err)
+					}
+				}
+				if err := f.Mkdir(ctx, "/sub"); err != nil {
+					t.Fatalf("mkdir: %v", err)
+				}
+				if err := f.SyncAll(ctx); err != nil {
+					t.Fatalf("syncall: %v", err)
+				}
+				if err := r.c.InvalidateDev(ctx, r.d); err != nil {
+					t.Fatalf("invalidate: %v", err)
+				}
+
+				tc.corrupt(t, r)
+
+				rep, err := FsckRepair(ctx, r.c, r.d)
+				if err != nil {
+					t.Fatalf("fsck-repair: %v", err)
+				}
+				if tc.wantProblems && len(rep.Problems) == 0 {
+					t.Error("corruption went undetected by repair")
+				}
+				if !tc.wantProblems && rep.Repaired != 0 {
+					t.Errorf("clean volume repaired %d time(s): %v", rep.Repaired, rep.Problems)
+				}
+				chk, err := Fsck(ctx, r.c, r.d)
+				if err != nil {
+					t.Fatalf("post-repair fsck: %v", err)
+				}
+				if !chk.Clean() {
+					t.Fatalf("volume not clean after repair: %d problem(s), first: %s",
+						len(chk.Problems), chk.Problems[0])
+				}
+			})
+		})
+	}
+}
+
+// TestCrashRecoverySyncedFileSurvives is the end-to-end crash contract
+// at the fs layer: power cut after an fsync, repair, remount — the
+// synced file reads back byte-exact, and a file created (but never
+// synced) before the crash still exists by name.
+func TestCrashRecoverySyncedFileSurvives(t *testing.T) {
+	r := newRig(t, 512)
+	want := pattern(3*testBlockSize, 11)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/synced", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := fl.Write(ctx, want, 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := fl.Sync(ctx); err != nil {
+			t.Fatalf("fsync: %v", err)
+		}
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// A second file whose data is only in dirty delayed-write
+		// buffers at crash time: the name is durable (ordered create),
+		// the content is not.
+		fl2, err := f.OpenFile(ctx, "/unsynced", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("create unsynced: %v", err)
+		}
+		if _, err := fl2.Write(ctx, pattern(testBlockSize, 13), 0); err != nil {
+			t.Fatalf("write unsynced: %v", err)
+		}
+		if err := fl2.Close(ctx); err != nil {
+			t.Fatalf("close unsynced: %v", err)
+		}
+
+		// Power cut.
+		if n := f.LiveInodes(); n != 0 {
+			t.Fatalf("not quiescent before crash: %d in-core inode(s)", n)
+		}
+		dropped := r.d.Crash()
+		for r.d.Busy() {
+			p.SleepFor(10 * sim.Millisecond)
+		}
+		lost, _ := r.c.Crash(r.d)
+		t.Logf("crash: %d dirty buffer(s) lost, %d queued request(s) dropped", lost, dropped)
+		if lost == 0 {
+			t.Error("crash lost no dirty buffers: the unsynced write was not delayed")
+		}
+
+		// Recovery.
+		rep, err := FsckRepair(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("fsck-repair: %v", err)
+		}
+		t.Logf("repair: %d problem(s), %d fix(es)", len(rep.Problems), rep.Repaired)
+		chk, err := Fsck(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("post-repair fsck: %v", err)
+		}
+		if !chk.Clean() {
+			t.Fatalf("volume not clean after crash repair: %d problem(s), first: %s",
+				len(chk.Problems), chk.Problems[0])
+		}
+		f2, err := Mount(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("remount: %v", err)
+		}
+		fl3, err := f2.OpenFile(ctx, "/synced", kernel.ORdOnly)
+		if err != nil {
+			t.Fatalf("synced file lost by the crash: %v", err)
+		}
+		got := make([]byte, len(want)+1)
+		n, err := fl3.Read(ctx, got, 0)
+		if err != nil {
+			t.Fatalf("read synced: %v", err)
+		}
+		_ = fl3.Close(ctx)
+		if n != len(want) || !bytes.Equal(got[:n], want) {
+			t.Fatalf("synced file not byte-exact after crash: got %d bytes, want %d", n, len(want))
+		}
+		if !f2.Exists(ctx, "/unsynced") {
+			t.Error("durably created (unsynced) file lost its name in the crash")
+		}
+	})
+}

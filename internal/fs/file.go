@@ -131,6 +131,10 @@ func (fl *File) Write(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 				}
 				b, err = fl.fs.cache.Bread(ctx, fl.fs.dev, int64(pblk))
 				if err != nil {
+					// The block was allocated but no byte of it got
+					// written: roll it back rather than leave a dead
+					// block attached past the data actually written.
+					fl.rollbackBlock(ctx, lblk)
 					return done, err
 				}
 			} else {
@@ -149,6 +153,29 @@ func (fl *File) Write(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 		}
 	}
 	return done, nil
+}
+
+// rollbackBlock undoes the allocation of logical block lblk after a
+// mid-write failure: the data block returns to the bitmap and the
+// direct/indirect pointer to it is cleared, so an ErrNoSpace (or I/O
+// error) partway through a multi-block extension cannot leave blocks
+// attached beyond the bytes actually written — and can never leak a
+// marked-but-unreferenced block for fsck to find. Indirect pointer
+// blocks allocated on the way stay: they are referenced by the inode
+// and are reused by the next extension. Best effort: rollback failures
+// are ignored (the original error is what the caller reports; a block
+// left behind is still referenced, so the volume stays consistent).
+func (fl *File) rollbackBlock(ctx kernel.Ctx, lblk int64) {
+	ip := fl.ip
+	f := fl.fs
+	pblk, err := ip.bmap(ctx, lblk, false, false)
+	if err != nil || pblk == 0 {
+		return
+	}
+	if err := ip.clearPtr(ctx, lblk); err != nil {
+		return
+	}
+	_ = f.freeBlock(ctx, pblk)
 }
 
 // Size implements kernel.FileOps.
@@ -188,15 +215,22 @@ func (fl *File) Sync(ctx kernel.Ctx) error {
 	if ip.dindir != 0 {
 		blknos = append(blknos, int64(ip.dindir))
 	}
-	if _, err := fl.fs.cache.FlushBlocks(ctx, fl.fs.dev, blknos); err != nil {
-		return err
-	}
 	if ip.dirty {
 		if err := fl.fs.iupdate(ctx, ip); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Include the inode-table block so the inode image itself (size,
+	// pointers — dirtied by this file or flushed lazily by an earlier
+	// close) is durable when fsync returns: that is the crash contract.
+	itblk, _ := fl.fs.itableBlock(ip.ino)
+	blknos = append(blknos, itblk)
+	if _, err := fl.fs.cache.FlushBlocks(ctx, fl.fs.dev, blknos); err != nil {
+		return err
+	}
+	// A flush with nothing dirty left can still owe the caller an
+	// earlier buffer-daemon write failure.
+	return fl.fs.cache.TakeWriteError(fl.fs.dev)
 }
 
 // Close implements kernel.FileOps.
@@ -205,7 +239,13 @@ func (fl *File) Close(ctx kernel.Ctx) error {
 		return kernel.ErrBadFD
 	}
 	fl.closed = true
-	return fl.fs.iput(ctx, fl.ip)
+	err := fl.fs.iput(ctx, fl.ip)
+	if err == nil {
+		// Surface any latched async-write error on this device: with
+		// delayed writes, close is often the last chance to report it.
+		err = fl.fs.cache.TakeWriteError(fl.fs.dev)
+	}
+	return err
 }
 
 // ---- splice support (source/sink accessors) ----

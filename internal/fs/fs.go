@@ -225,9 +225,13 @@ func (f *FS) iput(ctx kernel.Ctx, ip *Inode) error {
 	}
 	var err error
 	if ip.nlink == 0 {
-		err = ip.truncate(ctx, 0)
+		// Mark the inode free first: truncate's synchronous inode write
+		// then records the release on the platter before the bitmap
+		// gives the blocks back, so no stale claim can ever collide
+		// with a block reallocated (and fsync'd) by another file.
 		ip.mode = ModeFree
 		ip.dirty = true
+		err = ip.truncate(ctx, 0)
 		f.sb.FreeInodes++
 		f.sbDirty = true
 	}
@@ -253,6 +257,30 @@ func (f *FS) iupdate(ctx kernel.Ctx, ip *Inode) error {
 	}
 	di.encode(b.Data[off:])
 	f.cache.Bdwrite(ctx, b)
+	ip.dirty = false
+	return nil
+}
+
+// iupdateSync writes the inode back synchronously. The ordered-metadata
+// discipline uses it where the on-platter inode image must be durable
+// before a dependent update may land (new inode before its directory
+// entry; cleared inode before its blocks return to the bitmap), so that
+// a crash at any instant leaves a volume the repairing fsck provably
+// converges on without touching any fsync'd file's content.
+func (f *FS) iupdateSync(ctx kernel.Ctx, ip *Inode) error {
+	blk, off := f.itableBlock(ip.ino)
+	b, err := f.cache.Bread(ctx, f.dev, blk)
+	if err != nil {
+		return err
+	}
+	di := dinode{
+		Mode: ip.mode, Nlink: ip.nlink, Size: ip.size,
+		Direct: ip.direct, Indir: ip.indir, DIndir: ip.dindir,
+	}
+	di.encode(b.Data[off:])
+	if err := f.cache.Bwrite(ctx, b); err != nil {
+		return err
+	}
 	ip.dirty = false
 	return nil
 }
@@ -287,7 +315,12 @@ func (f *FS) ialloc(ctx kernel.Ctx, mode uint16) (*Inode, error) {
 		}
 		di = dinode{Mode: mode, Nlink: 1}
 		di.encode(b.Data[off:])
-		f.cache.Bdwrite(ctx, b)
+		// Ordered metadata: the initialized inode must be on the platter
+		// before the directory entry naming it can be written, so a
+		// crash never leaves a durable dirent pointing at a free inode.
+		if err := f.cache.Bwrite(ctx, b); err != nil {
+			return nil, err
+		}
 		ip := &Inode{fs: f, ino: ino, mode: mode, nlink: 1, refs: 1}
 		f.inodes[ino] = ip
 		f.inoRotor = ino + 1
@@ -414,8 +447,10 @@ func (f *FS) dirEnter(ctx kernel.Ctx, dp *Inode, name string, ino uint32) error 
 		de := decodeDirent(b.Data[off%bsize:])
 		if de.Ino == 0 {
 			encodeDirent(b.Data[off%bsize:], dirent{Ino: ino, Name: name})
-			f.cache.Bdwrite(ctx, b)
-			return nil
+			// Ordered metadata: directory entries are written through
+			// synchronously (the target inode is already durable), so a
+			// successfully created name survives any later crash.
+			return f.cache.Bwrite(ctx, b)
 		}
 		f.cache.Brelse(ctx, b)
 	}
@@ -430,10 +465,16 @@ func (f *FS) dirEnter(ctx kernel.Ctx, dp *Inode, name string, ino uint32) error 
 		return err
 	}
 	encodeDirent(b.Data[off%bsize:], dirent{Ino: ino, Name: name})
-	f.cache.Bdwrite(ctx, b)
+	if err := f.cache.Bwrite(ctx, b); err != nil {
+		return err
+	}
 	dp.size = off + DirentSize
 	dp.dirty = true
-	return nil
+	// The entry block is durable; now make it reachable by writing the
+	// directory inode (grown size, possibly a new block pointer). Until
+	// this lands a crash leaves the new inode orphaned — which repair
+	// zaps — never a reachable torn entry.
+	return f.iupdateSync(ctx, dp)
 }
 
 // dirRemove deletes name from directory dp.
@@ -452,7 +493,12 @@ func (f *FS) dirRemove(ctx kernel.Ctx, dp *Inode, name string) (uint32, error) {
 		return 0, err
 	}
 	encodeDirent(b.Data[off%bsize:], dirent{})
-	f.cache.Bdwrite(ctx, b)
+	// Ordered metadata: the cleared entry must be durable before the
+	// freed inode (written synchronously by iput/truncate) can be, or a
+	// crash would leave a durable dirent naming a free inode.
+	if err := f.cache.Bwrite(ctx, b); err != nil {
+		return 0, err
+	}
 	return ino, nil
 }
 
@@ -580,10 +626,21 @@ func (f *FS) SyncAll(ctx kernel.Ctx) error {
 	}
 	n, err := f.cache.FlushDev(ctx, f.dev)
 	if err == nil {
+		// Nothing dirty to flush can still mean a buffer-daemon write
+		// failed since the last sync: surface the sticky error here.
+		err = f.cache.TakeWriteError(f.dev)
+	}
+	if err == nil {
 		f.k.TraceEmit(trace.KindFSSync, 0, int64(n), 0, f.dev.DevName())
 	}
 	return err
 }
+
+// LiveInodes returns the number of in-core inodes (files or
+// directories currently referenced). Crash orchestration asserts this
+// is zero before pulling the plug: volatile inode state on a
+// non-quiescent volume would be discarded mid-operation.
+func (f *FS) LiveInodes() int { return len(f.inodes) }
 
 // Exists reports whether path resolves (test/benchmark convenience).
 func (f *FS) Exists(ctx kernel.Ctx, path string) bool {

@@ -8,12 +8,14 @@ import (
 	"kdp/internal/kernel"
 )
 
-// FsckReport is the result of a consistency check.
+// FsckReport is the result of a consistency check (or, from
+// FsckRepair, a repair pass).
 type FsckReport struct {
 	Inodes     int // allocated inodes encountered
 	Dirs       int
 	Files      int
 	UsedBlocks int // data+indirect blocks referenced by inodes
+	Repaired   int // individual fixes applied (FsckRepair only)
 	Problems   []string
 }
 
@@ -144,8 +146,10 @@ func Fsck(ctx kernel.Ctx, cache *buf.Cache, dev buf.Device) (*FsckReport, error)
 		walk(di.DIndir, "double-indirect", 2)
 	}
 
-	// Pass 2: directory connectivity and link counts.
-	for ino, di := range allocated {
+	// Pass 2: directory connectivity and link counts, in inode order so
+	// the problem list is deterministic.
+	for _, ino := range sortedInos(allocated) {
+		di := allocated[ino]
 		if di.Mode != ModeDir {
 			continue
 		}
@@ -153,7 +157,8 @@ func Fsck(ctx kernel.Ctx, cache *buf.Cache, dev buf.Device) (*FsckReport, error)
 			return nil, err
 		}
 	}
-	for ino, di := range allocated {
+	for _, ino := range sortedInos(allocated) {
+		di := allocated[ino]
 		want := links[ino]
 		if ino == RootIno {
 			want++ // the root is referenced by convention, not a dirent

@@ -181,6 +181,48 @@ func (f *FS) ptrAt(ctx kernel.Ctx, blk uint32, idx int64, alloc bool) (uint32, e
 	return p, nil
 }
 
+// clearPtr zeroes the inode's pointer to logical block lblk, making it
+// a hole again (pointer blocks on the path are left in place; they are
+// referenced by the inode and reused by the next extension). Used by
+// the write path's mid-call rollback.
+func (ip *Inode) clearPtr(ctx kernel.Ctx, lblk int64) error {
+	f := ip.fs
+	ppb := f.ptrsPerBlock()
+	switch {
+	case lblk < NDirect:
+		ip.direct[lblk] = 0
+		ip.dirty = true
+		return nil
+	case lblk < NDirect+ppb:
+		if ip.indir == 0 {
+			return nil
+		}
+		return f.zeroPtrAt(ctx, ip.indir, lblk-NDirect)
+	case lblk < NDirect+ppb+ppb*ppb:
+		idx := lblk - NDirect - ppb
+		if ip.dindir == 0 {
+			return nil
+		}
+		l1, err := f.ptrAt(ctx, ip.dindir, idx/ppb, false)
+		if err != nil || l1 == 0 {
+			return err
+		}
+		return f.zeroPtrAt(ctx, l1, idx%ppb)
+	}
+	return kernel.ErrInval
+}
+
+// zeroPtrAt clears entry idx of pointer block blk.
+func (f *FS) zeroPtrAt(ctx kernel.Ctx, blk uint32, idx int64) error {
+	b, err := f.cache.Bread(ctx, f.dev, int64(blk))
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b.Data[idx*4:], 0)
+	f.cache.Bdwrite(ctx, b)
+	return nil
+}
+
 // allocData allocates a data block. When zeroFill is set the block gets
 // a zero-filled delayed-write buffer, as the standard write path does —
 // the cost splice's special bmap avoids.
@@ -216,43 +258,71 @@ func (f *FS) allocPtrBlock(ctx kernel.Ctx) (uint32, error) {
 }
 
 // truncate frees every data and indirect block beyond size newSize
-// (only newSize==0 is used today, by unlink and O_TRUNC).
+// (only newSize==0 is used today, by unlink and O_TRUNC). Ordered
+// metadata: the block list is gathered first, then the cleared inode
+// is written synchronously, and only then do the blocks return to the
+// bitmap — the platter never carries a stale claim on a block another
+// file could reallocate, which is what lets the repairing fsck keep
+// every fsync'd file byte-exact after a crash.
 func (ip *Inode) truncate(ctx kernel.Ctx, newSize int64) error {
 	f := ip.fs
 	if newSize != 0 {
 		return kernel.ErrInval
 	}
-	for i, blk := range ip.direct {
-		if blk != 0 {
-			if err := f.freeBlock(ctx, blk); err != nil {
-				return err
-			}
-			ip.direct[i] = 0
-		}
+	blocks, err := ip.collectBlocks(ctx)
+	if err != nil {
+		return err
 	}
-	if ip.indir != 0 {
-		if err := f.freePtrBlock(ctx, ip.indir, 1); err != nil {
-			return err
-		}
-		ip.indir = 0
+	for i := range ip.direct {
+		ip.direct[i] = 0
 	}
-	if ip.dindir != 0 {
-		if err := f.freePtrBlock(ctx, ip.dindir, 2); err != nil {
-			return err
-		}
-		ip.dindir = 0
-	}
+	ip.indir = 0
+	ip.dindir = 0
 	ip.size = 0
 	ip.dirty = true
+	if err := f.iupdateSync(ctx, ip); err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		if err := f.freeBlock(ctx, blk); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// freePtrBlock frees a pointer block and everything below it (depth 1 =
-// entries are data blocks; depth 2 = entries are pointer blocks).
-func (f *FS) freePtrBlock(ctx kernel.Ctx, blk uint32, depth int) error {
+// collectBlocks gathers every physical block the inode owns — data,
+// single- and double-indirect pointer blocks — in deterministic walk
+// order.
+func (ip *Inode) collectBlocks(ctx kernel.Ctx) ([]uint32, error) {
+	f := ip.fs
+	var out []uint32
+	for _, blk := range ip.direct {
+		if blk != 0 {
+			out = append(out, blk)
+		}
+	}
+	var err error
+	if ip.indir != 0 {
+		if out, err = f.collectPtrBlock(ctx, ip.indir, 1, out); err != nil {
+			return nil, err
+		}
+	}
+	if ip.dindir != 0 {
+		if out, err = f.collectPtrBlock(ctx, ip.dindir, 2, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// collectPtrBlock appends a pointer block and everything below it
+// (depth 1 = entries are data blocks; depth 2 = entries are pointer
+// blocks) to out.
+func (f *FS) collectPtrBlock(ctx kernel.Ctx, blk uint32, depth int, out []uint32) ([]uint32, error) {
 	b, err := f.cache.Bread(ctx, f.dev, int64(blk))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	le := binary.LittleEndian
 	ppb := f.ptrsPerBlock()
@@ -265,14 +335,14 @@ func (f *FS) freePtrBlock(ctx kernel.Ctx, blk uint32, depth int) error {
 	f.cache.Brelse(ctx, b)
 	for _, p := range entries {
 		if depth > 1 {
-			if err := f.freePtrBlock(ctx, p, depth-1); err != nil {
-				return err
+			if out, err = f.collectPtrBlock(ctx, p, depth-1, out); err != nil {
+				return nil, err
 			}
-		} else if err := f.freeBlock(ctx, p); err != nil {
-			return err
+		} else {
+			out = append(out, p)
 		}
 	}
-	return f.freeBlock(ctx, blk)
+	return append(out, blk), nil
 }
 
 // PhysicalBlocks returns the complete table of physical block numbers

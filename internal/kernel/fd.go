@@ -100,12 +100,21 @@ type devEntry struct {
 }
 
 // Mount attaches a filesystem at the given path prefix (e.g. "/d0").
-// Longest-prefix match wins at lookup time.
+// Longest-prefix match wins at lookup time. Mounting a prefix that is
+// already mounted replaces the old filesystem — crash recovery remounts
+// a repaired volume in place.
 func (k *Kernel) Mount(prefix string, fs FileSystem) {
 	if !strings.HasPrefix(prefix, "/") {
 		panic("kernel: mount prefix must be absolute")
 	}
-	k.mounts = append(k.mounts, mountEntry{prefix: strings.TrimRight(prefix, "/"), fs: fs})
+	prefix = strings.TrimRight(prefix, "/")
+	for i := range k.mounts {
+		if k.mounts[i].prefix == prefix {
+			k.mounts[i].fs = fs
+			return
+		}
+	}
+	k.mounts = append(k.mounts, mountEntry{prefix: prefix, fs: fs})
 	sort.SliceStable(k.mounts, func(i, j int) bool {
 		return len(k.mounts[i].prefix) > len(k.mounts[j].prefix)
 	})

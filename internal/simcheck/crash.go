@@ -1,0 +1,198 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"kdp/internal/fs"
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/trace"
+)
+
+// Crash sweep: the machine loses power at an op boundary, every piece
+// of volatile state is discarded (dirty delayed-write buffers, queued
+// disk requests, in-core inodes), the repairing fsck brings both
+// volumes back, and the remounted filesystems must satisfy the crash
+// contract — every file whose last successful fsync preceded the crash
+// reads back byte-exact, every durably created name still resolves,
+// and both volumes check fsck-clean.
+
+// genCrashOps derives a crash-focused op sequence: single worker, the
+// plain file vocabulary with a heavy fsync bias (so most runs have
+// synced state to verify), splice file→file for the bypass write
+// engine, and exactly one power cut at a seed-derived boundary in the
+// middle half of the run. No fault or stream ops: the crash is the
+// disturbance under test, and the post-crash content checks need
+// checkable volumes.
+func genCrashOps(cfg Config) []*op {
+	r := sim.NewRand(cfg.Seed)
+	crashAt := cfg.Ops/4 + int(r.Int63n(int64(cfg.Ops/2+1)))
+	ops := make([]*op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		if i == crashAt {
+			ops = append(ops, &op{idx: i, kind: opCrash})
+			continue
+		}
+		o := &op{
+			idx:   i,
+			disk:  r.Intn(2),
+			slot:  r.Intn(slotsPerWk),
+			off:   r.Int63n(maxOff),
+			size:  1 + r.Intn(maxIO),
+			pat:   byte(1 + r.Intn(255)),
+			think: sim.Duration(r.Intn(3)) * 700 * sim.Microsecond,
+		}
+		switch w := r.Intn(100); {
+		case w < 30:
+			o.kind = opWrite
+		case w < 42:
+			o.kind = opRead
+		case w < 48:
+			o.kind = opTrunc
+		case w < 54:
+			o.kind = opUnlink
+		case w < 84:
+			o.kind = opFsync
+		case w < 94:
+			o.kind = opSpliceFF
+			o.disk2 = r.Intn(2)
+			o.slot2 = r.Intn(slotsPerWk)
+			if o.disk2 == o.disk && o.slot2 == o.slot {
+				o.slot2 = (o.slot2 + 1) % slotsPerWk
+			}
+		default:
+			o.kind = opTraceSnap
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// doCrash pulls the plug: volatile state is discarded while durably
+// committed platter state survives, then recovery runs (repair, verify
+// clean, remount) and the oracle collapses to the durable view.
+func (m *machine) doCrash(p *kernel.Proc, w int, o *op) {
+	// Quiescence: every op is self-contained, and the crash sweep runs
+	// one worker, so at an op boundary no file may be held open. A held
+	// inode here is a harness bug, not a filesystem one.
+	for i, f := range m.fss {
+		if n := f.LiveInodes(); n != 0 {
+			m.fail(fmt.Errorf("crash: /d%d not quiescent: %d in-core inode(s) held", i, n))
+			return
+		}
+	}
+
+	// Power cut, per disk: queued transfers are dropped (their data
+	// never transferred), while a transfer already in progress is past
+	// the point of no return and completes. Wait it out, then discard
+	// every cached buffer — the dirty ones are the delayed writes the
+	// platter never saw.
+	var dropped [2]int
+	for i, d := range m.disks {
+		dropped[i] = d.Crash()
+	}
+	for m.disks[0].Busy() || m.disks[1].Busy() {
+		p.SleepFor(10 * sim.Millisecond) // one clock tick
+	}
+	for i, d := range m.disks {
+		lost, discarded := m.cache.Crash(d)
+		m.k.TraceEmit(trace.KindFSCrash, 0, int64(lost), int64(dropped[i]), d.DevName())
+		m.logf("op %d w%d %s: /d%d power cut: %d dirty buffer(s) lost, %d queued request(s) dropped, %d cached discarded",
+			o.idx, w, o.describe(), i, lost, dropped[i], discarded)
+	}
+
+	// Recovery: repair each volume, require the follow-up plain fsck to
+	// come back clean, and remount (replacing the dead in-core fs).
+	for i, d := range m.disks {
+		rep, err := fs.FsckRepair(p.Ctx(), m.cache, d)
+		if err != nil {
+			m.fail(fmt.Errorf("crash: fsck-repair /d%d: %v", i, err))
+			return
+		}
+		m.logf("op %d: fsck-repair /d%d: %d problem(s), %d repair(s)", o.idx, i, len(rep.Problems), rep.Repaired)
+		chk, err := fs.Fsck(p.Ctx(), m.cache, d)
+		if err != nil {
+			m.fail(fmt.Errorf("crash: post-repair fsck /d%d: %v", i, err))
+			return
+		}
+		if !chk.Clean() {
+			m.fail(fmt.Errorf("crash: /d%d not clean after repair: %d problem(s), first: %s",
+				i, len(chk.Problems), chk.Problems[0]))
+			return
+		}
+		f, err := fs.Mount(p.Ctx(), m.cache, d)
+		if err != nil {
+			m.fail(fmt.Errorf("crash: remount /d%d: %v", i, err))
+			return
+		}
+		m.fss[i] = f
+		m.k.Mount(fmt.Sprintf("/d%d", i), f)
+	}
+
+	m.postCrashOracle()
+	m.verifyDurable(p, o, w)
+}
+
+// postCrashOracle collapses the oracle to the durable view: a file
+// whose last successful fsync is unmodified reads back exactly that
+// snapshot; everything else created survives with unpredictable
+// content; unlinked names were removed at unlink time (durable, so no
+// change here).
+func (m *machine) postCrashOracle() {
+	for _, of := range m.oracle {
+		if of.syncedOK {
+			of.data = append([]byte(nil), of.synced...)
+			of.tainted = false
+		} else {
+			of.tainted = true
+		}
+	}
+}
+
+// verifyDurable checks the crash contract immediately after remount:
+// every durably created file still resolves, and every fsync'd file
+// reads back byte-exact.
+func (m *machine) verifyDurable(p *kernel.Proc, o *op, w int) {
+	paths := make([]string, 0, len(m.oracle))
+	for path := range m.oracle {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	synced, existing := 0, 0
+	for _, path := range paths {
+		of := m.oracle[path]
+		if !of.created {
+			continue
+		}
+		fd, err := p.Open(path, kernel.ORdOnly)
+		if err != nil {
+			m.fail(fmt.Errorf("crash-exists: %s lost by the crash: %v (oracle: created durable, synced=%v)",
+				path, err, of.syncedOK))
+			return
+		}
+		existing++
+		if of.tainted {
+			p.Close(fd)
+			continue
+		}
+		got := make([]byte, len(of.data)+1)
+		n, rerr := p.Read(fd, got)
+		p.Close(fd)
+		if rerr != nil {
+			m.fail(fmt.Errorf("crash-content: read %s after recovery: %v", path, rerr))
+			return
+		}
+		if n != len(of.data) {
+			m.fail(fmt.Errorf("crash-size: %s has %d bytes after recovery, fsync promised %d", path, n, len(of.data)))
+			return
+		}
+		if i := firstDiff(got[:n], of.data); i >= 0 {
+			m.fail(fmt.Errorf("crash-content: %s differs at byte %d after recovery: disk %#02x, fsync promised %#02x",
+				path, i, got[i], of.data[i]))
+			return
+		}
+		synced++
+	}
+	m.opLog(o, w, "recovered: %d file(s) survive, %d verified byte-exact against fsync snapshots", existing, synced)
+}

@@ -18,10 +18,18 @@ func Minimize(cfg Config) (*Result, []int) {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 60
 	}
+	if cfg.Crash {
+		cfg.Workers = 1
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1 + int(cfg.Seed%3)
 	}
-	full := genOps(cfg)
+	var full []*op
+	if cfg.Crash {
+		full = genCrashOps(cfg)
+	} else {
+		full = genOps(cfg)
+	}
 	res := execute(cfg, full)
 	if !res.Failed() {
 		return res, nil
@@ -63,6 +71,10 @@ func Minimize(cfg Config) (*Result, []int) {
 
 // ReproCommand renders the command line that reproduces a failing seed.
 func ReproCommand(cfg Config) string {
-	return fmt.Sprintf("go run ./cmd/kdpcheck -seed %d -ops %d -workers %d -v",
-		cfg.Seed, cfg.Ops, cfg.Workers)
+	crash := ""
+	if cfg.Crash {
+		crash = " -crash"
+	}
+	return fmt.Sprintf("go run ./cmd/kdpcheck -seed %d -ops %d -workers %d%s -v",
+		cfg.Seed, cfg.Ops, cfg.Workers, crash)
 }

@@ -28,10 +28,11 @@ const (
 	opPipeSplice // concurrent writer fills pipe, splice pipe → file
 	opSpliceSock // splice file → socket, concurrent reader drains
 	opSpliceSig  // synchronous splice interrupted by a posted signal
-	opFault      // arm a one-shot disk fault on the tight volume
+	opFault      // arm a one-shot disk fault on either volume
 	opTraceSnap  // snapshot the trace counters into the event log
 	opStreamConn // stream connect/accept handshake + close on the lossy net
 	opStreamXfer // stream transfer over the lossy net, byte-exact delivery
+	opCrash      // power cut: discard volatile state, repair, remount (crash sweep only)
 )
 
 // Generation sizes. Files stay under 12 direct blocks (96KB) so the
@@ -54,7 +55,8 @@ type op struct {
 	size         int
 	pat          byte
 	sigTicks     int          // opSpliceSig: delay before posting the signal
-	faultBlk     int64        // opFault: physical block on disk 1
+	faultDisk    int          // opFault: which volume absorbs the fault
+	faultBlk     int64        // opFault: physical block on the faulted volume
 	faultRead    bool         // opFault: fail reads (else writes)
 	think        sim.Duration // user-mode compute after the op
 }
@@ -86,7 +88,9 @@ func (o *op) describe() string {
 		if o.faultRead {
 			mode = "read"
 		}
-		return fmt.Sprintf("fault d1 blk=%d on %s", o.faultBlk, mode)
+		return fmt.Sprintf("fault d%d blk=%d on %s", o.faultDisk, o.faultBlk, mode)
+	case opCrash:
+		return "crash-recover"
 	case opTraceSnap:
 		return "trace-snapshot"
 	case opStreamConn:
@@ -144,7 +148,12 @@ func genOps(cfg Config) []*op {
 			o.kind = opTraceSnap
 		case w < 89:
 			o.kind = opFault
-			o.faultBlk = r.Int63n(d1Blocks)
+			o.faultDisk = r.Intn(2)
+			if o.faultDisk == 0 {
+				o.faultBlk = r.Int63n(d0Blocks)
+			} else {
+				o.faultBlk = r.Int63n(d1Blocks)
+			}
 			o.faultRead = r.Intn(2) == 0
 		case w < 92:
 			o.kind = opStreamConn
@@ -230,8 +239,8 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 	case opSpliceSock:
 		m.doSpliceSock(p, w, o)
 	case opFault:
-		m.disks[1].InjectFault(o.faultBlk, o.faultRead, !o.faultRead, 1)
-		m.d1Faulted = true
+		m.disks[o.faultDisk].InjectFault(o.faultBlk, o.faultRead, !o.faultRead, 1)
+		m.faulted[o.faultDisk] = true
 		m.logf("op %d w%d %s", o.idx, w, o.describe())
 	case opTraceSnap:
 		m.doTraceSnap(o, w)
@@ -239,6 +248,8 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.doStreamConn(p, w, o)
 	case opStreamXfer:
 		m.doStreamXfer(p, w, o)
+	case opCrash:
+		m.doCrash(p, w, o)
 	}
 }
 
@@ -287,6 +298,11 @@ func (m *machine) doWrite(p *kernel.Proc, w int, o *op) {
 	n, werr := p.Write(fd, data)
 	p.Close(fd)
 	of := m.ensure(path)
+	// The open succeeded, so the name is durably on the platter (ordered
+	// dirEnter); the write itself is delayed, so any durable content
+	// snapshot from an earlier fsync is stale from here on.
+	of.created = true
+	of.syncedOK = false
 	if werr != nil || n != len(data) {
 		// Partial writes (ENOSPC on the tight volume) leave the tail
 		// unpredictable: some blocks landed, some did not.
@@ -379,8 +395,14 @@ func (m *machine) doTrunc(p *kernel.Proc, w int, o *op) {
 	p.Close(fd)
 	of := m.ensure(path)
 	// Truncation resets the contents to a known state, clearing taint.
+	// It is also durable: truncate writes the cleared inode
+	// synchronously before freeing blocks, so after a crash the file is
+	// exactly empty.
 	of.data = nil
 	of.tainted = false
+	of.created = true
+	of.synced = nil
+	of.syncedOK = true
 	m.opLog(o, w, "ok")
 }
 
@@ -415,10 +437,20 @@ func (m *machine) doFsync(p *kernel.Proc, w int, o *op) {
 	}
 	serr := p.Fsync(fd)
 	p.Close(fd)
+	of := m.ensure(path)
 	if serr != nil {
-		m.taintEnsure(path)
+		// A failed fsync flushed an unknown subset: current content and
+		// the durable image are both unpredictable.
+		of.tainted = true
+		of.syncedOK = false
 		m.opLog(o, w, "fsync: %v", serr)
 		return
+	}
+	if !of.tainted {
+		// The contract under test: a successful fsync makes this exact
+		// content durable, surviving any later crash byte-exact.
+		of.synced = append([]byte(nil), of.data...)
+		of.syncedOK = true
 	}
 	m.opLog(o, w, "ok")
 }
@@ -456,6 +488,11 @@ func (m *machine) doSpliceFF(p *kernel.Proc, w int, o *op, sig bool) {
 
 	oso := m.oracle[src]
 	odo := m.ensure(dst)
+	// The destination name is durable (open succeeded); its content and
+	// metadata were (possibly) rewritten with delayed metadata, so any
+	// earlier fsync snapshot no longer matches the platter.
+	odo.created = true
+	odo.syncedOK = false
 	srcKnown := oso != nil && !oso.tainted && m.checkable(o.disk)
 	switch {
 	case serr != nil:
@@ -580,6 +617,8 @@ func (m *machine) doPipeSplice(p *kernel.Proc, w int, o *op) {
 	p.Close(dfd)
 
 	of := m.ensure(dst)
+	of.created = true
+	of.syncedOK = false
 	if serr != nil || moved != n {
 		of.tainted = true
 		m.opLog(o, w, "moved=%d err=%v (tainted)", moved, serr)

@@ -77,6 +77,11 @@ type Config struct {
 	// prove the invariant checkers trip. Test use only.
 	Damage      string
 	DamageAfter int
+	// Crash switches the run into the crash sweep: a single worker, a
+	// file-op-heavy mix with frequent fsyncs, and exactly one power cut
+	// at a seed-derived op boundary, followed by repair, remount, and a
+	// durability check of every pre-crash fsync'd file.
+	Crash bool
 	// Verbose, when non-nil, receives the event log as it is written.
 	Verbose io.Writer
 }
@@ -128,7 +133,7 @@ type machine struct {
 	curOp       string
 	opsDone     int
 	damaged     bool
-	d1Faulted   bool
+	faulted     [2]bool
 	workersLeft int
 }
 
@@ -136,9 +141,20 @@ type machine struct {
 // means the contents are no longer predictable (an op on it failed, or
 // it absorbed data from an unpredictable source); existence checks
 // still apply, content checks do not.
+//
+// The crash-durability fields model what must survive a power cut:
+// created records that a successful create made the name durable (the
+// ordered-metadata discipline writes inode then dirent synchronously);
+// synced/syncedOK snapshot the content at the last successful fsync,
+// valid until the next modification. After a crash the oracle collapses
+// to this durable view (see postCrashOracle).
 type ofile struct {
 	data    []byte
 	tainted bool
+
+	created  bool
+	synced   []byte
+	syncedOK bool
 }
 
 // Run executes one harness run and reports the outcome. It never
@@ -147,13 +163,23 @@ func Run(cfg Config) *Result {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 60
 	}
+	if cfg.Crash {
+		// The power cut requires a quiescent machine at the op boundary,
+		// which only a single worker guarantees.
+		cfg.Workers = 1
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1 + int(cfg.Seed%3)
 	}
 	if cfg.Damage != "" && cfg.DamageAfter <= 0 {
 		cfg.DamageAfter = 1
 	}
-	ops := genOps(cfg)
+	var ops []*op
+	if cfg.Crash {
+		ops = genCrashOps(cfg)
+	} else {
+		ops = genOps(cfg)
+	}
 	return execute(cfg, ops)
 }
 
@@ -163,8 +189,16 @@ func RunSeed(seed uint64) *Result { return Run(Config{Seed: seed}) }
 // VerifyReplay runs seed twice and verifies determinism: identical
 // event-log digests and identical CPU accounting.
 func VerifyReplay(seed uint64) error {
-	a := RunSeed(seed)
-	b := RunSeed(seed)
+	return VerifyReplayConfig(Config{Seed: seed})
+}
+
+// VerifyReplayConfig is VerifyReplay for an arbitrary configuration
+// (the crash sweep replays with Crash set).
+func VerifyReplayConfig(cfg Config) error {
+	cfg.Verbose = nil
+	seed := cfg.Seed
+	a := Run(cfg)
+	b := Run(cfg)
 	if a.Violation != nil {
 		return fmt.Errorf("simcheck: replay of failing seed %d: %w", seed, a.Violation)
 	}
@@ -364,10 +398,10 @@ func (m *machine) logf(format string, args ...any) {
 }
 
 // checkable reports whether content on the given disk is still
-// predictable. Fault injection targets disk 1 only; once a fault is
-// armed, delayed writes can be silently lost there, so content checks
-// on /d1 are suspended (error-tolerance checks remain).
-func (m *machine) checkable(disk int) bool { return disk == 0 || !m.d1Faulted }
+// predictable. Once a fault is armed on a volume, delayed writes can be
+// silently lost there, so content checks on it are suspended
+// (error-tolerance checks remain).
+func (m *machine) checkable(disk int) bool { return !m.faulted[disk] }
 
 // ensure returns the oracle entry for path, creating it if absent.
 func (m *machine) ensure(path string) *ofile {
@@ -426,12 +460,14 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 		m.logf("verify %s ok (%d bytes)", path, n)
 	}
 
-	if m.d1Faulted {
-		m.disks[1].ClearFaults()
+	for i := range m.disks {
+		if m.faulted[i] {
+			m.disks[i].ClearFaults()
+		}
 	}
 	for i, f := range m.fss {
 		if err := f.SyncAll(p.Ctx()); err != nil {
-			if i == 1 && m.d1Faulted {
+			if m.faulted[i] {
 				m.logf("syncall /d%d: %v (faulted volume, tolerated)", i, err)
 				continue
 			}
@@ -439,10 +475,18 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 			return
 		}
 	}
+	// Fsck-after-drain on both volumes: an unfaulted volume must check
+	// clean outright; a volume that absorbed injected faults may have
+	// lost delayed metadata writes, so the repairing fsck runs first and
+	// must converge it to a clean volume.
 	for i := range m.fss {
-		if i == 1 && m.d1Faulted {
-			m.logf("fsck /d1 skipped: volume absorbed injected faults")
-			continue
+		if m.faulted[i] {
+			rep, err := fs.FsckRepair(p.Ctx(), m.cache, m.disks[i])
+			if err != nil {
+				m.fail(fmt.Errorf("fsck-repair /d%d: %v", i, err))
+				return
+			}
+			m.logf("fsck-repair /d%d: %d problem(s), %d repair(s)", i, len(rep.Problems), rep.Repaired)
 		}
 		rep, err := fs.Fsck(p.Ctx(), m.cache, m.disks[i])
 		if err != nil {

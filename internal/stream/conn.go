@@ -463,7 +463,7 @@ func (c *Conn) maybeGhost() {
 	c.state = stateClosed
 	c.stopRtx()
 	delete(c.t.conns, c.key())
-	c.t.ghosts[c.key()] = c.rcvNxt
+	c.t.addGhost(c.key(), c.rcvNxt)
 	unregisterConn(c)
 }
 

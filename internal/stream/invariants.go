@@ -22,14 +22,19 @@ import (
 //	                       (rcvNxt, rcvNxt+reasmLimit]
 //	stream-retry-bound     consecutive retransmissions of one segment
 //	                       never exceed maxRetries
+//	stream-ghost-bound     retired-connection records are reaped by
+//	                       their expiry callout: no ghost entry
+//	                       outlives its deadline (the map cannot grow
+//	                       with every connection ever retired)
 //	stream-conn-leak       (CheckDrained) once a machine has run to
 //	                       idle, every live connection is quiescent:
 //	                       no unacknowledged or unadmitted send data,
 //	                       no undelivered receive data, no parked
 //	                       splice read, no half-finished handshake
 var (
-	invariantsOn bool
-	liveConns    map[*Conn]struct{}
+	invariantsOn   bool
+	liveConns      map[*Conn]struct{}
+	liveTransports map[*Transport]struct{}
 )
 
 // EnableInvariants switches connection tracking on or off. Not safe to
@@ -38,8 +43,16 @@ func EnableInvariants(on bool) {
 	invariantsOn = on
 	if on {
 		liveConns = make(map[*Conn]struct{})
+		liveTransports = make(map[*Transport]struct{})
 	} else {
 		liveConns = nil
+		liveTransports = nil
+	}
+}
+
+func registerTransport(t *Transport) {
+	if invariantsOn {
+		liveTransports[t] = struct{}{}
 	}
 }
 
@@ -77,6 +90,39 @@ func CheckInvariants() error {
 	for _, c := range sortedLive() {
 		if err := c.check(); err != nil {
 			return err
+		}
+	}
+	for _, t := range sortedTransports() {
+		if err := t.checkGhosts(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedTransports() []*Transport {
+	ts := make([]*Transport, 0, len(liveTransports))
+	for t := range liveTransports {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].port < ts[j].port })
+	return ts
+}
+
+// checkGhosts verifies every retired-connection record is still inside
+// its retention window. One tick of grace covers the checker running
+// between the tick advancing and the callout for that tick firing.
+func (t *Transport) checkGhosts() error {
+	now := t.k.Ticks()
+	keys := make([]uint64, 0, len(t.ghosts))
+	for key := range t.ghosts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		if e := t.ghosts[key]; now > e.expires+1 {
+			return violation("stream-ghost-bound", fmt.Sprintf("port %d", t.port),
+				"ghost %#x expired at tick %d, still present at tick %d", key, e.expires, now)
 		}
 	}
 	return nil

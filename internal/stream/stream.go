@@ -39,9 +39,13 @@ type Transport struct {
 	conns  map[uint64]*Conn
 	// ghosts maps retired connection keys to their final cumulative
 	// ack. A FIN retransmitted after both sides finished still earns an
-	// acknowledgement from here, without keeping TIME_WAIT state on the
-	// callout list.
-	ghosts map[uint64]int64
+	// acknowledgement from here. Entries expire on the callout list
+	// after twice the give-up interval (see addGhost) — by then a
+	// conforming peer has either heard the ack or torn the connection
+	// down — so the map stays bounded by the churn inside one TTL
+	// window instead of growing with every connection ever retired.
+	ghosts   map[uint64]*ghostEntry
+	ghostGen uint64
 
 	listening bool
 	acceptq   []*Conn
@@ -61,8 +65,9 @@ func NewTransport(k *kernel.Kernel, net *socket.Net, port int) (*Transport, erro
 		sock:   s,
 		port:   port,
 		conns:  make(map[uint64]*Conn),
-		ghosts: make(map[uint64]int64),
+		ghosts: make(map[uint64]*ghostEntry),
 	}
+	registerTransport(t)
 	s.SetHandler(t.input)
 	return t, nil
 }
@@ -89,13 +94,55 @@ func (t *Transport) input(data []byte, from int, eof bool) {
 		c.handleSegment(seg)
 		return
 	}
-	if final, ghost := t.ghosts[key]; ghost && seg.typ != segACK {
+	if e, ghost := t.ghosts[key]; ghost && seg.typ != segACK {
 		// A lost final ACK left the peer retransmitting its FIN:
 		// answer with the recorded cumulative ack.
-		reply := segment{typ: segACK, connID: seg.connID, ack: final}
+		reply := segment{typ: segACK, connID: seg.connID, ack: e.final}
 		t.sock.SendTo(from, reply.encode(), nil)
 	}
 }
+
+// ghostEntry is the retained state of a retired connection: enough to
+// acknowledge a retransmitted FIN, plus its reaping deadline.
+type ghostEntry struct {
+	final   int64 // final cumulative ack for the key
+	expires int64 // tick after which the entry must be gone
+	gen     uint64
+}
+
+// ghostTTL is the retired-state retention in ticks: twice the give-up
+// interval (the full RTO backoff schedule a peer walks before
+// declaring the connection dead). After that no conforming peer can
+// still be retransmitting its FIN, so the entry is useless.
+func ghostTTL() int {
+	total, rto := 0, initialRTO
+	for i := 0; i < maxRetries; i++ {
+		total += rto
+		if rto *= 2; rto > maxRTO {
+			rto = maxRTO
+		}
+	}
+	return 2 * total
+}
+
+// addGhost records a retired connection and schedules its expiry. The
+// generation guards the callout against the key being reused (which
+// deletes the entry) and re-retired before the old callout fires.
+func (t *Transport) addGhost(key uint64, final int64) {
+	ttl := ghostTTL()
+	t.ghostGen++
+	gen := t.ghostGen
+	t.ghosts[key] = &ghostEntry{final: final, expires: t.k.Ticks() + int64(ttl), gen: gen}
+	t.k.Timeout(func() {
+		if e, ok := t.ghosts[key]; ok && e.gen == gen {
+			delete(t.ghosts, key)
+		}
+	}, ttl)
+}
+
+// Ghosts returns the number of retired-connection records currently
+// retained (bounded by the churn within one TTL window).
+func (t *Transport) Ghosts() int { return len(t.ghosts) }
 
 func (t *Transport) handleSYN(key uint64, from int, seg segment) {
 	delete(t.ghosts, key) // key reuse starts a fresh connection

@@ -105,6 +105,10 @@ const (
 	// File-server events (internal/server). Name = server name.
 	KindServerAccept // connection accepted; Pid = server pid, Arg1 = conn id, Arg2 = connections accepted so far
 
+	// Crash/recovery events. Name = device name.
+	KindFSCrash  // power cut: volatile state discarded; Arg1 = dirty buffers lost, Arg2 = queued requests dropped
+	KindFSRepair // repairing fsck pass finished; Arg1 = problems found, Arg2 = repairs applied
+
 	kindMax // count sentinel; keep last
 )
 
@@ -151,6 +155,8 @@ var kindNames = [kindMax]string{
 	KindStreamAck:       "stream.ack",
 	KindStreamStall:     "stream.stall",
 	KindServerAccept:    "server.accept",
+	KindFSCrash:         "fs.crash",
+	KindFSRepair:        "fs.repair",
 }
 
 // String returns the kind's canonical dotted name.
@@ -243,6 +249,10 @@ func (ev Event) String() string {
 		return fmt.Sprintf("stream.stall %s waiting=%d inflight=%d", ev.Name, ev.Arg1, ev.Arg2)
 	case KindServerAccept:
 		return fmt.Sprintf("server.accept %s conn=%d total=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindFSCrash:
+		return fmt.Sprintf("fs.crash %s lost=%d dropped=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindFSRepair:
+		return fmt.Sprintf("fs.repair %s problems=%d repaired=%d", ev.Name, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}
