@@ -21,6 +21,7 @@ import (
 
 	"kdp/internal/bench"
 	"kdp/internal/kernel"
+	"kdp/internal/server"
 	"kdp/internal/sim"
 	"kdp/internal/splice"
 	"kdp/internal/trace"
@@ -47,11 +48,15 @@ func run(args []string, out io.Writer) error {
 	limit := fl.Int("n", 40, "maximum trace lines to print (negative = all, 0 = none)")
 	stats := fl.Bool("stats", false, "print the counter snapshot instead of trace lines")
 	jsonOut := fl.String("json", "", "export the full run as Chrome trace-event JSON to this file")
+	serverN := fl.Int("server", 0, "trace the server scenario at this fan-out instead of the splice: one section per engine/mode (cp, scp, event, escp)")
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 	if fl.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fl.Arg(0))
+	}
+	if *serverN > 0 {
+		return runServer(*serverN, *stats, out)
 	}
 
 	kind, ok := map[string]bench.DiskKind{
@@ -150,6 +155,35 @@ func run(args []string, out io.Writer) error {
 	if n < len(lines) {
 		fmt.Fprintf(out, "... (%d more trace lines; rerun with: kdptrace -disk %s -kb %d -n -1)\n",
 			len(lines)-n, kind, *kb)
+	}
+	return nil
+}
+
+// runServer traces the server-scalability scenario at one fan-out,
+// one section per engine/mode. With -stats each section carries the
+// full counter snapshot (poll returns, readiness dispatches, splice
+// pipeline, stream retransmits); without it, just the request totals.
+func runServer(clients int, stats bool, out io.Writer) error {
+	for _, em := range []struct {
+		e server.Engine
+		m server.Mode
+	}{
+		{server.EngineProcs, server.ModeCopy},
+		{server.EngineProcs, server.ModeSplice},
+		{server.EngineEvent, server.ModeCopy},
+		{server.EngineEvent, server.ModeSplice},
+	} {
+		col := &trace.Collector{}
+		cell, tr := bench.MeasureServerTraced(clients, em.e, em.m, col)
+		fmt.Fprintf(out, "== %d clients, %s: %d request(s) ==\n",
+			cell.Clients, server.ModeName(em.e, em.m), cell.Requests)
+		if stats {
+			tr.Metrics().Format(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if !stats {
+		fmt.Fprintln(out, "(rerun with -stats for per-mode counter snapshots)")
 	}
 	return nil
 }

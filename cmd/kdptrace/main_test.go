@@ -82,6 +82,50 @@ func TestStatsMode(t *testing.T) {
 	}
 }
 
+// TestServerStatsGolden pins the counter snapshot of the server
+// scenario across all four engine/mode sections — including the poll
+// and readiness-dispatch counters the event engines introduce. The
+// simulation is fully deterministic, so a diff here means a behavior
+// change in the modeled kernel, not flakiness. Regenerate (alongside
+// kdpbench's table goldens) when the cost model shifts:
+//
+//	go run ./cmd/kdptrace -server 4 -stats > cmd/kdptrace/testdata/server_stats.golden
+func TestServerStatsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server scenario sweep in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-server", "4", "-stats"}, &out); err != nil {
+		t.Fatalf("run -server 4 -stats: %v", err)
+	}
+	want, err := os.ReadFile("testdata/server_stats.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("server stats differ from golden:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+	// The sections must pin the event-path counters, not just run.
+	for _, counter := range []string{"poll: returns=", "server: accepts=", "ready="} {
+		if !strings.Contains(out.String(), counter) {
+			t.Errorf("stats missing %q counter:\n%s", counter, out.String())
+		}
+	}
+}
+
+func TestServerModeSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-server", "1"}, &out); err != nil {
+		t.Fatalf("run -server 1: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"cp:", "scp:", "event:", "escp:", "request(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in -server summary:\n%s", want, got)
+		}
+	}
+}
+
 func TestJSONExport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.json")
 	var out bytes.Buffer

@@ -32,6 +32,29 @@ func TestServerSweepShape(t *testing.T) {
 	}
 }
 
+// TestServerEventEngine checks the event-loop acceptance claim: a
+// single process drives all 8 clients, and with the async-splice data
+// path (escp) it leaves at least as much CPU available as the
+// process-per-connection splice server (scp) while serving every
+// request.
+func TestServerEventEngine(t *testing.T) {
+	scp := MeasureServerEngine(8, server.EngineProcs, server.ModeSplice)
+	ev := MeasureServerEngine(8, server.EngineEvent, server.ModeCopy)
+	escp := MeasureServerEngine(8, server.EngineEvent, server.ModeSplice)
+	if ev.Requests == 0 || escp.Requests == 0 {
+		t.Fatalf("event engine served no requests (event=%d escp=%d)",
+			ev.Requests, escp.Requests)
+	}
+	if escp.AvailPct < scp.AvailPct {
+		t.Fatalf("escp availability %.1f%% below process-per-connection scp %.1f%%",
+			escp.AvailPct, scp.AvailPct)
+	}
+	if escp.AvailPct <= ev.AvailPct {
+		t.Fatalf("escp availability %.1f%% not above nonblocking-copy event mode %.1f%%",
+			escp.AvailPct, ev.AvailPct)
+	}
+}
+
 // TestServerSweepDeterministic regenerates the table under different
 // GOMAXPROCS settings and requires byte-identical output.
 func TestServerSweepDeterministic(t *testing.T) {

@@ -25,6 +25,8 @@ type Pipe struct {
 	readWaiter   func([]byte, bool, error)
 	readMax      int
 
+	pollQ kernel.PollQueue
+
 	in, out int64
 }
 
@@ -59,7 +61,14 @@ func (pp *Pipe) Transferred() (in, out int64) { return pp.in, pp.out }
 func (pp *Pipe) CloseWrite() {
 	pp.closed = true
 	pp.serveReader()
+	pp.wake(kernel.PollIn | kernel.PollHup)
+}
+
+// wake rouses blocked readers/writers and the pollers whose interest
+// intersects events.
+func (pp *Pipe) wake(events int) {
 	pp.k.Wakeup(pp)
+	pp.pollQ.Notify(events)
 }
 
 // admit moves as much pending write data as fits, completing write
@@ -105,7 +114,7 @@ func (pp *Pipe) serveReader() {
 	// Taking data may have opened space for writers, which may in turn
 	// satisfy a newly armed reader.
 	pp.admit()
-	pp.k.Wakeup(pp)
+	pp.wake(kernel.PollIn | kernel.PollOut)
 }
 
 // take removes up to max buffered bytes.
@@ -140,14 +149,34 @@ func (pp *Pipe) Read(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 	data, _ := pp.take(len(b))
 	copy(b, data)
 	pp.admit()
-	pp.k.Wakeup(pp)
+	pp.wake(kernel.PollIn | kernel.PollOut)
 	return len(data), nil
 }
 
 // Write implements kernel.FileOps: blocks until all bytes are admitted.
+// A nonblocking write admits what fits right now — ErrWouldBlock only
+// when not a single byte can be taken.
 func (pp *Pipe) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 	if pp.closed {
 		return 0, kernel.ErrBadFD
+	}
+	if !ctx.CanSleep() {
+		if len(pp.writeWaiters) > 0 {
+			return 0, kernel.ErrWouldBlock
+		}
+		space := pp.cap - len(pp.buf)
+		if space <= 0 {
+			return 0, kernel.ErrWouldBlock
+		}
+		n := len(b)
+		if n > space {
+			n = space
+		}
+		pp.buf = append(pp.buf, b[:n]...)
+		pp.in += int64(n)
+		pp.serveReader()
+		pp.wake(kernel.PollIn)
+		return n, nil
 	}
 	donef := false
 	pp.SpliceWrite(b, func(error) {
@@ -155,9 +184,6 @@ func (pp *Pipe) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 		pp.k.Wakeup(&donef)
 	})
 	for !donef {
-		if !ctx.CanSleep() {
-			break
-		}
 		if err := ctx.Sleep(&donef, kernel.PSOCK); err != nil {
 			return 0, err
 		}
@@ -178,6 +204,29 @@ func (pp *Pipe) Close(ctx kernel.Ctx) error {
 	return nil
 }
 
+// ---- kernel.PollOps ----
+
+// PollReady implements kernel.PollOps: readable when bytes (or EOF) are
+// buffered; writable when buffer space exists and no earlier writer is
+// queued ahead.
+func (pp *Pipe) PollReady(events int) int {
+	r := 0
+	if events&kernel.PollIn != 0 && (len(pp.buf) > 0 || pp.closed) {
+		r |= kernel.PollIn
+	}
+	if events&kernel.PollOut != 0 && !pp.closed &&
+		len(pp.writeWaiters) == 0 && len(pp.buf) < pp.cap {
+		r |= kernel.PollOut
+	}
+	if pp.closed {
+		r |= kernel.PollHup
+	}
+	return r
+}
+
+// PollQueue implements kernel.PollOps.
+func (pp *Pipe) PollQueue() *kernel.PollQueue { return &pp.pollQ }
+
 // ---- splice endpoints ----
 
 // SpliceWrite implements the splice Sink interface: done fires once the
@@ -195,7 +244,7 @@ func (pp *Pipe) SpliceWrite(data []byte, done func(error)) {
 	if len(pp.writeWaiters) > 0 {
 		pp.admit()
 	}
-	pp.k.Wakeup(pp)
+	pp.wake(kernel.PollIn)
 }
 
 // SpliceRead implements the splice Source interface.
@@ -205,7 +254,7 @@ func (pp *Pipe) SpliceRead(max int, deliver func([]byte, bool, error)) {
 		data, eof := pp.take(max)
 		deliver(data, eof, nil)
 		pp.admit()
-		pp.k.Wakeup(pp)
+		pp.wake(kernel.PollIn | kernel.PollOut)
 		return
 	}
 	if pp.readWaiter != nil {

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"bytes"
+	"hash/fnv"
 	"testing"
 
 	"kdp/internal/kernel"
@@ -288,6 +289,93 @@ func TestFsckRepairMatrix(t *testing.T) {
 			})
 		})
 	}
+}
+
+// metaDigest hashes the metadata region — superblock, allocation
+// bitmap, and inode table — straight off the media.
+func metaDigest(r *rig) uint64 {
+	sb := superRaw(r)
+	h := fnv.New64a()
+	raw := make([]byte, sb.BlockSize)
+	for blk := int64(0); blk < int64(sb.DataStart); blk++ {
+		r.d.ReadRaw(blk, raw)
+		h.Write(raw)
+	}
+	return h.Sum64()
+}
+
+// TestFsckRepairIdempotent: repair must converge in one pass. After a
+// first FsckRepair fixes compound damage, a second pass must find
+// nothing, fix nothing, and leave the on-media metadata byte-exact.
+func TestFsckRepairIdempotent(t *testing.T) {
+	const inoA = 2 // deterministic: first file created below root
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		for _, path := range []string{"/a", "/b"} {
+			fl, err := f.OpenFile(ctx, path, kernel.OCreat|kernel.ORdWr)
+			if err != nil {
+				t.Fatalf("create %s: %v", path, err)
+			}
+			if _, err := fl.Write(ctx, pattern(2*testBlockSize, 7), 0); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			if err := fl.Close(ctx); err != nil {
+				t.Fatalf("close %s: %v", path, err)
+			}
+		}
+		if err := f.SyncAll(ctx); err != nil {
+			t.Fatalf("syncall: %v", err)
+		}
+		if err := r.c.InvalidateDev(ctx, r.d); err != nil {
+			t.Fatalf("invalidate: %v", err)
+		}
+
+		// Compound damage touching every metadata structure: a mangled
+		// inode (bad link count and an out-of-range block pointer), an
+		// orphan inode, a spurious bitmap bit, and skewed superblock
+		// counters.
+		di := r.readDinodeRaw(inoA)
+		di.Nlink = 9
+		di.Direct[1] = superRaw(r).TotalBlocks + 4
+		r.writeDinodeRaw(inoA, di)
+		r.writeDinodeRaw(20, dinode{Mode: ModeFile, Nlink: 1, Size: 0})
+		sb := superRaw(r)
+		r.flipBitmapRaw(sb.TotalBlocks-2, true)
+		sb.FreeBlocks += 5
+		raw := make([]byte, sb.BlockSize)
+		r.d.ReadRaw(0, raw)
+		sb.encode(raw)
+		r.d.WriteRaw(0, raw)
+
+		rep1, err := FsckRepair(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("first repair: %v", err)
+		}
+		if rep1.Repaired == 0 {
+			t.Fatal("compound damage produced no repairs")
+		}
+		d1 := metaDigest(r)
+
+		rep2, err := FsckRepair(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("second repair: %v", err)
+		}
+		if rep2.Repaired != 0 || len(rep2.Problems) != 0 {
+			t.Fatalf("second pass not a no-op: %d problem(s), %d fix(es), first: %v",
+				len(rep2.Problems), rep2.Repaired, rep2.Problems)
+		}
+		if d2 := metaDigest(r); d2 != d1 {
+			t.Fatalf("second pass changed the metadata region: %#x -> %#x", d1, d2)
+		}
+		chk, err := Fsck(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("final fsck: %v", err)
+		}
+		if !chk.Clean() {
+			t.Fatalf("volume not clean after converged repair: %v", chk.Problems)
+		}
+	})
 }
 
 // TestCrashRecoverySyncedFileSurvives is the end-to-end crash contract

@@ -68,6 +68,10 @@ type Config struct {
 	// (enqueue, dequeue, priority computation).
 	SleepWakeupCost sim.Duration
 
+	// PollFdCost is charged per descriptor scanned by poll (readiness
+	// query plus waiter registration — the selscan/selrecord work).
+	PollFdCost sim.Duration
+
 	// SpliceHandlerCost is the CPU cost of one splice completion
 	// handler execution (read-done, write-side setup, or write-done),
 	// charged at interrupt level.
@@ -98,6 +102,7 @@ func DefaultConfig() Config {
 		BcopyBytesPerSec:    8.0e6,
 		BufHashCost:         18 * sim.Microsecond,
 		SleepWakeupCost:     45 * sim.Microsecond,
+		PollFdCost:          8 * sim.Microsecond,
 		SpliceHandlerCost:   30 * sim.Microsecond,
 		MaxRunTime:          0,
 		Seed:                1,

@@ -40,6 +40,11 @@ const (
 	FSetFL = 1 // fcntl: set status flags
 	FGetFL = 2 // fcntl: get status flags
 
+	// ONonblock (FNDELAY) makes read/write on pollable objects return
+	// ErrWouldBlock instead of sleeping; regular files are unaffected,
+	// as in 4.3BSD. Set via open or fcntl F_SETFL.
+	ONonblock = 0x800
+
 	FAsync = 0x1000 // asynchronous splice operation (fcntl F_SETFL)
 )
 
@@ -260,6 +265,18 @@ func (k *Kernel) closeFD(p *Proc, fd int) error {
 	return f.ops.Close(p.Ctx())
 }
 
+// ioCtx selects the execution context for a descriptor's read/write:
+// nonblocking only when ONonblock is set and the object is pollable
+// (regular files keep blocking disk I/O under ONonblock, as in BSD).
+func (p *Proc) ioCtx(f *FDesc) Ctx {
+	if f.flags&ONonblock != 0 {
+		if _, ok := f.ops.(PollOps); ok {
+			return nbCtx{p}
+		}
+	}
+	return procCtx{p}
+}
+
 // Read reads up to len(b) bytes at the current offset, charging the
 // kernel-to-user copy for the bytes moved. Returns 0, nil at EOF.
 func (p *Proc) Read(fd int, b []byte) (int, error) {
@@ -271,7 +288,7 @@ func (p *Proc) Read(fd int, b []byte) (int, error) {
 	if f.flags&0x3 == OWrOnly {
 		return 0, ErrBadFD
 	}
-	n, err := f.ops.Read(p.Ctx(), b, f.offset)
+	n, err := f.ops.Read(p.ioCtx(f), b, f.offset)
 	if n > 0 {
 		p.UseK(p.k.cfg.CopyCost(n)) // copyout
 		f.offset += int64(n)
@@ -290,10 +307,21 @@ func (p *Proc) Write(fd int, b []byte) (int, error) {
 	if f.flags&0x3 == ORdOnly {
 		return 0, ErrBadFD
 	}
+	ctx := p.ioCtx(f)
+	if _, nb := ctx.(nbCtx); nb {
+		// Nonblocking: the object may admit only part of b, so the
+		// copyin is charged for the bytes actually taken.
+		n, err := f.ops.Write(ctx, b, f.offset)
+		if n > 0 {
+			p.UseK(p.k.cfg.CopyCost(n))
+			f.offset += int64(n)
+		}
+		return n, err
+	}
 	if len(b) > 0 {
 		p.UseK(p.k.cfg.CopyCost(len(b))) // copyin
 	}
-	n, err := f.ops.Write(p.Ctx(), b, f.offset)
+	n, err := f.ops.Write(ctx, b, f.offset)
 	if n > 0 {
 		f.offset += int64(n)
 	}

@@ -16,6 +16,12 @@ import "fmt"
 //	                     wchan matches the queue it sits on
 //	kern-proc-account    alive matches the number of non-exited processes
 //	kern-holds           the keepalive hold count is non-negative
+//	poll-reg-count       live poller registrations never go negative
+//	poll-leak            (CheckPollDrained) once a machine has run to
+//	                     idle, no poller is still registered on any
+//	                     object's queue and nobody sleeps on a poll
+//	                     waiter — a leftover registration means a
+//	                     wakeup was lost or a poller leaked
 
 func kviolation(name, format string, args ...any) error {
 	return fmt.Errorf("invariant %s violated: %s", name, fmt.Sprintf(format, args...))
@@ -88,6 +94,24 @@ func (k *Kernel) CheckInvariants() error {
 	}
 	if k.holds < 0 {
 		return kviolation("kern-holds", "negative hold count %d", k.holds)
+	}
+	if k.pollRegs < 0 {
+		return kviolation("poll-reg-count", "negative poller registration count %d", k.pollRegs)
+	}
+	return nil
+}
+
+// CheckPollDrained verifies that an idle machine holds no poll state:
+// every poller registration has been dropped (by Notify, timeout, or
+// the poller's own unwind) and no process is parked on a poll waiter.
+func (k *Kernel) CheckPollDrained() error {
+	if k.pollRegs != 0 {
+		return kviolation("poll-leak", "%d poller registration(s) outstanding at drain", k.pollRegs)
+	}
+	for wchan, list := range k.sleepq {
+		if _, ok := wchan.(*pollWaiter); ok && len(list) > 0 {
+			return kviolation("poll-leak", "%d process(es) still sleeping in poll at drain", len(list))
+		}
 	}
 	return nil
 }

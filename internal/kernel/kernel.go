@@ -51,6 +51,8 @@ type Kernel struct {
 	nSwitches  int64
 	nIntr      int64
 
+	pollRegs int // live poller registrations across every PollQueue
+
 	tr       *trace.Tracer
 	probe    func() // invoked at every scheduling boundary (simcheck)
 	abortErr error  // set by Abort; Run returns it at the next boundary

@@ -258,6 +258,23 @@ func (c procCtx) Sleep(wchan any, pri int) error { return c.p.Sleep(wchan, pri) 
 // Ctx returns the process's kernel execution context.
 func (p *Proc) Ctx() Ctx { return procCtx{p} }
 
+// nbCtx is the nonblocking process context: CPU time is charged to the
+// process as usual, but the object must not block indefinitely —
+// pollable objects observe CanSleep() == false and return ErrWouldBlock
+// (or a partial count) instead. Used by the descriptor layer when
+// ONonblock is set on a pollable descriptor.
+type nbCtx struct{ p *Proc }
+
+func (c nbCtx) Kern() *Kernel      { return c.p.k }
+func (c nbCtx) Use(d sim.Duration) { c.p.UseK(d) }
+func (c nbCtx) CanSleep() bool     { return false }
+func (c nbCtx) Sleep(wchan any, pri int) error {
+	panic("kernel: sleep attempted in nonblocking context")
+}
+
+// NBCtx returns the process's nonblocking kernel execution context.
+func (p *Proc) NBCtx() Ctx { return nbCtx{p} }
+
 // intrCtx is the interrupt-level execution context: time is stolen from
 // whatever was running, and sleeping is forbidden.
 type intrCtx struct{ k *Kernel }

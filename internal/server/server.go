@@ -41,6 +41,33 @@ func (m Mode) String() string {
 	return "cp"
 }
 
+// Engine selects the server's process model.
+type Engine int
+
+// Process models.
+const (
+	// EngineProcs is the classic model: one handler process per
+	// accepted connection.
+	EngineProcs Engine = iota
+	// EngineEvent is a single-process event loop: one process polls
+	// every descriptor and drives per-connection state machines with
+	// nonblocking I/O (copy mode) or one async splice per request
+	// (splice mode).
+	EngineEvent
+)
+
+// ModeName returns the sweep label for an engine/mode pair:
+// cp, scp (process per connection) and event, escp (event loop).
+func ModeName(e Engine, m Mode) string {
+	if e == EngineEvent {
+		if m == ModeSplice {
+			return "escp"
+		}
+		return "event"
+	}
+	return m.String()
+}
+
 // Config describes one server instance.
 type Config struct {
 	// Name labels the server's processes and trace events.
@@ -54,6 +81,8 @@ type Config struct {
 	FileBytes int64
 	// Mode picks the data path.
 	Mode Mode
+	// Engine picks the process model.
+	Engine Engine
 	// Conns is the number of connections to accept before the accept
 	// loop exits; the engine is done once they all close.
 	Conns int
@@ -63,6 +92,8 @@ type Config struct {
 type Server struct {
 	cfg Config
 	k   *kernel.Kernel
+
+	port *complPort // event engine's splice completion queue
 
 	accepted int64
 	requests int64
@@ -78,11 +109,15 @@ func (s *Server) Requests() int64 { return s.requests }
 // BytesServed returns total response bytes written or spliced.
 func (s *Server) BytesServed() int64 { return s.bytes }
 
-// Start spawns the accept loop. Handlers are spawned one per accepted
-// connection and run until their client closes.
+// Start spawns the serving engine: an accept loop plus per-connection
+// handlers (EngineProcs), or one event-loop process (EngineEvent).
 func Start(k *kernel.Kernel, cfg Config) *Server {
 	s := &Server{cfg: cfg, k: k}
-	k.Spawn(cfg.Name+"-accept", s.acceptLoop)
+	if cfg.Engine == EngineEvent {
+		k.Spawn(cfg.Name+"-event", s.eventLoop)
+	} else {
+		k.Spawn(cfg.Name+"-accept", s.acceptLoop)
+	}
 	return s
 }
 

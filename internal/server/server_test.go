@@ -20,10 +20,10 @@ const (
 	testPort      = 80
 )
 
-// runServer serves nClients closed-loop clients (reqs requests each) in
-// the given mode and returns the per-client received data and the trace
-// collector.
-func runServer(t *testing.T, mode Mode, nClients, reqs int) ([][]byte, *trace.Collector, *Server) {
+// runServer serves nClients closed-loop clients (reqs requests each)
+// with the given engine and mode and returns the per-client received
+// data and the trace collector.
+func runServer(t *testing.T, engine Engine, mode Mode, nClients, reqs int) ([][]byte, *trace.Collector, *Server) {
 	t.Helper()
 	cfg := kernel.DefaultConfig()
 	cfg.MaxRunTime = 3600 * sim.Second
@@ -76,6 +76,7 @@ func runServer(t *testing.T, mode Mode, nClients, reqs int) ([][]byte, *trace.Co
 			Path:      "/srv/file",
 			FileBytes: testFileBytes,
 			Mode:      mode,
+			Engine:    engine,
 			Conns:     nClients,
 		})
 		ready = true
@@ -121,10 +122,18 @@ func runServer(t *testing.T, mode Mode, nClients, reqs int) ([][]byte, *trace.Co
 }
 
 func TestServerServesConcurrentClients(t *testing.T) {
-	for _, mode := range []Mode{ModeCopy, ModeSplice} {
-		t.Run(mode.String(), func(t *testing.T) {
+	for _, em := range []struct {
+		e Engine
+		m Mode
+	}{
+		{EngineProcs, ModeCopy},
+		{EngineProcs, ModeSplice},
+		{EngineEvent, ModeCopy},
+		{EngineEvent, ModeSplice},
+	} {
+		t.Run(ModeName(em.e, em.m), func(t *testing.T) {
 			const nClients, reqs = 3, 2
-			got, col, srv := runServer(t, mode, nClients, reqs)
+			got, col, srv := runServer(t, em.e, em.m, nClients, reqs)
 
 			want := make([]byte, 0, testFileBytes*reqs)
 			block := make([]byte, 8192)
@@ -136,7 +145,7 @@ func TestServerServesConcurrentClients(t *testing.T) {
 			}
 			for i := 0; i < nClients; i++ {
 				if !bytes.Equal(got[i], want) {
-					t.Fatalf("client %d received %d bytes, want %d (mode %s)", i, len(got[i]), len(want), mode)
+					t.Fatalf("client %d received %d bytes, want %d (%s)", i, len(got[i]), len(want), ModeName(em.e, em.m))
 				}
 			}
 			if srv.Accepted() != nClients {
@@ -148,18 +157,86 @@ func TestServerServesConcurrentClients(t *testing.T) {
 			if srv.BytesServed() != int64(nClients*reqs*testFileBytes) {
 				t.Fatalf("served %d bytes, want %d", srv.BytesServed(), nClients*reqs*testFileBytes)
 			}
-			accepts := 0
+			accepts, readies := 0, 0
 			for _, ev := range col.Events {
-				if ev.Kind == trace.KindServerAccept {
+				switch ev.Kind {
+				case trace.KindServerAccept:
 					accepts++
 					if ev.Name != "fsrv" {
 						t.Fatalf("server.accept event named %q, want fsrv", ev.Name)
 					}
+				case trace.KindServerReady:
+					readies++
 				}
 			}
 			if accepts != nClients {
 				t.Fatalf("%d server.accept events, want %d", accepts, nClients)
 			}
+			if em.e == EngineEvent && readies == 0 {
+				t.Fatalf("event engine dispatched no server.ready events")
+			}
+			if em.e == EngineProcs && readies != 0 {
+				t.Fatalf("procs engine emitted %d server.ready events, want 0", readies)
+			}
 		})
+	}
+}
+
+func TestModeName(t *testing.T) {
+	for _, tc := range []struct {
+		e    Engine
+		m    Mode
+		want string
+	}{
+		{EngineProcs, ModeCopy, "cp"},
+		{EngineProcs, ModeSplice, "scp"},
+		{EngineEvent, ModeCopy, "event"},
+		{EngineEvent, ModeSplice, "escp"},
+	} {
+		if got := ModeName(tc.e, tc.m); got != tc.want {
+			t.Errorf("ModeName(%v, %v) = %q, want %q", tc.e, tc.m, got, tc.want)
+		}
+	}
+}
+
+// TestComplPortFileOps pins the completion port's file contract: it
+// carries no byte stream (reads and writes are refused), it is readable
+// exactly while completions wait, and draining empties it.
+func TestComplPortFileOps(t *testing.T) {
+	cp := &complPort{}
+	if _, err := cp.Read(nil, make([]byte, 1), 0); err != kernel.ErrOpNotSupp {
+		t.Errorf("Read err = %v, want ErrOpNotSupp", err)
+	}
+	if _, err := cp.Write(nil, []byte{1}, 0); err != kernel.ErrOpNotSupp {
+		t.Errorf("Write err = %v, want ErrOpNotSupp", err)
+	}
+	if sz, err := cp.Size(nil); sz != 0 || err != nil {
+		t.Errorf("Size = %d, %v, want 0, nil", sz, err)
+	}
+	if err := cp.Sync(nil); err != nil {
+		t.Errorf("Sync err = %v", err)
+	}
+	if err := cp.Close(nil); err != nil {
+		t.Errorf("Close err = %v", err)
+	}
+	if cp.PollQueue() != &cp.pollQ {
+		t.Errorf("PollQueue did not return the port's queue")
+	}
+	if r := cp.PollReady(kernel.PollIn); r != 0 {
+		t.Errorf("empty port PollReady = %#x, want 0", r)
+	}
+	ec := &econn{id: 1}
+	cp.post(ec)
+	if r := cp.PollReady(kernel.PollIn); r != kernel.PollIn {
+		t.Errorf("posted port PollReady = %#x, want PollIn", r)
+	}
+	if r := cp.PollReady(kernel.PollOut); r != 0 {
+		t.Errorf("PollReady(PollOut) = %#x, want 0", r)
+	}
+	if q := cp.drain(); len(q) != 1 || q[0] != ec {
+		t.Errorf("drain = %v, want the posted connection", q)
+	}
+	if r := cp.PollReady(kernel.PollIn); r != 0 {
+		t.Errorf("drained port PollReady = %#x, want 0", r)
 	}
 }

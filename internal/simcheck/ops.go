@@ -32,6 +32,8 @@ const (
 	opTraceSnap  // snapshot the trace counters into the event log
 	opStreamConn // stream connect/accept handshake + close on the lossy net
 	opStreamXfer // stream transfer over the lossy net, byte-exact delivery
+	opPollWait   // poll on a pipe fed by a delayed writer; ready ⇒ read can't block
+	opEventServe // single-process poll event loop serves stream clients on the lossy net
 	opCrash      // power cut: discard volatile state, repair, remount (crash sweep only)
 )
 
@@ -97,6 +99,10 @@ func (o *op) describe() string {
 		return "stream-connect"
 	case opStreamXfer:
 		return fmt.Sprintf("stream-transfer n=%d pat=%#02x", o.size, o.pat)
+	case opPollWait:
+		return fmt.Sprintf("poll-wait n=%d delay=%d pat=%#02x", o.size, o.sigTicks, o.pat)
+	case opEventServe:
+		return fmt.Sprintf("event-serve n=%d pat=%#02x", o.size, o.pat)
 	default:
 		return fmt.Sprintf("op?%d", int(o.kind))
 	}
@@ -120,33 +126,34 @@ func genOps(cfg Config) []*op {
 			think:  sim.Duration(r.Intn(3)) * 700 * sim.Microsecond,
 		}
 		// Weighted kind selection: plain file traffic dominates, splice
-		// variants and fault/signal events season the mix.
+		// variants, readiness multiplexing, and fault/signal events
+		// season the mix.
 		switch w := r.Intn(100); {
-		case w < 25:
+		case w < 21:
 			o.kind = opWrite
-		case w < 43:
+		case w < 37:
 			o.kind = opRead
-		case w < 48:
+		case w < 42:
 			o.kind = opTrunc
-		case w < 52:
+		case w < 46:
 			o.kind = opUnlink
-		case w < 56:
+		case w < 50:
 			o.kind = opFsync
-		case w < 66:
+		case w < 60:
 			o.kind = opSpliceFF
-		case w < 71:
+		case w < 65:
 			o.kind = opSplicePipe
-		case w < 76:
+		case w < 70:
 			o.kind = opPipeSplice
 			o.size = 1 + r.Intn(maxStreamIO)
-		case w < 81:
+		case w < 75:
 			o.kind = opSpliceSock
-		case w < 84:
+		case w < 78:
 			o.kind = opSpliceSig
 			o.sigTicks = 1 + r.Intn(15)
-		case w < 86:
+		case w < 80:
 			o.kind = opTraceSnap
-		case w < 89:
+		case w < 83:
 			o.kind = opFault
 			o.faultDisk = r.Intn(2)
 			if o.faultDisk == 0 {
@@ -155,8 +162,15 @@ func genOps(cfg Config) []*op {
 				o.faultBlk = r.Int63n(d1Blocks)
 			}
 			o.faultRead = r.Intn(2) == 0
-		case w < 92:
+		case w < 86:
 			o.kind = opStreamConn
+		case w < 89:
+			o.kind = opPollWait
+			o.sigTicks = 1 + r.Intn(10)
+			o.size = 1 + r.Intn(4<<10)
+		case w < 92:
+			o.kind = opEventServe
+			o.size = 1 + r.Intn(maxStreamIO)
 		default:
 			o.kind = opStreamXfer
 			o.size = 1 + r.Intn(maxStreamIO)
@@ -248,6 +262,10 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.doStreamConn(p, w, o)
 	case opStreamXfer:
 		m.doStreamXfer(p, w, o)
+	case opPollWait:
+		m.doPollWait(p, w, o)
+	case opEventServe:
+		m.doEventServe(p, w, o)
 	case opCrash:
 		m.doCrash(p, w, o)
 	}
@@ -860,4 +878,324 @@ func (m *machine) doStreamXfer(p *kernel.Proc, w int, o *op) {
 		return
 	}
 	m.opLog(o, w, "ok retx=%d/%d", conn.Retransmits(), srvRetx)
+}
+
+// doPollWait polls a nonblocking pipe read end while a spawned feeder
+// sleeps a seed-derived number of ticks and then writes a known
+// pattern. The op-level invariant is the poll contract itself: once
+// poll reports the descriptor ready, the very next read must not
+// return ErrWouldBlock — a would-block there is a false-ready (or a
+// wakeup delivered without cause). Three variants cover the timeout
+// shapes: infinite wait, a bounded wait that may expire and re-poll,
+// and a zero-timeout scan before the real wait.
+func (m *machine) doPollWait(p *kernel.Proc, w int, o *op) {
+	pipe := dev.NewPipe(m.k, "", pipeCap)
+	rfd := p.InstallFile(pipe, kernel.ORdOnly)
+	if _, err := p.Fcntl(rfd, kernel.FSetFL, kernel.ONonblock); err != nil {
+		m.fail(fmt.Errorf("poll-wait: fcntl: %v", err))
+		return
+	}
+	n := o.size
+	want := make([]byte, n)
+	fillPattern(want, 0, o.pat)
+	tick := m.k.Config().TickDuration()
+
+	var fedFlag bool
+	m.k.Spawn(fmt.Sprintf("pfeed%d", o.idx), func(wp *kernel.Proc) {
+		wfd := wp.InstallFile(pipe, kernel.OWrOnly)
+		wp.SleepFor(sim.Duration(o.sigTicks) * tick)
+		wp.Write(wfd, want)
+		pipe.CloseWrite()
+		wp.Close(wfd)
+		fedFlag = true
+		m.k.Wakeup(&fedFlag)
+	})
+
+	fds := []kernel.PollFd{{FD: rfd, Events: kernel.PollIn}}
+	timeouts := 0
+	poll := func() error { // block until ready, counting bounded-wait expiries
+		for {
+			ready, perr := p.Poll(fds, pollTimeout(o))
+			if perr != nil {
+				return perr
+			}
+			if ready > 0 {
+				if fds[0].Revents&(kernel.PollIn|kernel.PollHup) == 0 {
+					return fmt.Errorf("poll-ready-bits: revents=%#x lacks POLLIN/POLLHUP", fds[0].Revents)
+				}
+				return nil
+			}
+			timeouts++
+		}
+	}
+	if int(o.pat)%3 == 2 {
+		// Zero-timeout scan first: exercises the non-blocking path. The
+		// feeder usually hasn't run yet, but a quantum preemption can
+		// legitimately delay us past its delay, so readiness here is
+		// logged, not asserted.
+		ready, perr := p.Poll(fds, 0)
+		if perr != nil {
+			m.fail(fmt.Errorf("poll-wait: zero-timeout poll: %v", perr))
+			return
+		}
+		if ready > 0 {
+			m.logf("op %d: zero-timeout poll already ready", o.idx)
+		}
+	}
+	var got []byte
+	buf := make([]byte, 1024)
+	justPolled := false
+	for len(got) < n {
+		if !justPolled {
+			if err := poll(); err != nil {
+				m.fail(fmt.Errorf("poll-wait: %v", err))
+				return
+			}
+			justPolled = true
+		}
+		r, rerr := p.Read(rfd, buf)
+		if rerr == kernel.ErrWouldBlock {
+			if justPolled {
+				m.fail(fmt.Errorf("poll-ready-read: descriptor reported ready but read would block (got %d of %d)", len(got), n))
+				return
+			}
+			continue
+		}
+		if rerr != nil {
+			m.fail(fmt.Errorf("poll-wait: read: %v", rerr))
+			return
+		}
+		justPolled = false
+		if r == 0 {
+			break
+		}
+		got = append(got, buf[:r]...)
+	}
+	for !fedFlag {
+		if err := p.Sleep(&fedFlag, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	p.Close(rfd)
+	if len(got) != n {
+		m.fail(fmt.Errorf("poll-wait: drained %d bytes, want %d", len(got), n))
+		return
+	}
+	if i := firstDiff(got, want); i >= 0 {
+		m.fail(fmt.Errorf("poll-wait-content: byte %d differs: got %#02x, want %#02x", i, got[i], want[i]))
+		return
+	}
+	m.opLog(o, w, "ok n=%d timeouts=%d", n, timeouts)
+}
+
+// pollTimeout derives the op's poll timeout: infinite for even
+// patterns, a bounded wait (which may expire before the feeder's delay
+// and force a re-poll) otherwise.
+func pollTimeout(o *op) int {
+	if int(o.pat)%3 == 1 {
+		return 1 + o.sigTicks/2
+	}
+	return -1
+}
+
+// doEventServe runs a miniature single-process event-loop server over
+// the lossy stream net: the op's own process polls the listener plus
+// every accepted connection, accepts nonblockingly, reads the request
+// byte nonblockingly, and pushes a patterned response through
+// nonblocking writes gated on POLLOUT. One or two spawned clients each
+// request once, verify the response byte-exactly, and close. Every
+// dispatch enforces the readiness contract: a descriptor poll reported
+// readable (writable) must make progress on read (write) without
+// ErrWouldBlock.
+func (m *machine) doEventServe(p *kernel.Proc, w int, o *op) {
+	srvPort, cliPort := streamPorts(o)
+	nclients := 1 + int(o.pat)%2
+	size := o.size
+	want := make([]byte, size)
+	fillPattern(want, 0, o.pat)
+
+	st, err := stream.NewTransport(m.k, m.snet, srvPort)
+	if err != nil {
+		m.fail(fmt.Errorf("event-serve: server transport: %w", err))
+		return
+	}
+	if err := st.Listen(p); err != nil {
+		m.fail(fmt.Errorf("event-serve: listen: %w", err))
+		return
+	}
+	lfd := p.InstallFile(st.File(), kernel.ORdOnly)
+
+	cliErrs := make([]error, nclients)
+	left := nclients
+	for c := 0; c < nclients; c++ {
+		c := c
+		ct, err := stream.NewTransport(m.k, m.snet, cliPort+c)
+		if err != nil {
+			m.fail(fmt.Errorf("event-serve: client transport: %w", err))
+			return
+		}
+		m.k.Spawn(fmt.Sprintf("ecli%d.%d", o.idx, c), func(cp *kernel.Proc) {
+			defer func() {
+				left--
+				m.k.Wakeup(&left)
+			}()
+			fd, _, err := ct.Connect(cp, srvPort)
+			if err != nil {
+				cliErrs[c] = err
+				return
+			}
+			defer cp.Close(fd)
+			if _, err := cp.Write(fd, []byte{1}); err != nil {
+				cliErrs[c] = err
+				return
+			}
+			got := make([]byte, 0, size)
+			buf := make([]byte, 4096)
+			for len(got) < size {
+				n, err := cp.Read(fd, buf)
+				if err != nil {
+					cliErrs[c] = err
+					return
+				}
+				if n == 0 {
+					cliErrs[c] = fmt.Errorf("early eof after %d of %d bytes", len(got), size)
+					return
+				}
+				got = append(got, buf[:n]...)
+			}
+			if i := firstDiff(got, want); i >= 0 {
+				cliErrs[c] = fmt.Errorf("byte %d differs: got %#02x want %#02x", i, got[i], want[i])
+			}
+		})
+	}
+
+	// esconn is one connection's place in the serve cycle: waiting for
+	// its request byte, pushing the response, or waiting for the
+	// client's close.
+	type esconn struct {
+		fd     int
+		gotReq bool
+		sent   int
+		dead   bool
+	}
+	var conns []*esconn
+	accepted := 0
+	fds := make([]kernel.PollFd, 0, nclients+1)
+	owners := make([]*esconn, 0, nclients+1)
+	for {
+		live := 0
+		for _, ec := range conns {
+			if !ec.dead {
+				live++
+			}
+		}
+		if accepted == nclients && live == 0 {
+			break
+		}
+		fds, owners = fds[:0], owners[:0]
+		if accepted < nclients {
+			fds = append(fds, kernel.PollFd{FD: lfd, Events: kernel.PollIn})
+			owners = append(owners, nil)
+		}
+		for _, ec := range conns {
+			if ec.dead {
+				continue
+			}
+			ev := kernel.PollIn
+			if ec.gotReq && ec.sent < size {
+				ev = kernel.PollOut
+			}
+			fds = append(fds, kernel.PollFd{FD: ec.fd, Events: ev})
+			owners = append(owners, ec)
+		}
+		if _, perr := p.Poll(fds, -1); perr != nil {
+			if perr == kernel.ErrIntr {
+				p.DeliverSignals()
+				continue
+			}
+			m.fail(fmt.Errorf("event-serve: poll: %v", perr))
+			return
+		}
+		for i := range fds {
+			if fds[i].Revents == 0 {
+				continue
+			}
+			if owners[i] == nil { // listener
+				first := true
+				for {
+					cfd, _, aerr := st.AcceptNB(p)
+					if aerr == kernel.ErrWouldBlock {
+						if first {
+							m.fail(fmt.Errorf("event-ready-accept: listener reported readable but accept would block"))
+							return
+						}
+						break
+					}
+					if aerr != nil {
+						m.fail(fmt.Errorf("event-serve: accept: %v", aerr))
+						return
+					}
+					first = false
+					if _, ferr := p.Fcntl(cfd, kernel.FSetFL, kernel.ONonblock); ferr != nil {
+						m.fail(fmt.Errorf("event-serve: fcntl: %v", ferr))
+						return
+					}
+					accepted++
+					conns = append(conns, &esconn{fd: cfd})
+				}
+				continue
+			}
+			ec := owners[i]
+			if ec.dead {
+				continue
+			}
+			if !ec.gotReq || ec.sent >= size {
+				b := make([]byte, 1)
+				r, rerr := p.Read(ec.fd, b)
+				if rerr == kernel.ErrWouldBlock {
+					m.fail(fmt.Errorf("event-ready-read: connection reported readable but read would block"))
+					return
+				}
+				if rerr != nil || r == 0 {
+					// Client closed its half (after the response) or the
+					// connection failed; either way this conn is done.
+					ec.dead = true
+					p.Close(ec.fd)
+					continue
+				}
+				ec.gotReq = true
+			}
+			firstWrite := fds[i].Revents&kernel.PollOut != 0
+			for ec.sent < size {
+				wn, werr := p.Write(ec.fd, want[ec.sent:])
+				if werr == kernel.ErrWouldBlock {
+					if firstWrite {
+						m.fail(fmt.Errorf("event-ready-write: connection reported writable but write would block"))
+						return
+					}
+					break
+				}
+				if werr != nil {
+					ec.dead = true
+					p.Close(ec.fd)
+					break
+				}
+				firstWrite = false
+				ec.sent += wn
+			}
+		}
+	}
+	p.Close(lfd)
+	for left > 0 {
+		if err := p.Sleep(&left, kernel.PSLEP); err != nil {
+			p.DeliverSignals()
+		}
+	}
+	for c, cerr := range cliErrs {
+		if cerr != nil {
+			m.fail(fmt.Errorf("event-serve: client %d: %v", c, cerr))
+			return
+		}
+	}
+	m.opLog(o, w, "ok clients=%d", nclients)
 }

@@ -508,6 +508,12 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 		m.fail(err)
 		return
 	}
+	// No poller may still be registered (or asleep in poll) once every
+	// worker has exited: a leftover registration is a leaked wakeup path.
+	if err := m.k.CheckPollDrained(); err != nil {
+		m.fail(err)
+		return
+	}
 	if err := m.checkInvariants(); err != nil {
 		m.fail(err)
 	}

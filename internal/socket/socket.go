@@ -194,6 +194,8 @@ type Socket struct {
 	pendingMax     int
 	pendingDeliver func([]byte, bool, error)
 
+	pollQ kernel.PollQueue
+
 	sent, rcvd int64
 }
 
@@ -242,6 +244,11 @@ func (s *Socket) serveWaiters() {
 		deliver(data, eof, nil)
 	}
 	s.net.k.Wakeup(s)
+	events := kernel.PollIn
+	if s.closed {
+		events |= kernel.PollHup
+	}
+	s.pollQ.Notify(events)
 }
 
 // takeDatagram pops the next datagram (or its first max bytes; the rest
@@ -303,6 +310,9 @@ func (s *Socket) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 		if s.closed {
 			return 0, nil
 		}
+		if !ctx.CanSleep() {
+			return 0, kernel.ErrWouldBlock
+		}
 		if err := ctx.Sleep(s, kernel.PSOCK+1); err != nil {
 			return 0, err
 		}
@@ -360,6 +370,28 @@ func (s *Socket) Close(ctx kernel.Ctx) error {
 	s.serveWaiters()
 	return nil
 }
+
+// ---- kernel.PollOps ----
+
+// PollReady implements kernel.PollOps: readable when a datagram (or
+// EOF) is queued; writable whenever the socket is open, since datagram
+// sends queue on the link without blocking the caller indefinitely.
+func (s *Socket) PollReady(events int) int {
+	r := 0
+	if events&kernel.PollIn != 0 && (len(s.rcvq) > 0 || s.closed) {
+		r |= kernel.PollIn
+	}
+	if events&kernel.PollOut != 0 && !s.closed {
+		r |= kernel.PollOut
+	}
+	if s.closed {
+		r |= kernel.PollHup
+	}
+	return r
+}
+
+// PollQueue implements kernel.PollOps.
+func (s *Socket) PollQueue() *kernel.PollQueue { return &s.pollQ }
 
 // ---- splice endpoints ----
 

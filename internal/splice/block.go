@@ -40,6 +40,7 @@ func SpliceOpts(p *kernel.Proc, srcFD, dstFD int, size int64, opts Options) (int
 		opts:   opts.withDefaults(),
 		async:  async,
 		caller: p,
+		onDone: opts.OnDone,
 	}
 
 	srcFile, srcIsFile := sfd.Ops().(FileLike)

@@ -79,6 +79,14 @@ type Options struct {
 	// to the §4 technique of small synchronous quanta timed by the
 	// application.
 	RateBytesPerSec float64
+
+	// OnDone, when non-nil, runs when the transfer completes and
+	// replaces the SIGIO completion signal for async transfers — a
+	// caller collecting completions through a pollable queue has no
+	// use for the signal, and suppressing it spares the poller a
+	// broken sleep per transfer. OnDone executes at interrupt level
+	// and must not sleep.
+	OnDone func()
 }
 
 func (o Options) withDefaults() Options {
@@ -269,7 +277,7 @@ func (d *desc) complete() {
 	d.k.TraceEmit(trace.KindSpliceDone, 0, d.moved, errFlag, d.mode.String())
 	unregisterDesc(d)
 	d.k.Release()
-	if d.async && d.caller != nil {
+	if d.async && d.caller != nil && d.onDone == nil {
 		d.k.Post(d.caller, kernel.SIGIO)
 	}
 	d.k.Wakeup(d)

@@ -68,6 +68,7 @@ type Conn struct {
 	rtx          *kernel.Callout
 	rtoTicks     int
 	retries      int64
+	probes       int64 // consecutive zero-window probes unanswered by credit
 	retx         int64 // total retransmitted segments (stable under GOMAXPROCS)
 	stalled      bool
 	failed       error
@@ -90,6 +91,8 @@ type Conn struct {
 	connW byte // Connect waiting for SYNACK
 	rdW   byte // blocked readers
 	clW   byte // Close waiting for the FIN acknowledgement
+
+	pollQ kernel.PollQueue
 
 	ckRcvNxt int64 // high-water mark for the reordering invariant
 }
@@ -243,15 +246,26 @@ func (c *Conn) armRtx() {
 
 // rtxFire retransmits the oldest unacknowledged segment with
 // exponential backoff. Zero-window probes (window closed, nothing
-// lost) do not count against the retry limit, mirroring TCP's persist
-// timer.
+// lost) are counted separately from loss retries, mirroring TCP's
+// persist timer: a receiver may legitimately stay full across many
+// probe intervals, so a probe that draws an acknowledgement does not
+// tick the loss budget — but a peer that never reopens its window
+// after maxRetries consecutive probes is declared dead, the way the
+// BSD persist timer eventually gives up on a peer that acknowledges
+// probes while advertising zero forever.
 func (c *Conn) rtxFire() {
 	c.rtx = nil
 	if c.state == stateClosed {
 		return
 	}
 	probing := c.state == stateEstablished && c.peerWnd == 0
-	if !probing {
+	if probing {
+		c.probes++
+		if c.probes > maxRetries {
+			c.fail(kernel.ErrTimedOut)
+			return
+		}
+	} else {
 		c.retries++
 		if c.retries > maxRetries {
 			c.fail(kernel.ErrTimedOut)
@@ -307,6 +321,7 @@ func (c *Conn) handleSegment(seg segment) {
 		c.retries = 0
 		c.rtoTicks = initialRTO
 		c.t.k.Wakeup(&c.connW)
+		c.pollQ.Notify(kernel.PollOut) // now writable
 		return
 	}
 
@@ -314,6 +329,9 @@ func (c *Conn) handleSegment(seg segment) {
 	// both).
 	if seg.ack >= c.sndUna && seg.ack <= c.seqEnd() {
 		c.peerWnd = seg.wnd
+		if seg.wnd > 0 {
+			c.probes = 0 // the window reopened; the peer is alive
+		}
 		if seg.ack > c.sndUna {
 			c.t.k.TraceEmit(trace.KindStreamAck, 0, seg.ack, seg.wnd, c.label)
 			acked := seg.ack - c.sndUna
@@ -333,6 +351,7 @@ func (c *Conn) handleSegment(seg segment) {
 				c.t.k.Wakeup(&c.clW)
 			}
 			c.admit()
+			c.pollQ.Notify(kernel.PollOut) // acknowledged bytes opened send space
 		}
 		c.pump()
 	}
@@ -429,6 +448,11 @@ func (c *Conn) serveReader() {
 		deliver(data, eof, nil)
 	}
 	c.t.k.Wakeup(&c.rdW)
+	events := kernel.PollIn
+	if c.rcvClosed {
+		events |= kernel.PollHup
+	}
+	c.pollQ.Notify(events)
 }
 
 // take removes up to max in-order bytes, sending a window update when
@@ -491,6 +515,7 @@ func (c *Conn) fail(err error) {
 	c.t.k.Wakeup(&c.connW)
 	c.t.k.Wakeup(&c.rdW)
 	c.t.k.Wakeup(&c.clW)
+	c.pollQ.Notify(kernel.PollIn | kernel.PollOut | kernel.PollErr)
 }
 
 // ---- kernel.FileOps ----
@@ -519,13 +544,31 @@ func (c *Conn) Read(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 
 // Write implements kernel.FileOps: blocks until the bytes have been
 // admitted to the send buffer (transport acknowledgement proceeds
-// asynchronously).
+// asynchronously). A nonblocking write admits only what the send
+// buffer can take right now, returning the partial count, or
+// ErrWouldBlock when not a single byte fits.
 func (c *Conn) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 	if c.failed != nil {
 		return 0, c.failed
 	}
 	if c.finAt >= 0 || c.state != stateEstablished {
 		return 0, kernel.ErrBadFD
+	}
+	if !ctx.CanSleep() {
+		if len(c.writeWaiters) > 0 {
+			return 0, kernel.ErrWouldBlock
+		}
+		space := sndCap - len(c.sndBuf)
+		if space <= 0 {
+			return 0, kernel.ErrWouldBlock
+		}
+		n := len(b)
+		if n > space {
+			n = space
+		}
+		c.sndBuf = append(c.sndBuf, b[:n]...)
+		c.pump()
+		return n, nil
 	}
 	var werr error
 	donef := false
@@ -535,9 +578,6 @@ func (c *Conn) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 		c.t.k.Wakeup(&donef)
 	})
 	for !donef {
-		if !ctx.CanSleep() {
-			break
-		}
 		if err := ctx.Sleep(&donef, kernel.PSOCK); err != nil {
 			return 0, err
 		}
@@ -553,6 +593,35 @@ func (c *Conn) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
 
 // Sync implements kernel.FileOps.
 func (c *Conn) Sync(ctx kernel.Ctx) error { return nil }
+
+// ---- kernel.PollOps ----
+
+// PollReady implements kernel.PollOps: readable when in-order bytes,
+// EOF, or a terminal error await the reader; writable when the send
+// buffer can admit at least one byte and nobody is queued ahead.
+// PollErr/PollHup conditions are reported whether requested or not.
+func (c *Conn) PollReady(events int) int {
+	r := 0
+	if c.failed != nil {
+		r |= kernel.PollErr
+	}
+	if c.rcvClosed {
+		r |= kernel.PollHup
+	}
+	if events&kernel.PollIn != 0 &&
+		(len(c.rcvBuf) > 0 || c.rcvClosed || c.failed != nil) {
+		r |= kernel.PollIn
+	}
+	if events&kernel.PollOut != 0 &&
+		c.state == stateEstablished && c.failed == nil && c.finAt < 0 &&
+		len(c.writeWaiters) == 0 && len(c.sndBuf) < sndCap {
+		r |= kernel.PollOut
+	}
+	return r
+}
+
+// PollQueue implements kernel.PollOps.
+func (c *Conn) PollQueue() *kernel.PollQueue { return &c.pollQ }
 
 // Close implements kernel.FileOps: queues the FIN after all buffered
 // data and blocks until the peer acknowledges it (or the retry limit

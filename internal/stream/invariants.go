@@ -22,6 +22,8 @@ import (
 //	                       (rcvNxt, rcvNxt+reasmLimit]
 //	stream-retry-bound     consecutive retransmissions of one segment
 //	                       never exceed maxRetries
+//	stream-probe-bound     consecutive zero-window probes without the
+//	                       window reopening never exceed maxRetries
 //	stream-ghost-bound     retired-connection records are reaped by
 //	                       their expiry callout: no ghost entry
 //	                       outlives its deadline (the map cannot grow
@@ -180,6 +182,9 @@ func (c *Conn) check() error {
 	}
 	if c.retries > maxRetries {
 		return violation("stream-retry-bound", c.label, "%d consecutive retries", c.retries)
+	}
+	if c.probes > maxRetries {
+		return violation("stream-probe-bound", c.label, "%d consecutive zero-window probes", c.probes)
 	}
 	return nil
 }

@@ -50,6 +50,7 @@ type Transport struct {
 	listening bool
 	acceptq   []*Conn
 	acceptW   byte // Accept sleep channel
+	pollQ     kernel.PollQueue
 
 	accepted int64
 }
@@ -160,6 +161,7 @@ func (t *Transport) handleSYN(key uint64, from int, seg segment) {
 	t.acceptq = append(t.acceptq, c)
 	c.sendSeg(segSYNACK, 0, nil)
 	t.k.Wakeup(&t.acceptW)
+	t.pollQ.Notify(kernel.PollIn)
 }
 
 // ---- connection-setup syscalls ----
@@ -189,6 +191,56 @@ func (t *Transport) Accept(p *kernel.Proc) (int, *Conn, error) {
 	fd := p.InstallFile(c, kernel.ORdWr)
 	return fd, c, nil
 }
+
+// AcceptNB is the nonblocking accept: it returns ErrWouldBlock when no
+// connection is queued instead of sleeping. Event-loop servers poll
+// the listener file (see File) and then drain the queue with AcceptNB.
+func (t *Transport) AcceptNB(p *kernel.Proc) (int, *Conn, error) {
+	defer p.SyscallExit(p.SyscallEnter("accept"))
+	if !t.listening {
+		return -1, nil, kernel.ErrInval
+	}
+	if len(t.acceptq) == 0 {
+		return -1, nil, kernel.ErrWouldBlock
+	}
+	c := t.acceptq[0]
+	t.acceptq = t.acceptq[1:]
+	t.accepted++
+	fd := p.InstallFile(c, kernel.ORdWr)
+	return fd, c, nil
+}
+
+// listenFile adapts the transport's accept queue to the descriptor
+// layer so it can sit in a poll set: readable exactly when an accepted
+// connection is waiting. Data transfer goes through connections, so
+// the FileOps proper are stubs.
+type listenFile struct{ t *Transport }
+
+func (lf listenFile) Read(ctx kernel.Ctx, b []byte, off int64) (int, error) {
+	return 0, kernel.ErrOpNotSupp
+}
+func (lf listenFile) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
+	return 0, kernel.ErrOpNotSupp
+}
+func (lf listenFile) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
+func (lf listenFile) Sync(ctx kernel.Ctx) error          { return nil }
+func (lf listenFile) Close(ctx kernel.Ctx) error         { return nil }
+
+// PollReady implements kernel.PollOps: readable when Accept would not
+// block.
+func (lf listenFile) PollReady(events int) int {
+	if events&kernel.PollIn != 0 && len(lf.t.acceptq) > 0 {
+		return kernel.PollIn
+	}
+	return 0
+}
+
+// PollQueue implements kernel.PollOps.
+func (lf listenFile) PollQueue() *kernel.PollQueue { return &lf.t.pollQ }
+
+// File returns the transport's listener pseudo-file for installation
+// in a descriptor table (the poll handle for the accept queue).
+func (t *Transport) File() kernel.FileOps { return listenFile{t} }
 
 // Connect opens a connection to the transport listening on remotePort,
 // blocking through the handshake. It returns the installed descriptor.

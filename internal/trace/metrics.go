@@ -54,6 +54,11 @@ type Metrics struct {
 	// bytes (Arg1 deltas folded per event), plus the peak consecutive
 	// retry count seen on any one segment.
 	StreamRetxPeakTries int64
+
+	// Readiness multiplexing: descriptors scanned and reported ready
+	// across every poll return (Arg1/Arg2 of KindKernelPoll).
+	PollScannedFds int64
+	PollReadyFds   int64
 }
 
 // ProcCPU is per-process CPU accounting derived from the stream.
@@ -173,6 +178,9 @@ func (m *Metrics) observe(ev Event) {
 		if ev.Arg2 > m.StreamRetxPeakTries {
 			m.StreamRetxPeakTries = ev.Arg2
 		}
+	case KindKernelPoll:
+		m.PollScannedFds += ev.Arg1
+		m.PollReadyFds += ev.Arg2
 	}
 }
 
@@ -283,6 +291,8 @@ func (m *Metrics) Snapshot() []Counter {
 	add("splice.peak_reads", m.SplicePeakReads)
 	add("splice.peak_writes", m.SplicePeakWrites)
 	add("stream.retx_peak_tries", m.StreamRetxPeakTries)
+	add("poll.scanned_fds", m.PollScannedFds)
+	add("poll.ready_fds", m.PollReadyFds)
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -357,7 +367,12 @@ func (m *Metrics) Format(w io.Writer) {
 			m.StreamRetxPeakTries, m.EventCount[KindStreamStall])
 	}
 	if n := m.EventCount[KindServerAccept]; n > 0 {
-		fmt.Fprintf(w, "server: accepts=%d\n", n)
+		fmt.Fprintf(w, "server: accepts=%d ready=%d\n", n, m.EventCount[KindServerReady])
+	}
+
+	if n := m.EventCount[KindKernelPoll]; n > 0 {
+		fmt.Fprintf(w, "poll: returns=%d scanned=%d ready=%d\n",
+			n, m.PollScannedFds, m.PollReadyFds)
 	}
 
 	if n := m.EventCount[KindCalloutFire]; n > 0 {

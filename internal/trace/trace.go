@@ -109,6 +109,11 @@ const (
 	KindFSCrash  // power cut: volatile state discarded; Arg1 = dirty buffers lost, Arg2 = queued requests dropped
 	KindFSRepair // repairing fsck pass finished; Arg1 = problems found, Arg2 = repairs applied
 
+	// Readiness multiplexing (internal/kernel poll + internal/server
+	// event loop).
+	KindKernelPoll  // poll returned; Pid = caller, Arg1 = fds scanned, Arg2 = fds ready
+	KindServerReady // event loop dispatched a ready descriptor; Arg1 = fd, Arg2 = revents bits; Name = server name
+
 	kindMax // count sentinel; keep last
 )
 
@@ -157,6 +162,8 @@ var kindNames = [kindMax]string{
 	KindServerAccept:    "server.accept",
 	KindFSCrash:         "fs.crash",
 	KindFSRepair:        "fs.repair",
+	KindKernelPoll:      "kernel.poll",
+	KindServerReady:     "server.ready",
 }
 
 // String returns the kind's canonical dotted name.
@@ -253,6 +260,10 @@ func (ev Event) String() string {
 		return fmt.Sprintf("fs.crash %s lost=%d dropped=%d", ev.Name, ev.Arg1, ev.Arg2)
 	case KindFSRepair:
 		return fmt.Sprintf("fs.repair %s problems=%d repaired=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindKernelPoll:
+		return fmt.Sprintf("kernel.poll pid%d nfds=%d ready=%d", ev.Pid, ev.Arg1, ev.Arg2)
+	case KindServerReady:
+		return fmt.Sprintf("server.ready %s fd=%d revents=%#x", ev.Name, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}
