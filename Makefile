@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench tables trace-ci server-ci crash-ci cover ci
+.PHONY: all build test vet race check bench tables trace-ci server-ci crash-ci cover linkcheck ci
 
 all: build
 
@@ -51,11 +51,12 @@ crash-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpcheck -crash -seeds $(CRASH_SEEDS) > $(TRACE_DIR)/kdp-crash-b.txt
 	cmp $(TRACE_DIR)/kdp-crash-a.txt $(TRACE_DIR)/kdp-crash-b.txt
 
-# Coverage gate: the packages at the core of the poll/event-loop work
-# must keep a statement-coverage floor. awk parses `go test -cover`'s
-# "coverage: NN.N% of statements" line per package.
+# Coverage gate: the packages at the core of the poll/event-loop and
+# cache/disk work must keep a statement-coverage floor. awk parses
+# `go test -cover`'s "coverage: NN.N% of statements" line per package.
 COVER_FLOOR ?= 75.0
-COVER_PKGS := ./internal/kernel/ ./internal/stream/ ./internal/server/
+COVER_PKGS := ./internal/kernel/ ./internal/stream/ ./internal/server/ \
+	./internal/buf/ ./internal/disk/
 cover:
 	$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
 		{ print } \
@@ -65,6 +66,11 @@ cover:
 		} \
 		END { exit bad }'
 
+# Docs gate: every relative link in the repo's markdown must resolve
+# to a real file (anchors and external URLs are not checked).
+linkcheck:
+	$(GO) run ./tools/mdlinkcheck .
+
 # Server gate: regenerate the server-scalability sweep twice (second
 # run under GOMAXPROCS=1) and require byte-identical tables — the
 # stream transport and server engine must be deterministic end to end.
@@ -73,4 +79,4 @@ server-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep server > $(TRACE_DIR)/kdp-server-b.txt
 	cmp $(TRACE_DIR)/kdp-server-a.txt $(TRACE_DIR)/kdp-server-b.txt
 
-ci: vet build race check cover crash-ci trace-ci server-ci
+ci: vet build race check cover linkcheck crash-ci trace-ci server-ci

@@ -62,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		verbose  = fl.Bool("v", false, "print the event log of every run")
 		minimize = fl.Bool("minimize", false, "with -seed: shrink a failing op sequence to a minimal repro")
 		noReplay = fl.Bool("noreplay", false, "skip the second run that verifies seed-replay determinism")
-		damage   = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key)")
+		damage   = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key, ra-pending)")
 		damageAt = fl.Int("damage-after", 5, "with -damage: corrupt after this many ops")
 		crash    = fl.Bool("crash", false, "crash sweep: one power cut per seed, then repair, remount, and durability checks")
 	)
@@ -77,9 +77,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-ops must be positive (got %d)", *ops)
 	}
 	switch *damage {
-	case "", "busy-on-freelist", "delwri-undone", "hash-key":
+	case "", "busy-on-freelist", "delwri-undone", "hash-key", "ra-pending":
 	default:
-		return fmt.Errorf("unknown damage kind %q (busy-on-freelist, delwri-undone, hash-key)", *damage)
+		return fmt.Errorf("unknown damage kind %q (busy-on-freelist, delwri-undone, hash-key, ra-pending)", *damage)
 	}
 	if *damage != "" && *seed < 0 {
 		return fmt.Errorf("-damage requires -seed")

@@ -92,6 +92,12 @@ type Setup struct {
 	// Interleave overrides the FFS allocation stride; 0 selects the
 	// device default (2 for mechanical disks, 1 for the RAM disk).
 	Interleave int
+	// ReadaheadMax overrides the filesystems' adaptive readahead window
+	// cap in blocks: 0 keeps the fs default (one block ahead, the
+	// measured system's 4.3BSD behavior), positive values permit deeper
+	// windows, negative values disable readahead entirely. The cache
+	// sweep uses this for its readahead on/off comparison.
+	ReadaheadMax int
 	// Label names this machine's run in exported traces (see
 	// TraceSinkFactory). The Measure* helpers fill it in when empty.
 	Label string
@@ -181,6 +187,12 @@ func (m *Machine) Boot(p *kernel.Proc) error {
 			il = m.setup.Disk.interleave()
 		}
 		f.SetInterleave(il)
+		switch {
+		case m.setup.ReadaheadMax > 0:
+			f.SetReadahead(m.setup.ReadaheadMax)
+		case m.setup.ReadaheadMax < 0:
+			f.SetReadahead(0)
+		}
 		m.FSs[i] = f
 		m.K.Mount(mounts[i], f)
 	}

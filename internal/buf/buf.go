@@ -29,6 +29,13 @@ const (
 	BError              // I/O failed
 	BAge                // stale: recycle preferentially
 	BNoMem              // header only; Data aliases another buffer (splice)
+
+	// BReadahead marks a buffer fetched asynchronously ahead of any
+	// reader (StartReadahead). The flag survives I/O completion and is
+	// consumed by the first getblk that claims the buffer (counted as a
+	// readahead hit) or cleared when the buffer is recycled or
+	// invalidated unreferenced (counted as readahead waste).
+	BReadahead
 )
 
 // Device is the block-device driver interface. Strategy enqueues the

@@ -2,6 +2,7 @@ package buf
 
 import (
 	"fmt"
+	"sort"
 
 	"kdp/internal/kernel"
 	"kdp/internal/trace"
@@ -32,14 +33,26 @@ type Cache struct {
 	// surfaced at the next fsync/close/SyncAll.
 	werrs map[Device]error
 
+	// Readahead budget: at most raMax asynchronous readahead fetches
+	// may be in flight at once, so a deep window cannot monopolize the
+	// pool and starve demand fetches. raPending counts in-flight
+	// readahead reads (issued, biodone not yet run).
+	raMax     int
+	raPending int
+
 	// Stats
-	hits      int64
-	misses    int64
-	reads     int64
-	writes    int64
-	delwrites int64
-	recycles  int64
-	flushes   int64
+	hits          int64
+	misses        int64
+	reads         int64
+	writes        int64
+	delwrites     int64
+	recycles      int64
+	flushes       int64
+	raIssued      int64
+	raHits        int64
+	raWaste       int64
+	clusterRuns   int64
+	clusterBlocks int64
 }
 
 // NewCache builds a cache of nbuf buffers of blockSize bytes each,
@@ -57,6 +70,7 @@ func NewCache(k *kernel.Kernel, nbuf, blockSize int) *Cache {
 		hash:      make(map[devblk]*Buf, nbuf),
 		werrs:     make(map[Device]error),
 		nbuf:      nbuf,
+		raMax:     defaultRaBudget(nbuf),
 	}
 	for i := 0; i < nbuf; i++ {
 		b := &Buf{pool: c, Data: make([]byte, blockSize), Flags: BInval}
@@ -74,11 +88,50 @@ func (c *Cache) NumBuffers() int { return c.nbuf }
 // FreeBuffers returns how many buffers are on the free list.
 func (c *Cache) FreeBuffers() int { return c.nfree }
 
+// defaultRaBudget derives the readahead budget from the pool size: an
+// eighth of the buffers (at least two) may be speculative at once.
+func defaultRaBudget(nbuf int) int {
+	n := nbuf / 8
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// SetReadaheadBudget caps how many asynchronous readahead fetches may
+// be in flight at once. n <= 0 disables readahead issue entirely;
+// values above the pool size are clamped so demand fetches can always
+// find a buffer.
+func (c *Cache) SetReadaheadBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > c.nbuf/2 {
+		n = c.nbuf / 2
+	}
+	c.raMax = n
+}
+
+// ReadaheadBudget returns the in-flight readahead cap.
+func (c *Cache) ReadaheadBudget() int { return c.raMax }
+
+// ReadaheadPending returns how many readahead fetches are in flight.
+func (c *Cache) ReadaheadPending() int { return c.raPending }
+
 // Stats describes cache activity since boot.
 type Stats struct {
 	Hits, Misses                 int64
 	Reads, Writes, DelayedWrites int64
 	Recycles, Flushes            int64
+
+	// Readahead accounting: asynchronous fetches issued ahead of any
+	// reader, those later consumed by a lookup, and those evicted or
+	// invalidated without ever being referenced.
+	RaIssued, RaHits, RaWaste int64
+
+	// Write clustering: contiguous dirty runs (>= 2 adjacent blocks)
+	// issued back to back by flush passes, and the blocks they covered.
+	ClusterRuns, ClusterBlocks int64
 }
 
 // Stats returns a snapshot of cache counters.
@@ -87,6 +140,8 @@ func (c *Cache) Stats() Stats {
 		Hits: c.hits, Misses: c.misses,
 		Reads: c.reads, Writes: c.writes, DelayedWrites: c.delwrites,
 		Recycles: c.recycles, Flushes: c.flushes,
+		RaIssued: c.raIssued, RaHits: c.raHits, RaWaste: c.raWaste,
+		ClusterRuns: c.clusterRuns, ClusterBlocks: c.clusterBlocks,
 	}
 }
 
@@ -187,7 +242,7 @@ func (c *Cache) incore(dev Device, blkno int64) *Buf {
 // out a delayed write first if necessary — and returned with BDone
 // clear. May sleep; the ctx must allow sleeping.
 func (c *Cache) Getblk(ctx kernel.Ctx, dev Device, blkno int64) *Buf {
-	b, err := c.getblk(ctx, dev, blkno, true)
+	b, err := c.getblk(ctx, dev, blkno, true, false)
 	if err != nil {
 		panic("buf: blocking getblk returned error: " + err.Error())
 	}
@@ -198,17 +253,26 @@ func (c *Cache) Getblk(ctx kernel.Ctx, dev Device, blkno int64) *Buf {
 // it returns kernel.ErrWouldBlock instead of sleeping when the buffer
 // is busy or no buffer can be recycled without waiting.
 func (c *Cache) GetblkNB(ctx kernel.Ctx, dev Device, blkno int64) (*Buf, error) {
-	return c.getblk(ctx, dev, blkno, false)
+	return c.getblk(ctx, dev, blkno, false, false)
 }
 
-func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep bool) (*Buf, error) {
+// getblk claims a buffer for (dev, blkno). quiet suppresses hit/miss
+// accounting and trace events: the readahead issue path uses it so
+// speculative fetches do not masquerade as demand lookups.
+func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep, quiet bool) (*Buf, error) {
 	if dev == nil {
 		panic("buf: getblk on nil device")
 	}
 	if blkno < 0 || blkno >= dev.DevBlocks() {
 		panic(fmt.Sprintf("buf: getblk block %d out of range on %s", blkno, dev.DevName()))
 	}
-	ctx.Use(c.k.Config().BufHashCost)
+	// The quiet (readahead-issue) path charges no lookup cost: it runs
+	// inside a demand lookup whose BufHashCost is calibrated against the
+	// measured system, where the per-block overhead already included
+	// breada's probe — billing the probe separately would double-count.
+	if !quiet {
+		ctx.Use(c.k.Config().BufHashCost)
+	}
 	for {
 		if b := c.incore(dev, blkno); b != nil {
 			if b.Flags&BBusy != 0 {
@@ -223,13 +287,26 @@ func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep bool) (
 			}
 			c.freeRemove(b)
 			b.Flags |= BBusy
-			c.hits++
-			c.k.TraceEmit(trace.KindBufHit, 0, blkno, 0, dev.DevName())
+			if !quiet {
+				var ra int64
+				if b.Flags&BReadahead != 0 {
+					// First demand reference to a readahead buffer:
+					// consume the flag and count the hit as a
+					// readahead hit (Arg2 = 1 in the event).
+					b.Flags &^= BReadahead
+					c.raHits++
+					ra = 1
+				}
+				c.hits++
+				c.k.TraceEmit(trace.KindBufHit, 0, blkno, ra, dev.DevName())
+			}
 			return b, nil
 		}
 		// Miss: recycle from the head of the free list.
-		c.misses++
-		c.k.TraceEmit(trace.KindBufMiss, 0, blkno, 0, dev.DevName())
+		if !quiet {
+			c.misses++
+			c.k.TraceEmit(trace.KindBufMiss, 0, blkno, 0, dev.DevName())
+		}
 		b, err := c.reclaim(ctx, canSleep)
 		if err != nil {
 			return nil, err
@@ -238,6 +315,7 @@ func (c *Cache) getblk(ctx kernel.Ctx, dev Device, blkno int64, canSleep bool) (
 			continue // slept waiting for a free buffer; retry lookup
 		}
 		c.hashRemove(b)
+		c.retireRA(b)
 		b.Dev = dev
 		b.Blkno = blkno
 		b.Bcount = c.blockSize
@@ -297,7 +375,10 @@ func (c *Cache) Brelse(ctx kernel.Ctx, b *Buf) {
 		c.k.Wakeup(b)
 	}
 	if b.Flags&(BError|BInval) != 0 {
-		// Unusable contents: recycle first and drop from the hash.
+		// Unusable contents: recycle first and drop from the hash. A
+		// readahead that errored (or was dropped by a crash) was never
+		// consumed — account the waste before the flags are wiped.
+		c.retireRA(b)
 		c.hashRemove(b)
 		b.Flags = BInval
 		c.freePush(b, true)
@@ -330,20 +411,65 @@ func (c *Cache) Bread(ctx kernel.Ctx, dev Device, blkno int64) (*Buf, error) {
 }
 
 // Breada is Bread plus an asynchronous read-ahead of rablkno (if valid
-// and not already cached), mirroring 4.2BSD breada().
+// and not already cached), mirroring 4.2BSD breada(). The readahead
+// goes through StartReadahead, so it is subject to the cache's
+// readahead budget and counted in the readahead statistics.
 func (c *Cache) Breada(ctx kernel.Ctx, dev Device, blkno, rablkno int64) (*Buf, error) {
-	if rablkno >= 0 && rablkno < dev.DevBlocks() && c.incore(dev, rablkno) == nil {
-		rb, err := c.getblk(ctx, dev, rablkno, true)
-		if err == nil && rb.Flags&BDone == 0 {
-			rb.Flags |= BRead | BAsync
-			c.reads++
-			dev.Strategy(rb)
-		} else if err == nil {
-			// Raced into the cache already; just release.
-			c.Brelse(ctx, rb)
-		}
+	if rablkno >= 0 {
+		c.StartReadahead(ctx, dev, rablkno)
 	}
 	return c.Bread(ctx, dev, blkno)
+}
+
+// StartReadahead issues an asynchronous speculative read of (dev,
+// blkno): the buffer is fetched with BReadahead set and released by
+// biodone, staying cached until a demand lookup consumes it. It never
+// sleeps. The return value reports whether the block is covered — true
+// when it is already cached or an async read was started, false when
+// the cache is out of readahead resources (budget exhausted, readahead
+// disabled, or no buffer reclaimable without sleeping); callers
+// extending a window should stop at the first false.
+func (c *Cache) StartReadahead(ctx kernel.Ctx, dev Device, blkno int64) bool {
+	if dev == nil || blkno < 0 || blkno >= dev.DevBlocks() {
+		return false
+	}
+	if c.incore(dev, blkno) != nil {
+		return true
+	}
+	if c.raMax <= 0 || c.raPending >= c.raMax {
+		return false
+	}
+	b, err := c.getblk(ctx, dev, blkno, false, true)
+	if err != nil {
+		return false
+	}
+	if b.Flags&BDone != 0 {
+		c.Brelse(ctx, b)
+		return true
+	}
+	b.Flags |= BRead | BAsync | BReadahead
+	c.raPending++
+	c.raIssued++
+	c.reads++
+	c.k.TraceEmit(trace.KindBufReadahead, 0, blkno, int64(c.raPending), dev.DevName())
+	dev.Strategy(b)
+	return true
+}
+
+// retireRA clears BReadahead from a buffer that is being recycled or
+// invalidated without ever having been referenced, counting the fetch
+// as waste (KindBufReadahead with Arg2 = -1).
+func (c *Cache) retireRA(b *Buf) {
+	if b.Flags&BReadahead == 0 {
+		return
+	}
+	b.Flags &^= BReadahead
+	c.raWaste++
+	name := ""
+	if b.Dev != nil {
+		name = b.Dev.DevName()
+	}
+	c.k.TraceEmit(trace.KindBufReadahead, 0, b.Blkno, -1, name)
 }
 
 // Bwrite writes the buffer synchronously: it waits for completion and
@@ -400,6 +526,13 @@ func (c *Cache) Biodone(b *Buf) {
 		panic("buf: biodone on already-done buffer " + b.String())
 	}
 	b.Flags |= BDone
+	if b.Flags&BReadahead != 0 {
+		// A readahead fetch completed (or was dropped with an error by
+		// a crash); it no longer holds a slot of the budget. The flag
+		// itself survives until a lookup consumes it or the buffer is
+		// retired.
+		c.raPending--
+	}
 	if b.Flags&BCall != 0 {
 		b.Flags &^= BCall
 		if b.Iodone == nil {
@@ -454,7 +587,7 @@ func (c *Cache) TakeWriteError(dev Device) error {
 // immediately (from the caller's context) rather than via the device;
 // hit reports that case.
 func (c *Cache) StartRead(ctx kernel.Ctx, dev Device, blkno int64, desc any, lblk int64, iodone func(*kernel.Kernel, *Buf)) (hit bool, err error) {
-	b, err := c.getblk(ctx, dev, blkno, ctx.CanSleep())
+	b, err := c.getblk(ctx, dev, blkno, ctx.CanSleep(), false)
 	if err != nil {
 		return false, err
 	}
@@ -531,9 +664,37 @@ func (c *Cache) FlushBlocks(ctx kernel.Ctx, dev Device, blknos []int64) (int, er
 	return c.flushBufs(ctx, dirty)
 }
 
+// clusterDirty orders a dirty batch by (device, block number) so that
+// adjacent dirty blocks reach the driver back to back — with the
+// device's elevator they then service as one contiguous sweep — and
+// emits a disk.cluster event for every run of two or more adjacent
+// blocks.
+func (c *Cache) clusterDirty(dirty []*Buf) {
+	sort.Slice(dirty, func(i, j int) bool {
+		if dirty[i].Dev != dirty[j].Dev {
+			return dirty[i].Dev.DevName() < dirty[j].Dev.DevName()
+		}
+		return dirty[i].Blkno < dirty[j].Blkno
+	})
+	for i := 0; i < len(dirty); {
+		j := i + 1
+		for j < len(dirty) && dirty[j].Dev == dirty[i].Dev &&
+			dirty[j].Blkno == dirty[j-1].Blkno+1 {
+			j++
+		}
+		if n := j - i; n >= 2 {
+			c.clusterRuns++
+			c.clusterBlocks += int64(n)
+			c.k.TraceEmit(trace.KindDiskCluster, 0, dirty[i].Blkno, int64(n), dirty[i].Dev.DevName())
+		}
+		i = j
+	}
+}
+
 func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 	c.flushes++
 	c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
+	c.clusterDirty(dirty)
 	// Record the devices involved now: an errored buffer is recycled by
 	// the time the drain loop observes it, so b.Dev is unreliable later.
 	var devs []Device
@@ -612,15 +773,17 @@ func (c *Cache) flushDirtyAsync() {
 			dirty = append(dirty, b)
 		}
 	}
+	if len(dirty) == 0 {
+		return
+	}
+	c.flushes++
+	c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
+	c.clusterDirty(dirty)
 	ctx := c.k.IntrCtx()
 	for _, b := range dirty {
 		c.freeRemove(b)
 		b.Flags |= BBusy
 		c.Bawrite(ctx, b)
-	}
-	if len(dirty) > 0 {
-		c.flushes++
-		c.k.TraceEmit(trace.KindBufFlush, 0, int64(len(dirty)), 0, "")
 	}
 }
 
@@ -655,6 +818,7 @@ func (c *Cache) InvalidateBlocks(ctx kernel.Ctx, dev Device, blknos []int64) err
 			}
 			c.freeRemove(b)
 			c.hashRemove(b)
+			c.retireRA(b)
 			b.Flags = BInval
 			b.Dev = nil
 			c.freePush(b, true)
@@ -692,6 +856,7 @@ func (c *Cache) Crash(dev Device) (dirtyLost, discarded int) {
 		}
 		c.freeRemove(b)
 		c.hashRemove(b)
+		c.retireRA(b)
 		b.Flags = BInval
 		b.Dev = nil
 		b.Err = nil
@@ -723,6 +888,7 @@ func (c *Cache) InvalidateDev(ctx kernel.Ctx, dev Device) error {
 	for _, b := range victims {
 		c.freeRemove(b)
 		c.hashRemove(b)
+		c.retireRA(b)
 		b.Flags = BInval
 		b.Dev = nil
 		c.freePush(b, true)

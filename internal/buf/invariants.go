@@ -20,6 +20,10 @@ import "fmt"
 //	buf-flag-call        BCall implies a non-nil Iodone handler
 //	buf-pool-account     nbuf == free buffers + busy hashed buffers
 //	buf-header-hashed    header-only (BNoMem) buffers never enter the hash
+//	buf-ra-flag          BReadahead never on dirty or header-only buffers;
+//	                     an in-flight (not BDone) readahead is a busy async read
+//	buf-ra-pending       raPending == number of in-flight readahead buffers
+//	buf-ra-budget        0 <= raPending <= the readahead budget
 //
 // A violation is reported as an *InvariantError naming the invariant.
 
@@ -72,8 +76,10 @@ func (c *Cache) CheckInvariants() error {
 		return violation("buf-free-link", "free list holds %d buffers, nfree says %d", n, c.nfree)
 	}
 
-	// Hash walk: chain keys, duplicate detection, busy accounting.
+	// Hash walk: chain keys, duplicate detection, busy accounting,
+	// in-flight readahead accounting.
 	busy := 0
+	inflightRA := 0
 	valid := make(map[devblk]*Buf)
 	for key, head := range c.hash {
 		for b := head; b != nil; b = b.hashNext {
@@ -103,10 +109,19 @@ func (c *Cache) CheckInvariants() error {
 			} else if !b.onFree {
 				return violation("buf-pool-account", "idle hashed buffer not on free list: %s", b)
 			}
+			if b.Flags&BReadahead != 0 && b.Flags&BDone == 0 {
+				inflightRA++
+			}
 		}
 	}
 	if c.nfree+busy != c.nbuf {
 		return violation("buf-pool-account", "free %d + busy %d != pool %d", c.nfree, busy, c.nbuf)
+	}
+	if inflightRA != c.raPending {
+		return violation("buf-ra-pending", "raPending=%d but %d in-flight readahead buffers", c.raPending, inflightRA)
+	}
+	if c.raPending < 0 || (c.raMax > 0 && c.raPending > c.raMax) {
+		return violation("buf-ra-budget", "raPending=%d outside [0, %d]", c.raPending, c.raMax)
 	}
 	return nil
 }
@@ -127,6 +142,14 @@ func checkBufFlags(b *Buf) error {
 	if b.Flags&BCall != 0 && b.Iodone == nil {
 		return violation("buf-flag-call", "BCall set with nil Iodone: %s", b)
 	}
+	if b.Flags&BReadahead != 0 {
+		if b.Flags&(BDelwri|BNoMem) != 0 {
+			return violation("buf-ra-flag", "BReadahead on dirty or header-only buffer: %s", b)
+		}
+		if b.Flags&BDone == 0 && !b.HasFlags(BBusy|BRead|BAsync) {
+			return violation("buf-ra-flag", "in-flight readahead not a busy async read: %s", b)
+		}
+	}
 	return nil
 }
 
@@ -138,6 +161,7 @@ func checkBufFlags(b *Buf) error {
 //	"busy-on-freelist"  set BBusy on the head of the free list
 //	"delwri-undone"     set BDelwri without BDone on a free buffer
 //	"hash-key"          change a hashed buffer's Blkno without rehashing
+//	"ra-pending"        bump raPending without an in-flight readahead
 //
 // It is exported for tests and the simcheck harness only; production
 // paths never call it.
@@ -157,6 +181,8 @@ func (c *Cache) Damage(kind string) {
 			b.Blkno++
 			break
 		}
+	case "ra-pending":
+		c.raPending++
 	default:
 		panic("buf: unknown damage kind " + kind)
 	}

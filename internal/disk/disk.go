@@ -6,9 +6,14 @@
 // device).
 //
 // A device accepts requests through the buf.Device Strategy interface,
-// services them one at a time in FIFO order in virtual time, and
-// completes each by raising a device interrupt that runs buf.Biodone —
-// which is where splice's B_CALL handlers execute.
+// services them one at a time in virtual time — FIFO by default, or
+// C-LOOK elevator order when Params.Elevator is set, which keeps the
+// buffer cache's clustered dirty runs contiguous at the head — and
+// completes each by raising a device interrupt that runs buf.Biodone,
+// which is where splice's B_CALL handlers execute. Contiguous
+// completion runs are tracked in Stats (ContigBlocks, LongestRun) so
+// experiments can observe how much of the workload the clustering and
+// elevator actually made sequential.
 package disk
 
 import (
@@ -134,6 +139,13 @@ type Disk struct {
 	lastComplete      sim.Time
 	maxQueueObserved  int
 	totalQueueSamples int64
+
+	// Contiguous completion-run accounting: runBlk is the block number
+	// that would extend the current run (-1 = no run yet).
+	runBlk       int64
+	runLen       int64
+	longestRun   int64
+	contigBlocks int64
 }
 
 // fault describes an injected media defect on one block.
@@ -163,9 +175,10 @@ func New(k *kernel.Kernel, p Params) *Disk {
 		panic("disk: bad geometry")
 	}
 	d := &Disk{
-		k:    k,
-		p:    p,
-		data: make([]byte, p.Blocks*int64(p.BlockSize)),
+		k:      k,
+		p:      p,
+		data:   make([]byte, p.Blocks*int64(p.BlockSize)),
+		runBlk: -1,
 	}
 	if p.CacheSegments > 0 {
 		d.segments = make([]raSegment, p.CacheSegments)
@@ -199,6 +212,15 @@ type Stats struct {
 	CacheHits, CacheMisses int64
 	Busy                   sim.Duration
 	MaxQueue               int
+
+	// ContigBlocks counts completions that extended a contiguous run
+	// (serviced the block immediately after the previous completion);
+	// LongestRun is the longest such run observed, in blocks. Together
+	// they measure how sequential the serviced workload actually was —
+	// the property the cache's write clustering and the C-LOOK elevator
+	// exist to maximize.
+	ContigBlocks int64
+	LongestRun   int64
 }
 
 // Stats returns a snapshot of device counters.
@@ -209,7 +231,23 @@ func (d *Disk) Stats() Stats {
 		Seeks:     d.seeks,
 		CacheHits: d.cacheHits, CacheMisses: d.cacheMisses,
 		Busy: d.busyTime, MaxQueue: d.maxQueueObserved,
+		ContigBlocks: d.contigBlocks, LongestRun: d.longestRun,
 	}
+}
+
+// noteRun updates the contiguous completion-run accounting for a
+// transfer that just serviced blkno.
+func (d *Disk) noteRun(blkno int64) {
+	if blkno == d.runBlk {
+		d.runLen++
+		d.contigBlocks++
+	} else {
+		d.runLen = 1
+	}
+	if d.runLen > d.longestRun {
+		d.longestRun = d.runLen
+	}
+	d.runBlk = blkno + 1
 }
 
 // Strategy implements buf.Device: the request is queued and serviced in
@@ -259,6 +297,7 @@ func (d *Disk) completeSync(b *buf.Buf) {
 		d.nwrites++
 		d.writeBytes += int64(b.Bcount)
 	}
+	d.noteRun(b.Blkno)
 	d.traceCompletion(b)
 	d.lastComplete = d.k.Now()
 	if d.cache == nil {
@@ -323,6 +362,7 @@ func (d *Disk) complete(b *buf.Buf) {
 		d.writeBytes += int64(b.Bcount)
 	}
 	d.headBlk = b.Blkno + 1
+	d.noteRun(b.Blkno)
 	d.traceCompletion(b)
 	d.lastComplete = d.k.Now()
 	d.k.Interrupt(func() {

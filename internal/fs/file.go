@@ -26,9 +26,14 @@ func (fl *File) Dev() buf.Device { return fl.fs.dev }
 func (fl *File) BufCache() *buf.Cache { return fl.fs.cache }
 
 // Read implements kernel.FileOps: it copies up to len(p) bytes starting
-// at off out of the buffer cache, issuing device reads (with one-block
-// read-ahead, as the BSD read path does) on misses. Holes read as
-// zeros.
+// at off out of the buffer cache, issuing device reads on misses with
+// adaptive readahead: a read continuing exactly where the previous one
+// ended is sequential and doubles the file's readahead window (up to
+// the filesystem's SetReadahead cap, one block by default, as in
+// 4.3BSD); any seek collapses the window to zero so random access
+// never speculates. Window blocks are fetched asynchronously through
+// the cache's budgeted StartReadahead, overlapping disk latency with
+// the copy loop. Holes read as zeros.
 func (fl *File) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 	if fl.closed {
 		return 0, kernel.ErrBadFD
@@ -43,8 +48,25 @@ func (fl *File) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 	if max := ip.size - off; int64(len(p)) > max {
 		p = p[:max]
 	}
+	if raMax := fl.fs.raMax; raMax > 0 && off == ip.raNext {
+		// Sequential continuation: grow the window exponentially.
+		if ip.raWindow == 0 {
+			ip.raWindow = 1
+		} else if ip.raWindow < raMax {
+			ip.raWindow *= 2
+			if ip.raWindow > raMax {
+				ip.raWindow = raMax
+			}
+		}
+	} else {
+		// Seek (or readahead disabled): collapse. raAhead is reset so a
+		// scan resuming here later starts a fresh window.
+		ip.raWindow = 0
+		ip.raAhead = 0
+	}
 	bsize := int64(fl.fs.BlockSize())
 	done := 0
+	defer func() { ip.raNext = off + int64(done) }()
 	for done < len(p) {
 		lblk := (off + int64(done)) / bsize
 		boff := (off + int64(done)) % bsize
@@ -64,14 +86,8 @@ func (fl *File) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 			done += n
 			continue
 		}
-		// Read-ahead the next logical block if the file continues.
-		rablk := int64(-1)
-		if (lblk+1)*bsize < ip.size {
-			if rp, err := ip.bmap(ctx, lblk+1, false, false); err == nil && rp != 0 {
-				rablk = int64(rp)
-			}
-		}
-		b, err := fl.fs.cache.Breada(ctx, fl.fs.dev, int64(pblk), rablk)
+		fl.readahead(ctx, lblk)
+		b, err := fl.fs.cache.Bread(ctx, fl.fs.dev, int64(pblk))
 		if err != nil {
 			return done, err
 		}
@@ -80,6 +96,44 @@ func (fl *File) Read(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 		done += n
 	}
 	return done, nil
+}
+
+// readahead extends the file's asynchronous readahead out to the edge
+// of the current window, (lblk, lblk+raWindow], clamped at EOF. The
+// window is refilled in batches: nothing happens while raAhead still
+// covers blocks ahead of the scan, and when the scan catches up the
+// whole window is mapped with one bmapRange (one pointer-block read
+// per window, not per block) and issued back to back. Holes are
+// skipped, and issue stops as soon as the cache reports its readahead
+// budget exhausted — the window then catches up on a later call.
+func (fl *File) readahead(ctx kernel.Ctx, lblk int64) {
+	ip := fl.ip
+	if ip.raWindow == 0 || ip.raAhead > lblk {
+		return
+	}
+	bsize := int64(fl.fs.BlockSize())
+	last := (ip.size - 1) / bsize // last logical block holding data
+	end := lblk + int64(ip.raWindow)
+	if end > last {
+		end = last
+	}
+	start := lblk + 1
+	if start <= ip.raAhead {
+		start = ip.raAhead + 1
+	}
+	if start > end {
+		return
+	}
+	pblks, err := ip.bmapRange(ctx, start, end)
+	if err != nil {
+		return
+	}
+	for i, pblk := range pblks {
+		if pblk != 0 && !fl.fs.cache.StartReadahead(ctx, fl.fs.dev, int64(pblk)) {
+			return
+		}
+		ip.raAhead = start + int64(i)
+	}
 }
 
 // Write implements kernel.FileOps. Full-block writes allocate without

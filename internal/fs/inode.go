@@ -3,6 +3,7 @@ package fs
 import (
 	"encoding/binary"
 
+	"kdp/internal/buf"
 	"kdp/internal/kernel"
 )
 
@@ -23,6 +24,15 @@ type Inode struct {
 	dirty   bool
 	locked  bool
 	lockers int
+
+	// Adaptive readahead state (see File.Read). raNext is the byte
+	// offset where the last read ended — a read starting there is
+	// sequential. raWindow is the current window in blocks (0 after any
+	// seek); raAhead is the highest logical block a readahead has been
+	// issued for, so overlapping windows never re-issue fetches.
+	raNext   int64
+	raWindow int
+	raAhead  int64
 }
 
 // Ino returns the inode number.
@@ -181,6 +191,60 @@ func (f *FS) ptrAt(ctx kernel.Ctx, blk uint32, idx int64, alloc bool) (uint32, e
 	return p, nil
 }
 
+// bmapRange maps logical blocks [start, end] without allocating (holes
+// map to 0), reading each pointer block once for the whole range
+// instead of once per block. This is the readahead issue path's bulk
+// bmap: 4.3BSD's bmap computed the readahead block from the indirect
+// block it had already read for the demand block for the same reason —
+// mapping a window must not cost a pointer-block lookup per block.
+// Double-indirect blocks fall back to the per-block path (readahead
+// windows are small; crossing into the double-indirect range mid-window
+// is rare).
+func (ip *Inode) bmapRange(ctx kernel.Ctx, start, end int64) ([]uint32, error) {
+	f := ip.fs
+	ppb := f.ptrsPerBlock()
+	le := binary.LittleEndian
+	out := make([]uint32, 0, end-start+1)
+	var held *buf.Buf
+	release := func() {
+		if held != nil {
+			f.cache.Brelse(ctx, held)
+			held = nil
+		}
+	}
+	for l := start; l <= end; l++ {
+		switch {
+		case l < 0:
+			release()
+			return nil, kernel.ErrInval
+		case l < NDirect:
+			out = append(out, ip.direct[l])
+		case l < NDirect+ppb:
+			if ip.indir == 0 {
+				out = append(out, 0)
+				continue
+			}
+			if held == nil {
+				b, err := f.cache.Bread(ctx, f.dev, int64(ip.indir))
+				if err != nil {
+					return nil, err
+				}
+				held = b
+			}
+			out = append(out, le.Uint32(held.Data[(l-NDirect)*4:]))
+		default:
+			release()
+			pblk, err := ip.bmap(ctx, l, false, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pblk)
+		}
+	}
+	release()
+	return out, nil
+}
+
 // clearPtr zeroes the inode's pointer to logical block lblk, making it
 // a hole again (pointer blocks on the path are left in place; they are
 // referenced by the inode and reused by the next extension). Used by
@@ -280,6 +344,11 @@ func (ip *Inode) truncate(ctx kernel.Ctx, newSize int64) error {
 	ip.dindir = 0
 	ip.size = 0
 	ip.dirty = true
+	// The file's contents are gone; any sequential-access history is
+	// meaningless (and raAhead could point past the new EOF).
+	ip.raNext = 0
+	ip.raWindow = 0
+	ip.raAhead = 0
 	if err := f.iupdateSync(ctx, ip); err != nil {
 		return err
 	}

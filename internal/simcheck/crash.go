@@ -46,8 +46,10 @@ func genCrashOps(cfg Config) []*op {
 		switch w := r.Intn(100); {
 		case w < 30:
 			o.kind = opWrite
-		case w < 42:
+		case w < 38:
 			o.kind = opRead
+		case w < 42:
+			o.kind = opSeqRead
 		case w < 48:
 			o.kind = opTrunc
 		case w < 54:

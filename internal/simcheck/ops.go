@@ -34,6 +34,7 @@ const (
 	opStreamXfer // stream transfer over the lossy net, byte-exact delivery
 	opPollWait   // poll on a pipe fed by a delayed writer; ready ⇒ read can't block
 	opEventServe // single-process poll event loop serves stream clients on the lossy net
+	opSeqRead    // whole-file sequential scan; drives the adaptive readahead engine
 	opCrash      // power cut: discard volatile state, repair, remount (crash sweep only)
 )
 
@@ -69,6 +70,8 @@ func (o *op) describe() string {
 		return fmt.Sprintf("write d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
 	case opRead:
 		return fmt.Sprintf("read d%d/f%d off=%d n=%d", o.disk, o.slot, o.off, o.size)
+	case opSeqRead:
+		return fmt.Sprintf("seq-read d%d/f%d chunk=%d", o.disk, o.slot, o.size)
 	case opTrunc:
 		return fmt.Sprintf("trunc d%d/f%d", o.disk, o.slot)
 	case opUnlink:
@@ -131,8 +134,10 @@ func genOps(cfg Config) []*op {
 		switch w := r.Intn(100); {
 		case w < 21:
 			o.kind = opWrite
-		case w < 37:
+		case w < 33:
 			o.kind = opRead
+		case w < 38:
+			o.kind = opSeqRead
 		case w < 42:
 			o.kind = opTrunc
 		case w < 46:
@@ -236,6 +241,8 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.doWrite(p, w, o)
 	case opRead:
 		m.doRead(p, w, o)
+	case opSeqRead:
+		m.doSeqRead(p, w, o)
 	case opTrunc:
 		m.doTrunc(p, w, o)
 	case opUnlink:
@@ -400,6 +407,75 @@ func (m *machine) doRead(p *kernel.Proc, w int, o *op) {
 		return
 	}
 	m.opLog(o, w, "ok n=%d", n)
+}
+
+// doSeqRead scans the whole file start to finish in seed-derived
+// chunks — the access pattern the adaptive readahead engine exists
+// for. Each chunked read continues exactly where the previous one
+// ended, so the inode's window grows and asynchronous readaheads flow
+// through the cache's budgeted issue path while the probe re-validates
+// the readahead invariants (flag discipline, pending count, budget
+// clamp) at every boundary. The drained bytes verify against the
+// oracle like any read.
+func (m *machine) doSeqRead(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	of := m.oracle[path]
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		if errors.Is(err, kernel.ErrNoEnt) {
+			if of != nil && !of.tainted && m.checkable(o.disk) {
+				m.fail(fmt.Errorf("oracle-exists: open %s: %v, but oracle has %d bytes", path, err, len(of.data)))
+				return
+			}
+			m.opLog(o, w, "absent")
+			return
+		}
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	if of == nil && m.checkable(o.disk) {
+		p.Close(fd)
+		m.fail(fmt.Errorf("oracle-absent: %s opened but the oracle says it was never created", path))
+		return
+	}
+	// Chunks smaller than a block keep consecutive reads inside and
+	// across block boundaries strictly sequential.
+	chunk := 1 + o.size/4
+	var got []byte
+	buf := make([]byte, chunk)
+	for {
+		n, rerr := p.Read(fd, buf)
+		if rerr != nil {
+			p.Close(fd)
+			if of != nil {
+				of.tainted = true
+			}
+			m.opLog(o, w, "read: %v", rerr)
+			return
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	p.Close(fd)
+	if of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "n=%d (unchecked)", len(got))
+		return
+	}
+	if len(got) != len(of.data) {
+		m.fail(fmt.Errorf("oracle-size: seq-read %s drained %d bytes, oracle expects %d", path, len(got), len(of.data)))
+		return
+	}
+	if i := firstDiff(got, of.data); i >= 0 {
+		m.fail(fmt.Errorf("oracle-content: %s differs at byte %d: disk %#02x, oracle %#02x",
+			path, i, got[i], of.data[i]))
+		return
+	}
+	m.opLog(o, w, "ok n=%d", len(got))
 }
 
 func (m *machine) doTrunc(p *kernel.Proc, w int, o *op) {

@@ -15,10 +15,12 @@
 //
 //  1. Invariant hooks. At every scheduling boundary the kernel probe
 //     (kernel.SetProbe) re-validates the buffer cache
-//     (buf.CheckInvariants), scheduler/callouts (kernel.CheckInvariants),
-//     in-core filesystem state (fs.CheckLive), live splice
-//     descriptors (splice.CheckInvariants), and live stream
-//     connections (stream.CheckInvariants).
+//     (buf.CheckInvariants, including the readahead flag/budget
+//     discipline), scheduler/callouts (kernel.CheckInvariants), the
+//     disk request queues (disk.CheckInvariants), in-core filesystem
+//     state (fs.CheckLive), live splice descriptors
+//     (splice.CheckInvariants), and live stream connections
+//     (stream.CheckInvariants).
 //  2. Oracle. Every generated op updates an in-memory model of expected
 //     file contents; reads verify against it inline and a final sweep
 //     re-reads every file. Disk-fault injection taints the affected
@@ -249,6 +251,10 @@ func execute(cfg Config, ops []*op) *Result {
 		disk.RZ56(d1Blocks, blockSize),
 	}
 	for i := range m.disks {
+		// The elevator keeps clustered delayed-write runs contiguous at
+		// the platter; running the sweep with it on means the C-LOOK
+		// pick path is fuzzed alongside everything else.
+		params[i].Elevator = true
 		d := disk.New(m.k, params[i])
 		d.SetCache(m.cache)
 		if _, err := fs.Mkfs(d, ninodes); err != nil {
@@ -354,6 +360,14 @@ func (m *machine) checkInvariants() error {
 	}
 	if err := m.k.CheckInvariants(); err != nil {
 		return err
+	}
+	for _, d := range m.disks {
+		if d == nil {
+			continue
+		}
+		if err := d.CheckInvariants(); err != nil {
+			return err
+		}
 	}
 	for _, f := range m.fss {
 		if f == nil {

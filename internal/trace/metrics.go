@@ -37,6 +37,13 @@ type Metrics struct {
 	BufMisses  int64
 	BufFlushed int64 // dirty buffers pushed by flush passes (sum of Arg1)
 
+	// Readahead: asynchronous block fetches issued ahead of the
+	// reader, how many were later consumed by a cache lookup (hits),
+	// and how many were evicted or invalidated unreferenced (waste).
+	BufRaIssued int64
+	BufRaHits   int64
+	BufRaWaste  int64
+
 	// Network.
 	NetTxBytes int64
 	NetRxBytes int64
@@ -78,6 +85,11 @@ type DiskMetrics struct {
 	QueueSamples int64        // one per KindDiskQueue event
 	QueueSum     int64        // sum of queue lengths at queue time
 	QueuePeak    int64
+
+	// Write clustering: contiguous dirty runs issued back to back by
+	// flush passes (KindDiskCluster), and the blocks they covered.
+	ClusterRuns   int64
+	ClusterBlocks int64 // sum of run lengths (the disk.cluster_len counter)
 }
 
 func (m *Metrics) reset() {
@@ -133,10 +145,23 @@ func (m *Metrics) observe(ev Event) {
 		m.syscalls[ev.Name]++
 	case KindBufHit:
 		m.BufHits++
+		if ev.Arg2 == 1 {
+			m.BufRaHits++
+		}
 	case KindBufMiss:
 		m.BufMisses++
 	case KindBufFlush:
 		m.BufFlushed += ev.Arg1
+	case KindBufReadahead:
+		if ev.Arg2 < 0 {
+			m.BufRaWaste++
+		} else {
+			m.BufRaIssued++
+		}
+	case KindDiskCluster:
+		dm := m.disk(ev.Name)
+		dm.ClusterRuns++
+		dm.ClusterBlocks += ev.Arg2
 	case KindDiskQueue:
 		dm := m.disk(ev.Name)
 		dm.QueueSamples++
@@ -218,6 +243,16 @@ func (m *Metrics) ProcCPUSnapshot() []struct {
 	return out
 }
 
+// ClusterLen returns the total number of blocks covered by clustered
+// dirty runs across every device (the disk.cluster_len counter).
+func (m *Metrics) ClusterLen() int64 {
+	var n int64
+	for _, dm := range m.disks {
+		n += dm.ClusterBlocks
+	}
+	return n
+}
+
 // CacheHitRatio returns hits/(hits+misses), or 0 with no lookups.
 func (m *Metrics) CacheHitRatio() float64 {
 	total := m.BufHits + m.BufMisses
@@ -266,6 +301,9 @@ func (m *Metrics) Snapshot() []Counter {
 	add("buf.hits", m.BufHits)
 	add("buf.misses", m.BufMisses)
 	add("buf.flushed", m.BufFlushed)
+	add("buf.ra_issued", m.BufRaIssued)
+	add("buf.ra_hits", m.BufRaHits)
+	add("buf.ra_waste", m.BufRaWaste)
 	devs := make([]string, 0, len(m.disks))
 	for name := range m.disks {
 		devs = append(devs, name)
@@ -282,7 +320,10 @@ func (m *Metrics) Snapshot() []Counter {
 		add("disk."+name+".queue_samples", dm.QueueSamples)
 		add("disk."+name+".queue_sum", dm.QueueSum)
 		add("disk."+name+".queue_peak", dm.QueuePeak)
+		add("disk."+name+".cluster_runs", dm.ClusterRuns)
+		add("disk."+name+".cluster_len", dm.ClusterBlocks)
 	}
+	add("disk.cluster_len", m.ClusterLen())
 	add("net.tx_bytes", m.NetTxBytes)
 	add("net.rx_bytes", m.NetRxBytes)
 	add("splice.bytes", m.SpliceBytes)
@@ -327,6 +368,10 @@ func (m *Metrics) Format(w io.Writer) {
 		fmt.Fprintf(w, "cache: hits=%d misses=%d ratio=%.1f%% flushed=%d\n",
 			m.BufHits, m.BufMisses, 100*m.CacheHitRatio(), m.BufFlushed)
 	}
+	if m.BufRaIssued+m.BufRaWaste > 0 {
+		fmt.Fprintf(w, "readahead: issued=%d hits=%d waste=%d\n",
+			m.BufRaIssued, m.BufRaHits, m.BufRaWaste)
+	}
 
 	devs := make([]string, 0, len(m.disks))
 	for name := range m.disks {
@@ -345,6 +390,11 @@ func (m *Metrics) Format(w io.Writer) {
 		}
 		fmt.Fprintf(w, "disk %s: reads=%d writes=%d errors=%d busy=%v util=%.1f%% queue mean=%.2f peak=%d\n",
 			name, dm.Reads, dm.Writes, dm.Errors, dm.Busy, util, mean, dm.QueuePeak)
+		if dm.ClusterRuns > 0 {
+			fmt.Fprintf(w, "  clusters: runs=%d blocks=%d mean len=%.2f\n",
+				dm.ClusterRuns, dm.ClusterBlocks,
+				float64(dm.ClusterBlocks)/float64(dm.ClusterRuns))
+		}
 	}
 
 	if m.EventCount[KindNetTx]+m.EventCount[KindNetRx]+m.EventCount[KindNetDrop] > 0 {

@@ -61,7 +61,7 @@ const (
 	KindCPUSwitch // context-switch overhead; Pid = incoming proc
 
 	// Buffer-cache events. Arg1 = block number; Name = device name.
-	KindBufHit
+	KindBufHit // Arg2 = 1 when the hit consumed a readahead buffer, else 0
 	KindBufMiss
 	KindBufFlush // periodic/forced dirty-buffer push; Arg1 = buffers queued
 
@@ -114,6 +114,10 @@ const (
 	KindKernelPoll  // poll returned; Pid = caller, Arg1 = fds scanned, Arg2 = fds ready
 	KindServerReady // event loop dispatched a ready descriptor; Arg1 = fd, Arg2 = revents bits; Name = server name
 
+	// Buffer-cache readahead and write clustering. Name = device name.
+	KindBufReadahead // Arg1 = blkno; Arg2 = in-flight readaheads after issue (>= 1), or -1 when a never-referenced readahead buffer is retired (waste)
+	KindDiskCluster  // contiguous dirty run issued back to back by a flush; Arg1 = starting blkno, Arg2 = run length in blocks (>= 2)
+
 	kindMax // count sentinel; keep last
 )
 
@@ -164,6 +168,8 @@ var kindNames = [kindMax]string{
 	KindFSRepair:        "fs.repair",
 	KindKernelPoll:      "kernel.poll",
 	KindServerReady:     "server.ready",
+	KindBufReadahead:    "buf.readahead",
+	KindDiskCluster:     "disk.cluster",
 }
 
 // String returns the kind's canonical dotted name.
@@ -264,6 +270,13 @@ func (ev Event) String() string {
 		return fmt.Sprintf("kernel.poll pid%d nfds=%d ready=%d", ev.Pid, ev.Arg1, ev.Arg2)
 	case KindServerReady:
 		return fmt.Sprintf("server.ready %s fd=%d revents=%#x", ev.Name, ev.Arg1, ev.Arg2)
+	case KindBufReadahead:
+		if ev.Arg2 < 0 {
+			return fmt.Sprintf("buf.readahead %s blk %d wasted", ev.Name, ev.Arg1)
+		}
+		return fmt.Sprintf("buf.readahead %s blk %d inflight=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindDiskCluster:
+		return fmt.Sprintf("disk.cluster %s blk %d..%d len=%d", ev.Name, ev.Arg1, ev.Arg1+ev.Arg2-1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}

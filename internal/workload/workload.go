@@ -191,6 +191,94 @@ func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
 	return res, nil
 }
 
+// ReadResult reports one read-only workload (the cache sweep's
+// sequential and random readers).
+type ReadResult struct {
+	Bytes   int64
+	Elapsed sim.Duration
+}
+
+// ThroughputKBs returns the read throughput in kilobytes per second.
+func (r ReadResult) ThroughputKBs() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Elapsed.Seconds()
+}
+
+// ReadSequential scans path start to finish in bufSize chunks — the
+// access pattern the adaptive readahead engine detects. Each chunk
+// continues where the previous one ended, so the per-inode window
+// grows to the filesystem's cap and asynchronous block fetches overlap
+// the copy-out loop.
+func ReadSequential(p *kernel.Proc, path string, bufSize int) (ReadResult, error) {
+	start := p.Now()
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	res := ReadResult{}
+	buf := make([]byte, bufSize)
+	for {
+		n, err := p.Read(fd, buf)
+		if err != nil {
+			_ = p.Close(fd)
+			return res, err
+		}
+		if n == 0 {
+			break
+		}
+		res.Bytes += int64(n)
+	}
+	if err := p.Close(fd); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now().Sub(start)
+	return res, nil
+}
+
+// ReadRandom performs count reads of bufSize bytes at seed-derived
+// offsets — the pattern that must collapse the readahead window. The
+// offset sequence is a pure function of the seed, so the workload is
+// deterministic and byte-identical across replays.
+func ReadRandom(p *kernel.Proc, path string, bufSize, count int, seed uint64) (ReadResult, error) {
+	start := p.Now()
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	size, err := p.FileSize(fd)
+	if err != nil {
+		_ = p.Close(fd)
+		return ReadResult{}, err
+	}
+	span := size - int64(bufSize)
+	if span < 1 {
+		span = 1
+	}
+	r := sim.NewRand(seed)
+	res := ReadResult{}
+	buf := make([]byte, bufSize)
+	for i := 0; i < count; i++ {
+		off := r.Int63n(span)
+		if _, err := p.Lseek(fd, off, kernel.SeekSet); err != nil {
+			_ = p.Close(fd)
+			return res, err
+		}
+		n, err := p.Read(fd, buf)
+		if err != nil {
+			_ = p.Close(fd)
+			return res, err
+		}
+		res.Bytes += int64(n)
+	}
+	if err := p.Close(fd); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now().Sub(start)
+	return res, nil
+}
+
 // LoopCopy repeatedly copies src to dst (re-establishing a cold cache
 // for the source each round) until *stop becomes true, returning the
 // number of completed rounds and total bytes. It keeps the copy load

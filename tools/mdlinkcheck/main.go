@@ -1,0 +1,100 @@
+// Command mdlinkcheck verifies that every relative link in the repo's
+// markdown files points at a file that exists. It walks the tree given
+// as its argument (default "."), extracts [text](target) links, and
+// resolves each relative target against the linking file's directory.
+// External URLs (with a scheme) and pure in-page anchors (#...) are
+// skipped; a "path#anchor" target is checked for the path part only.
+//
+// Exit status is nonzero if any link is dead, so `make linkcheck` can
+// gate CI on documentation staying consistent with the tree.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links. Reference-style links and
+// autolinks are rare in this repo and not checked.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dead := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Don't descend into VCS metadata.
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		dead += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		os.Exit(2)
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d dead link(s)\n", dead)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of dead relative links in one file,
+// printing each.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %s: %v\n", path, err)
+		return 1
+	}
+	dead := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if !relative(target) {
+				continue
+			}
+			if hash := strings.IndexByte(target, '#'); hash >= 0 {
+				target = target[:hash]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: dead link %s (%s)\n", path, i+1, m[1], resolved)
+				dead++
+			}
+		}
+	}
+	return dead
+}
+
+// relative reports whether a link target is a relative file path (as
+// opposed to an external URL, an in-page anchor, or an absolute path
+// outside the repo's control).
+func relative(target string) bool {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return false
+	}
+	if strings.HasPrefix(target, "#") || strings.HasPrefix(target, "/") {
+		return false
+	}
+	return true
+}
