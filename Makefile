@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench tables trace-ci server-ci crash-ci cover linkcheck ci
+.PHONY: all build test vet fmt race check bench tables trace-ci server-ci crash-ci vm-ci cover linkcheck ci
 
 all: build
 
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: gofmt must have nothing to rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -56,7 +61,7 @@ crash-ci:
 # `go test -cover`'s "coverage: NN.N% of statements" line per package.
 COVER_FLOOR ?= 75.0
 COVER_PKGS := ./internal/kernel/ ./internal/stream/ ./internal/server/ \
-	./internal/buf/ ./internal/disk/
+	./internal/buf/ ./internal/disk/ ./internal/fs/ ./internal/vm/
 cover:
 	$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
 		{ print } \
@@ -79,4 +84,12 @@ server-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep server > $(TRACE_DIR)/kdp-server-b.txt
 	cmp $(TRACE_DIR)/kdp-server-a.txt $(TRACE_DIR)/kdp-server-b.txt
 
-ci: vet build race check cover linkcheck crash-ci trace-ci server-ci
+# VM gate: regenerate the mmap-vs-read-vs-splice ablation twice (second
+# run under GOMAXPROCS=1) and require byte-identical tables — demand
+# paging, COW, and the clock pageout must be deterministic end to end.
+vm-ci:
+	$(GO) run ./cmd/kdpbench -sweep vm > $(TRACE_DIR)/kdp-vm-a.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep vm > $(TRACE_DIR)/kdp-vm-b.txt
+	cmp $(TRACE_DIR)/kdp-vm-a.txt $(TRACE_DIR)/kdp-vm-b.txt
+
+ci: fmt vet build race check cover linkcheck crash-ci trace-ci server-ci vm-ci

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	kdptrace [-disk RZ58] [-kb 64] [-n 40] [-stats] [-json out.json]
+//	kdptrace [-disk RZ58] [-kb 64] [-mcp] [-n 40] [-stats] [-json out.json]
 package main
 
 import (
@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	kb := fl.Int64("kb", 64, "file size in kilobytes")
 	limit := fl.Int("n", 40, "maximum trace lines to print (negative = all, 0 = none)")
 	stats := fl.Bool("stats", false, "print the counter snapshot instead of trace lines")
+	mcp := fl.Bool("mcp", false, "trace the mmap copy (mcp) instead of the splice: page faults, pageins, pageouts")
 	jsonOut := fl.String("json", "", "export the full run as Chrome trace-event JSON to this file")
 	serverN := fl.Int("server", 0, "trace the server scenario at this fan-out instead of the splice: one section per engine/mode (cp, scp, event, escp)")
 	if err := fl.Parse(args); err != nil {
@@ -74,10 +75,15 @@ func run(args []string, out io.Writer) error {
 	tr := m.K.StartTrace(col)
 
 	var st splice.Stats
+	var res workload.CopyResult
 	var usr, sys sim.Duration
 	var nsys, nvol, ninv int64
 	spliceFrom := 0
-	m.K.Spawn("scp", func(p *kernel.Proc) {
+	name := "scp"
+	if *mcp {
+		name = "mcp"
+	}
+	m.K.Spawn(name, func(p *kernel.Proc) {
 		defer func() {
 			usr, sys = p.UserTime(), p.SysTime()
 			nsys = p.Syscalls()
@@ -92,7 +98,15 @@ func run(args []string, out io.Writer) error {
 		if err := workload.ColdStart(p, m.Cache, m.Devices()...); err != nil {
 			panic(err)
 		}
-		spliceFrom = len(col.Events) // trace lines cover only the splice itself
+		spliceFrom = len(col.Events) // trace lines cover only the copy itself
+		if *mcp {
+			var err error
+			res, err = workload.Copy(p, workload.DefaultCopySpec("/src/file", "/dst/copy", workload.CopyMmap))
+			if err != nil {
+				panic(err)
+			}
+			return
+		}
 		src, _ := p.Open("/src/file", kernel.ORdOnly)
 		dst, _ := p.Open("/dst/copy", kernel.OCreat|kernel.OWrOnly)
 		_, h, err := splice.SpliceOpts(p, src, dst, splice.EOF, splice.Options{})
@@ -103,9 +117,15 @@ func run(args []string, out io.Writer) error {
 	})
 	m.Run()
 
-	fmt.Fprintf(out, "splice of %dKB on %s: reads=%d writes=%d shared=%d callouts=%d peak=%d/%d\n",
-		*kb, kind, st.ReadsIssued, st.WritesIssued, st.Shared,
-		st.Callouts, st.PeakReads, st.PeakWrites)
+	if *mcp {
+		mm := tr.Metrics()
+		fmt.Fprintf(out, "mcp of %dKB on %s: bytes=%d faults=%d pageins=%d pageouts=%d cows=%d\n",
+			*kb, kind, res.Bytes, mm.VMFaults, mm.VMPageins, mm.VMPageouts, mm.VMCows)
+	} else {
+		fmt.Fprintf(out, "splice of %dKB on %s: reads=%d writes=%d shared=%d callouts=%d peak=%d/%d\n",
+			*kb, kind, st.ReadsIssued, st.WritesIssued, st.Shared,
+			st.Callouts, st.PeakReads, st.PeakWrites)
+	}
 	kst := m.K.Stats()
 	fmt.Fprintf(out, "process rusage: user=%v sys=%v syscalls=%d ctxsw=%d/%d (vol/invol)\n",
 		usr, sys, nsys, nvol, ninv)
@@ -153,8 +173,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, l)
 	}
 	if n < len(lines) {
-		fmt.Fprintf(out, "... (%d more trace lines; rerun with: kdptrace -disk %s -kb %d -n -1)\n",
-			len(lines)-n, kind, *kb)
+		mcpFlag := ""
+		if *mcp {
+			mcpFlag = " -mcp"
+		}
+		fmt.Fprintf(out, "... (%d more trace lines; rerun with: kdptrace -disk %s -kb %d%s -n -1)\n",
+			len(lines)-n, kind, *kb, mcpFlag)
 	}
 	return nil
 }

@@ -113,6 +113,59 @@ func TestServerStatsGolden(t *testing.T) {
 	}
 }
 
+// TestVMStatsGolden pins the counter snapshot of the traced mmap copy,
+// including the vm: line (faults, pageins, pageouts, COWs) the VM
+// subsystem introduces. The simulation is fully deterministic, so a
+// diff here means a behavior change in the modeled kernel, not
+// flakiness. Regenerate when the cost model shifts:
+//
+//	go run ./cmd/kdptrace -disk RAM -kb 64 -mcp -stats > cmd/kdptrace/testdata/vm_stats.golden
+func TestVMStatsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "64", "-mcp", "-stats"}, &out); err != nil {
+		t.Fatalf("run -mcp -stats: %v", err)
+	}
+	want, err := os.ReadFile("testdata/vm_stats.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("vm stats differ from golden:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+	// The snapshot must pin the VM counters, not just run.
+	for _, counter := range []string{"vm: faults=", "pageins=", "pageouts=", "mmap=", "msync=", "munmap="} {
+		if !strings.Contains(out.String(), counter) {
+			t.Errorf("stats missing %q counter:\n%s", counter, out.String())
+		}
+	}
+}
+
+// TestMcpTrace covers the -mcp trace-line mode: vm events render in
+// the stream, and the truncation notice quotes the exact rerun command
+// including the -mcp flag.
+func TestMcpTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "64", "-mcp", "-n", "-1"}, &out); err != nil {
+		t.Fatalf("run -mcp: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "mcp of 64KB on RAM") {
+		t.Errorf("missing mcp summary:\n%s", got)
+	}
+	for _, want := range []string{"vm.fault", "vm.pagein", "vm.pageout"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("full -mcp trace missing %q event", want)
+		}
+	}
+	var short bytes.Buffer
+	if err := run([]string{"-disk", "RAM", "-kb", "64", "-mcp", "-n", "2"}, &short); err != nil {
+		t.Fatalf("run -mcp -n 2: %v", err)
+	}
+	if !strings.Contains(short.String(), "kdptrace -disk RAM -kb 64 -mcp -n -1") {
+		t.Errorf("truncation notice missing -mcp rerun command:\n%s", short.String())
+	}
+}
+
 func TestServerModeSummary(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-server", "1"}, &out); err != nil {

@@ -13,6 +13,7 @@ import (
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
 	"kdp/internal/trace"
+	"kdp/internal/vm"
 )
 
 // TraceSinkFactory, when non-nil, is consulted once per NewMachine: a
@@ -98,6 +99,11 @@ type Setup struct {
 	// windows, negative values disable readahead entirely. The cache
 	// sweep uses this for its readahead on/off comparison.
 	ReadaheadMax int
+	// VMPages sizes the machine's page pool for mmap'd file I/O, in
+	// 8KB page frames; 0 selects the default 256 (2MB — well under the
+	// 8MB working set, so the clock pageout is exercised). Negative
+	// disables the VM subsystem entirely.
+	VMPages int
 	// Label names this machine's run in exported traces (see
 	// TraceSinkFactory). The Measure* helpers fill it in when empty.
 	Label string
@@ -119,12 +125,14 @@ func DefaultSetup(k DiskKind) Setup {
 const BlockSize = 8192
 
 // Machine is a booted experiment machine: two disks with a filesystem
-// each, mounted at /src and /dst.
+// each, mounted at /src and /dst, and a VM page pool backing mmap'd
+// file I/O.
 type Machine struct {
 	K     *kernel.Kernel
 	Cache *buf.Cache
 	Disks [2]*disk.Disk
 	FSs   [2]*fs.FS
+	Pool  *vm.Pool
 	setup Setup
 }
 
@@ -156,6 +164,14 @@ func NewMachine(s Setup) *Machine {
 		}
 	}
 	m := &Machine{K: k, Cache: buf.NewCache(k, s.CacheBufs, BlockSize), setup: s}
+	if s.VMPages >= 0 {
+		pages := s.VMPages
+		if pages == 0 {
+			pages = 256
+		}
+		m.Pool = vm.NewPool(k, pages, BlockSize)
+		k.SetVM(m.Pool)
+	}
 	for i := range m.Disks {
 		dp := s.Disk.Params(s.DiskBlocks, BlockSize)
 		// Distinguish the two drives in traces and per-disk metrics.
@@ -192,6 +208,9 @@ func (m *Machine) Boot(p *kernel.Proc) error {
 			f.SetReadahead(m.setup.ReadaheadMax)
 		case m.setup.ReadaheadMax < 0:
 			f.SetReadahead(0)
+		}
+		if m.Pool != nil {
+			f.SetPager(m.Pool)
 		}
 		m.FSs[i] = f
 		m.K.Mount(mounts[i], f)

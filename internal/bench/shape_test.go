@@ -91,6 +91,40 @@ func TestShapeTable1(t *testing.T) {
 	}
 }
 
+func TestShapeVMSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	// The mmap data path on the RAM disk: no kernel copyout/copyin, so
+	// mcp must beat cp on throughput and consume less CPU — the same
+	// availability argument the paper makes for splice, bought with
+	// priced page faults instead of an in-kernel data path.
+	cp := measureVMCell(RAM, workload.CopyReadWrite)
+	mcp := measureVMCell(RAM, workload.CopyMmap)
+	scp := measureVMCell(RAM, workload.CopySplice)
+	if mcp.kbs <= cp.kbs {
+		t.Errorf("RAM mcp %.0f KB/s not above cp %.0f", mcp.kbs, cp.kbs)
+	}
+	if mcp.busy >= cp.busy {
+		t.Errorf("RAM mcp CPU busy %v not below cp %v", mcp.busy, cp.busy)
+	}
+	// mmap still surfaces every byte to user space; splice must keep
+	// the best CPU availability of the three.
+	if scp.busy >= mcp.busy {
+		t.Errorf("RAM scp CPU busy %v not below mcp %v", scp.busy, mcp.busy)
+	}
+	// The faults are the priced mechanism: 8MB through a 256-frame
+	// pool must fault at least once per page of each file and page out
+	// the whole destination.
+	if mcp.faults < 2048 || mcp.pageins < 2048 || mcp.pageouts < 1024 {
+		t.Errorf("mcp VM activity too low: faults=%d pageins=%d pageouts=%d",
+			mcp.faults, mcp.pageins, mcp.pageouts)
+	}
+	if cp.faults != 0 || scp.faults != 0 {
+		t.Errorf("cp/scp took page faults: %d/%d", cp.faults, scp.faults)
+	}
+}
+
 func TestShapeFsyncMethodologyMatters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale experiment")

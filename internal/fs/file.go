@@ -247,6 +247,20 @@ func (fl *File) Sync(ctx kernel.Ctx) error {
 	if fl.closed {
 		return kernel.ErrBadFD
 	}
+	return fl.syncInode(ctx)
+}
+
+// syncInode is the body of Sync, shared with the VM layer's PageFlush
+// (a mapping outlives its descriptor, so msync must sync a file whose
+// fd is closed). Dirty mapped pages are paged out into the cache first
+// so fsync's durability contract covers stores made through mmap.
+func (fl *File) syncInode(ctx kernel.Ctx) error {
+	f := fl.fs
+	if f.pager != nil {
+		if err := f.pager.PageoutObject(ctx, f.dev.DevName(), fl.ip.ino); err != nil {
+			return err
+		}
+	}
 	ip := fl.ip
 	ip.lock(ctx)
 	defer ip.unlock()

@@ -77,6 +77,17 @@ type Config struct {
 	// charged at interrupt level.
 	SpliceHandlerCost sim.Duration
 
+	// PageFaultCost is the fixed trap cost of taking a page fault
+	// (vector dispatch, fault decode, address-space lookup), charged
+	// before the fault is resolved. Resolution adds PageMapCost and,
+	// for a pagein, the buffer-cache read it triggers.
+	PageFaultCost sim.Duration
+
+	// PageMapCost is the per-page map manipulation cost (pmap enter /
+	// remove / protection change) charged whenever a page is entered
+	// into, removed from, or write-enabled in an address space.
+	PageMapCost sim.Duration
+
 	// MaxRunTime aborts a simulation that exceeds this much virtual
 	// time, as a watchdog against livelock in experiments. Zero means
 	// no limit.
@@ -104,6 +115,8 @@ func DefaultConfig() Config {
 		SleepWakeupCost:     45 * sim.Microsecond,
 		PollFdCost:          8 * sim.Microsecond,
 		SpliceHandlerCost:   30 * sim.Microsecond,
+		PageFaultCost:       60 * sim.Microsecond,
+		PageMapCost:         15 * sim.Microsecond,
 		MaxRunTime:          0,
 		Seed:                1,
 	}

@@ -43,6 +43,7 @@ type Kernel struct {
 
 	mounts []mountEntry
 	devs   []devEntry
+	vm     AddressSpaceProvider // mmap/munmap/msync backend (internal/vm)
 
 	// accounting
 	idleTime   sim.Duration
@@ -172,6 +173,7 @@ func procMain(p *Proc) {
 						p.panicVal = r
 					}
 				}()
+				p.runAtExit()
 				p.closeAllFDs()
 			}()
 		}

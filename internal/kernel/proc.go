@@ -106,6 +106,10 @@ type Proc struct {
 	// file descriptors
 	fds []*FDesc
 
+	// exit hooks (address-space teardown), run LIFO in process
+	// context before descriptor teardown
+	atExit []func(*Proc)
+
 	// accounting
 	utime sim.Duration // user-mode CPU consumed
 	stime sim.Duration // kernel-mode CPU consumed
@@ -215,6 +219,23 @@ func (p *Proc) SleepFor(d sim.Duration) {
 	k.Timeout(func() { k.Wakeup(ch) }, ticks)
 	// Uninterruptible: purely a timing primitive.
 	_ = p.Sleep(ch, PSLEP-30) // below PZERO: not signal-interruptible
+}
+
+// AtExit registers fn to run when the process exits, in process
+// context (it may sleep), before descriptor teardown. Hooks run in
+// LIFO order. The VM layer uses this to release leftover mappings so
+// a process cannot leak page frames or inode references.
+func (p *Proc) AtExit(fn func(*Proc)) {
+	p.atExit = append(p.atExit, fn)
+}
+
+// runAtExit invokes registered exit hooks LIFO, from the process's own
+// goroutine.
+func (p *Proc) runAtExit() {
+	for i := len(p.atExit) - 1; i >= 0; i-- {
+		p.atExit[i](p)
+	}
+	p.atExit = nil
 }
 
 // exit terminates the process from inside its own goroutine.

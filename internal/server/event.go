@@ -37,8 +37,8 @@ type econn struct {
 	state     econnState
 	remaining int64 // response bytes not yet read from the file
 	chunk     []byte
-	coff      int             // first unwritten byte of chunk
-	handle    *splice.Handle  // in-flight async splice (evSplicing)
+	coff      int            // first unwritten byte of chunk
+	handle    *splice.Handle // in-flight async splice (evSplicing)
 }
 
 // complPort is the pollable completion queue async splices report to:

@@ -19,12 +19,12 @@ import (
 // and both volumes check fsck-clean.
 
 // genCrashOps derives a crash-focused op sequence: single worker, the
-// plain file vocabulary with a heavy fsync bias (so most runs have
-// synced state to verify), splice file→file for the bypass write
-// engine, and exactly one power cut at a seed-derived boundary in the
-// middle half of the run. No fault or stream ops: the crash is the
-// disturbance under test, and the post-crash content checks need
-// checkable volumes.
+// plain file vocabulary with a heavy fsync/msync bias (so most runs
+// have synced state to verify), mmap stores for the pageout write path,
+// splice file→file for the bypass write engine, and exactly one power
+// cut at a seed-derived boundary in the middle half of the run. No
+// fault or stream ops: the crash is the disturbance under test, and the
+// post-crash content checks need checkable volumes.
 func genCrashOps(cfg Config) []*op {
 	r := sim.NewRand(cfg.Seed)
 	crashAt := cfg.Ops/4 + int(r.Int63n(int64(cfg.Ops/2+1)))
@@ -44,18 +44,22 @@ func genCrashOps(cfg Config) []*op {
 			think: sim.Duration(r.Intn(3)) * 700 * sim.Microsecond,
 		}
 		switch w := r.Intn(100); {
-		case w < 30:
+		case w < 26:
 			o.kind = opWrite
-		case w < 38:
+		case w < 34:
 			o.kind = opRead
-		case w < 42:
+		case w < 38:
 			o.kind = opSeqRead
-		case w < 48:
+		case w < 44:
 			o.kind = opTrunc
-		case w < 54:
+		case w < 50:
 			o.kind = opUnlink
-		case w < 84:
+		case w < 72:
 			o.kind = opFsync
+		case w < 78:
+			o.kind = opMmapWrite
+		case w < 84:
+			o.kind = opMsync
 		case w < 94:
 			o.kind = opSpliceFF
 			o.disk2 = r.Intn(2)
@@ -83,6 +87,12 @@ func (m *machine) doCrash(p *kernel.Proc, w int, o *op) {
 			m.fail(fmt.Errorf("crash: /d%d not quiescent: %d in-core inode(s) held", i, n))
 			return
 		}
+	}
+	// Same contract for the page pool: every mapping was unmapped by its
+	// op, so the power cut must find no mapped pages to corrupt.
+	if err := m.pool.CheckDrained(); err != nil {
+		m.fail(fmt.Errorf("crash: page pool not quiescent: %w", err))
+		return
 	}
 
 	// Power cut, per disk: queued transfers are dropped (their data
@@ -128,6 +138,7 @@ func (m *machine) doCrash(p *kernel.Proc, w int, o *op) {
 			m.fail(fmt.Errorf("crash: remount /d%d: %v", i, err))
 			return
 		}
+		f.SetPager(m.pool)
 		m.fss[i] = f
 		m.k.Mount(fmt.Sprintf("/d%d", i), f)
 	}

@@ -35,6 +35,9 @@ const (
 	opPollWait   // poll on a pipe fed by a delayed writer; ready ⇒ read can't block
 	opEventServe // single-process poll event loop serves stream clients on the lossy net
 	opSeqRead    // whole-file sequential scan; drives the adaptive readahead engine
+	opMmapRead   // map the file shared read-only, fault it in, verify against the oracle
+	opMmapWrite  // map shared read/write, store a pattern, munmap pages it out
+	opMsync      // mmap-write followed by msync: the mapped-file durability contract
 	opCrash      // power cut: discard volatile state, repair, remount (crash sweep only)
 )
 
@@ -72,6 +75,12 @@ func (o *op) describe() string {
 		return fmt.Sprintf("read d%d/f%d off=%d n=%d", o.disk, o.slot, o.off, o.size)
 	case opSeqRead:
 		return fmt.Sprintf("seq-read d%d/f%d chunk=%d", o.disk, o.slot, o.size)
+	case opMmapRead:
+		return fmt.Sprintf("mmap-read d%d/f%d", o.disk, o.slot)
+	case opMmapWrite:
+		return fmt.Sprintf("mmap-write d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
+	case opMsync:
+		return fmt.Sprintf("msync d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
 	case opTrunc:
 		return fmt.Sprintf("trunc d%d/f%d", o.disk, o.slot)
 	case opUnlink:
@@ -128,37 +137,43 @@ func genOps(cfg Config) []*op {
 			pat:    byte(1 + r.Intn(255)),
 			think:  sim.Duration(r.Intn(3)) * 700 * sim.Microsecond,
 		}
-		// Weighted kind selection: plain file traffic dominates, splice
-		// variants, readiness multiplexing, and fault/signal events
-		// season the mix.
+		// Weighted kind selection: plain file traffic dominates; mapped
+		// I/O, splice variants, readiness multiplexing, and fault/signal
+		// events season the mix.
 		switch w := r.Intn(100); {
-		case w < 21:
+		case w < 18:
 			o.kind = opWrite
-		case w < 33:
+		case w < 28:
 			o.kind = opRead
-		case w < 38:
+		case w < 33:
 			o.kind = opSeqRead
-		case w < 42:
+		case w < 37:
 			o.kind = opTrunc
-		case w < 46:
+		case w < 41:
 			o.kind = opUnlink
-		case w < 50:
+		case w < 45:
 			o.kind = opFsync
-		case w < 60:
+		case w < 49:
+			o.kind = opMmapRead
+		case w < 53:
+			o.kind = opMmapWrite
+		case w < 56:
+			o.kind = opMsync
+		case w < 64:
 			o.kind = opSpliceFF
-		case w < 65:
+		case w < 68:
 			o.kind = opSplicePipe
-		case w < 70:
+		case w < 72:
 			o.kind = opPipeSplice
 			o.size = 1 + r.Intn(maxStreamIO)
-		case w < 75:
+		case w < 76:
 			o.kind = opSpliceSock
-		case w < 78:
+		case w < 79:
 			o.kind = opSpliceSig
 			o.sigTicks = 1 + r.Intn(15)
-		case w < 80:
+		case w < 81:
 			o.kind = opTraceSnap
-		case w < 83:
+		case w < 84:
 			o.kind = opFault
 			o.faultDisk = r.Intn(2)
 			if o.faultDisk == 0 {
@@ -167,13 +182,13 @@ func genOps(cfg Config) []*op {
 				o.faultBlk = r.Int63n(d1Blocks)
 			}
 			o.faultRead = r.Intn(2) == 0
-		case w < 86:
+		case w < 87:
 			o.kind = opStreamConn
-		case w < 89:
+		case w < 90:
 			o.kind = opPollWait
 			o.sigTicks = 1 + r.Intn(10)
 			o.size = 1 + r.Intn(4<<10)
-		case w < 92:
+		case w < 93:
 			o.kind = opEventServe
 			o.size = 1 + r.Intn(maxStreamIO)
 		default:
@@ -243,6 +258,12 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.doRead(p, w, o)
 	case opSeqRead:
 		m.doSeqRead(p, w, o)
+	case opMmapRead:
+		m.doMmapRead(p, w, o)
+	case opMmapWrite:
+		m.doMmapWrite(p, w, o)
+	case opMsync:
+		m.doMsync(p, w, o)
 	case opTrunc:
 		m.doTrunc(p, w, o)
 	case opUnlink:

@@ -53,6 +53,7 @@ import (
 	"kdp/internal/splice"
 	"kdp/internal/stream"
 	"kdp/internal/trace"
+	"kdp/internal/vm"
 )
 
 // Machine geometry. Small on purpose: a 64-buffer cache and a nearly
@@ -65,6 +66,10 @@ const (
 	d1Blocks   = 220 // tight volume, RZ56 (ENOSPC under load)
 	ninodes    = 64
 	slotsPerWk = 4
+	// vmFrames keeps the page pool smaller than a single mapped file
+	// (files reach 80KB, ten pages), so every mmap op runs the clock
+	// pageout and reclaim paths, not just demand paging.
+	vmFrames = 8
 )
 
 // Config selects one harness run.
@@ -119,6 +124,7 @@ type machine struct {
 	// ops, so the datagram oracle on net keeps its no-loss assumptions
 	// while the transport's retransmission machinery sees real drops.
 	snet *socket.Net
+	pool *vm.Pool
 
 	oracle map[string]*ofile
 	log    []string
@@ -262,6 +268,8 @@ func execute(cfg Config, ops []*op) *Result {
 		}
 		m.disks[i] = d
 	}
+	m.pool = vm.NewPool(m.k, vmFrames, blockSize)
+	m.k.SetVM(m.pool)
 	m.net = socket.NewNet(m.k, socket.Loopback())
 	lossy := socket.Loopback()
 	lossy.DropEvery = 5
@@ -287,6 +295,7 @@ func execute(cfg Config, ops []*op) *Result {
 			if err != nil {
 				panic("simcheck: mount: " + err.Error())
 			}
+			f.SetPager(m.pool)
 			m.fss[i] = f
 			m.k.Mount(fmt.Sprintf("/d%d", i), f)
 		}
@@ -376,6 +385,9 @@ func (m *machine) checkInvariants() error {
 		if err := f.CheckLive(); err != nil {
 			return err
 		}
+	}
+	if err := m.pool.CheckInvariants(); err != nil {
+		return err
 	}
 	if err := m.tchk.Err(); err != nil {
 		return err
@@ -514,6 +526,12 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 		m.logf("fsck /d%d clean: %d inodes, %d used blocks", i, rep.Inodes, rep.UsedBlocks)
 	}
 
+	// Every mapping was unmapped by its op, so the page pool must be
+	// empty: a surviving page or address space is a leaked reference.
+	if err := m.pool.CheckDrained(); err != nil {
+		m.fail(err)
+		return
+	}
 	if err := splice.CheckDrained(); err != nil {
 		m.fail(err)
 		return

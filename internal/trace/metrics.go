@@ -66,6 +66,15 @@ type Metrics struct {
 	// across every poll return (Arg1/Arg2 of KindKernelPoll).
 	PollScannedFds int64
 	PollReadyFds   int64
+
+	// Virtual memory: page faults taken, pages filled from backing
+	// files, dirty mapped pages written back, and copy-on-write breaks
+	// (with the bytes those copies moved).
+	VMFaults   int64
+	VMPageins  int64
+	VMPageouts int64
+	VMCows     int64
+	VMCowBytes int64
 }
 
 // ProcCPU is per-process CPU accounting derived from the stream.
@@ -206,6 +215,15 @@ func (m *Metrics) observe(ev Event) {
 	case KindKernelPoll:
 		m.PollScannedFds += ev.Arg1
 		m.PollReadyFds += ev.Arg2
+	case KindVMFault:
+		m.VMFaults++
+	case KindVMPagein:
+		m.VMPageins++
+	case KindVMPageout:
+		m.VMPageouts++
+	case KindVMCOW:
+		m.VMCows++
+		m.VMCowBytes += ev.Arg2
 	}
 }
 
@@ -334,6 +352,11 @@ func (m *Metrics) Snapshot() []Counter {
 	add("stream.retx_peak_tries", m.StreamRetxPeakTries)
 	add("poll.scanned_fds", m.PollScannedFds)
 	add("poll.ready_fds", m.PollReadyFds)
+	add("vm.faults", m.VMFaults)
+	add("vm.pageins", m.VMPageins)
+	add("vm.pageouts", m.VMPageouts)
+	add("vm.cows", m.VMCows)
+	add("vm.cow_bytes", m.VMCowBytes)
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -423,6 +446,11 @@ func (m *Metrics) Format(w io.Writer) {
 	if n := m.EventCount[KindKernelPoll]; n > 0 {
 		fmt.Fprintf(w, "poll: returns=%d scanned=%d ready=%d\n",
 			n, m.PollScannedFds, m.PollReadyFds)
+	}
+
+	if m.VMFaults+m.VMPageins+m.VMPageouts+m.VMCows > 0 {
+		fmt.Fprintf(w, "vm: faults=%d pageins=%d pageouts=%d cows=%d cow_bytes=%d\n",
+			m.VMFaults, m.VMPageins, m.VMPageouts, m.VMCows, m.VMCowBytes)
 	}
 
 	if n := m.EventCount[KindCalloutFire]; n > 0 {

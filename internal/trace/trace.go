@@ -118,6 +118,13 @@ const (
 	KindBufReadahead // Arg1 = blkno; Arg2 = in-flight readaheads after issue (>= 1), or -1 when a never-referenced readahead buffer is retired (waste)
 	KindDiskCluster  // contiguous dirty run issued back to back by a flush; Arg1 = starting blkno, Arg2 = run length in blocks (>= 2)
 
+	// Virtual-memory subsystem (internal/vm). Name = backing device
+	// name ("" for anonymous memory).
+	KindVMFault   // page fault taken; Pid = faulter, Arg1 = mapped page index, Arg2 = 1 write / 0 read
+	KindVMPagein  // fault filled from the backing file; Arg1 = page index, Arg2 = physical block
+	KindVMPageout // dirty mapped page written back; Arg1 = page index, Arg2 = physical block
+	KindVMCOW     // private store broke sharing; Pid = faulter, Arg1 = page index, Arg2 = bytes copied
+
 	kindMax // count sentinel; keep last
 )
 
@@ -170,6 +177,10 @@ var kindNames = [kindMax]string{
 	KindServerReady:     "server.ready",
 	KindBufReadahead:    "buf.readahead",
 	KindDiskCluster:     "disk.cluster",
+	KindVMFault:         "vm.fault",
+	KindVMPagein:        "vm.pagein",
+	KindVMPageout:       "vm.pageout",
+	KindVMCOW:           "vm.cow",
 }
 
 // String returns the kind's canonical dotted name.
@@ -277,6 +288,18 @@ func (ev Event) String() string {
 		return fmt.Sprintf("buf.readahead %s blk %d inflight=%d", ev.Name, ev.Arg1, ev.Arg2)
 	case KindDiskCluster:
 		return fmt.Sprintf("disk.cluster %s blk %d..%d len=%d", ev.Name, ev.Arg1, ev.Arg1+ev.Arg2-1, ev.Arg2)
+	case KindVMFault:
+		mode := "read"
+		if ev.Arg2 != 0 {
+			mode = "write"
+		}
+		return fmt.Sprintf("vm.fault pid%d page %d (%s)", ev.Pid, ev.Arg1, mode)
+	case KindVMPagein:
+		return fmt.Sprintf("vm.pagein %s page %d blk %d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindVMPageout:
+		return fmt.Sprintf("vm.pageout %s page %d blk %d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindVMCOW:
+		return fmt.Sprintf("vm.cow pid%d page %d %dB", ev.Pid, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}

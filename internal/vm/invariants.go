@@ -1,0 +1,211 @@
+package vm
+
+import "fmt"
+
+// This file implements the VM invariant checker used by the simcheck
+// harness. The checks are structural — they walk the page pool, the
+// objects and the address spaces without doing I/O or sleeping — so
+// they are callable from any context, including the kernel's
+// scheduling loop between events.
+//
+// Invariant catalog (virtual memory):
+//
+//	vm-frame-overcommit  resident pages never exceed the pool size
+//	vm-clock-hand        the clock hand stays within the ring
+//	vm-frame-dup         a page frame appears in the ring exactly once
+//	vm-frame-owner       every ring page is owned: an object page is
+//	                     indexed by its object under the right key; an
+//	                     anonymous page is in some mapping's shadow
+//	vm-frame-leak        owned pages (object-resident + COW shadows)
+//	                     account for every frame in the ring — no
+//	                     leaked and no unlisted frames
+//	vm-dirty-unbacked    a dirty object page aliases a real block
+//	                     (write faults allocate before dirtying)
+//	vm-wired-count       wire counts are never negative
+//	vm-cow-isolation     an anonymous page belongs to exactly one
+//	                     private mapping's shadow (COW means private)
+//	vm-shadow-private    only private mappings carry shadow pages
+//	vm-obj-refcount      object.mappings equals the live mappings of it
+//	vm-obj-leak          an object with zero mappings has been freed
+//	vm-wok-subset        write-enabled pages are a subset of entered
+//	                     pages in every mapping
+//	vm-addr-range        every mapping lies within its space's
+//	                     allocated address range
+//
+// A violation is reported as an *InvariantError naming the invariant.
+
+// InvariantError describes one violated VM invariant.
+type InvariantError struct {
+	Name   string // invariant identifier, e.g. "vm-frame-leak"
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return "invariant " + e.Name + " violated: " + e.Detail
+}
+
+func violation(name, format string, args ...any) error {
+	return &InvariantError{Name: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckInvariants verifies the pool's structural invariants, returning
+// the first violation found (nil if consistent). It never sleeps and
+// performs no I/O, so the simcheck probe can run it at every
+// scheduling boundary.
+func (v *Pool) CheckInvariants() error {
+	if len(v.ring) > v.nframes {
+		return violation("vm-frame-overcommit", "%d resident pages in a %d-frame pool", len(v.ring), v.nframes)
+	}
+	if v.hand < 0 || v.hand > len(v.ring) {
+		return violation("vm-clock-hand", "hand=%d with %d resident pages", v.hand, len(v.ring))
+	}
+
+	// Collect the anonymous pages owned by shadows and validate the
+	// per-mapping structures on the way.
+	shadowOwners := make(map[*page]int)
+	objRefs := make(map[*object]int)
+	for _, pid := range sortedSpaceIDs(v.spaces) {
+		as := v.spaces[pid]
+		for _, m := range as.maps {
+			if m.addr < mapBase || m.addr+m.npages*int64(v.pageSize) > as.brk {
+				return violation("vm-addr-range", "pid %d mapping at %#x..%#x outside space range", pid, m.addr, m.addr+m.npages*int64(v.pageSize))
+			}
+			objRefs[m.obj]++
+			if len(m.shadow) > 0 && !m.private() {
+				return violation("vm-shadow-private", "pid %d shared mapping at %#x has %d shadow pages", pid, m.addr, len(m.shadow))
+			}
+			for idx := range m.wok {
+				if !m.valid[idx] {
+					return violation("vm-wok-subset", "pid %d mapping at %#x: page %d write-enabled but not entered", pid, m.addr, idx)
+				}
+			}
+			for idx, pg := range m.shadow {
+				if pg.obj != nil {
+					return violation("vm-cow-isolation", "pid %d shadow page %d still belongs to object %s/%d", pid, idx, pg.obj.dev, pg.obj.ino)
+				}
+				shadowOwners[pg]++
+			}
+		}
+	}
+
+	// Object-side accounting.
+	resident := 0
+	for key, obj := range v.objects {
+		if obj.mappings <= 0 {
+			return violation("vm-obj-leak", "object %s/%d alive with %d mappings", key.dev, key.ino, obj.mappings)
+		}
+		if objRefs[obj] != obj.mappings {
+			return violation("vm-obj-refcount", "object %s/%d says %d mappings, address spaces hold %d", key.dev, key.ino, obj.mappings, objRefs[obj])
+		}
+		if obj.dev != key.dev || obj.ino != key.ino {
+			return violation("vm-frame-owner", "object keyed %s/%d identifies as %s/%d", key.dev, key.ino, obj.dev, obj.ino)
+		}
+		resident += len(obj.pages)
+	}
+	for obj, refs := range objRefs {
+		if v.objects[objKey{obj.dev, obj.ino}] != obj {
+			return violation("vm-obj-leak", "mapped object %s/%d (%d refs) not in the pool table", obj.dev, obj.ino, refs)
+		}
+	}
+
+	// Ring walk: ownership, duplicates, dirty discipline.
+	seen := make(map[*page]bool, len(v.ring))
+	for _, pg := range v.ring {
+		if seen[pg] {
+			return violation("vm-frame-dup", "page (obj=%v idx=%d) in ring twice", pg.obj != nil, pg.idx)
+		}
+		seen[pg] = true
+		if pg.wired < 0 {
+			return violation("vm-wired-count", "page idx=%d wired=%d", pg.idx, pg.wired)
+		}
+		if pg.obj != nil {
+			if v.objects[objKey{pg.obj.dev, pg.obj.ino}] != pg.obj || pg.obj.pages[pg.idx] != pg {
+				return violation("vm-frame-owner", "object page %s/%d idx=%d not indexed by its object", pg.obj.dev, pg.obj.ino, pg.idx)
+			}
+			if pg.dirty && pg.blk == 0 {
+				return violation("vm-dirty-unbacked", "dirty page %s/%d idx=%d has no block", pg.obj.dev, pg.obj.ino, pg.idx)
+			}
+		} else {
+			switch shadowOwners[pg] {
+			case 1:
+			case 0:
+				return violation("vm-frame-owner", "anonymous page idx=%d owned by no mapping", pg.idx)
+			default:
+				return violation("vm-cow-isolation", "anonymous page idx=%d owned by %d mappings", pg.idx, shadowOwners[pg])
+			}
+		}
+	}
+	total := resident + len(shadowOwners)
+	if total != len(v.ring) {
+		return violation("vm-frame-leak", "%d owned pages (%d object + %d anonymous) but %d frames in ring", total, resident, len(shadowOwners), len(v.ring))
+	}
+	for pg := range shadowOwners {
+		if !seen[pg] {
+			return violation("vm-frame-leak", "shadow page idx=%d not in the ring", pg.idx)
+		}
+	}
+	return nil
+}
+
+// CheckDrained verifies the quiescent end-of-run state: every mapping
+// unmapped, every object released, every frame free. Address spaces of
+// still-live processes may exist, but must be empty.
+func (v *Pool) CheckDrained() error {
+	for _, pid := range sortedSpaceIDs(v.spaces) {
+		if n := len(v.spaces[pid].maps); n > 0 {
+			return violation("vm-map-leak", "pid %d still holds %d mappings at drain", pid, n)
+		}
+	}
+	if n := len(v.objects); n > 0 {
+		return violation("vm-obj-leak", "%d objects alive at drain", n)
+	}
+	if n := len(v.ring); n > 0 {
+		return violation("vm-frame-leak", "%d frames resident at drain", n)
+	}
+	return v.CheckInvariants()
+}
+
+// Damage corrupts the pool's structures for invariant self-tests. The
+// kinds mirror the catalog: "ring-orphan" plants an unowned frame,
+// "dirty-unbacked" dirties a blockless page, "hand" pushes the clock
+// hand out of range, "refcount" skews an object's mapping count.
+func (v *Pool) Damage(kind string) {
+	v.damaged = kind
+	switch kind {
+	case "ring-orphan":
+		v.ring = append(v.ring, &page{data: make([]byte, v.pageSize)})
+	case "dirty-unbacked":
+		v.ring = append(v.ring, &page{data: make([]byte, v.pageSize)})
+		// also owned by nobody, but dirty-unbacked needs an object page:
+		for _, obj := range v.objects {
+			for _, pg := range obj.pages {
+				pg.dirty = true
+				pg.blk = 0
+				v.ring = v.ring[:len(v.ring)-1]
+				return
+			}
+		}
+	case "hand":
+		v.hand = len(v.ring) + 3
+	case "refcount":
+		for _, obj := range v.objects {
+			obj.mappings++
+			return
+		}
+	default:
+		panic("vm: unknown damage kind " + kind)
+	}
+}
+
+func sortedSpaceIDs(m map[int]*space) []int {
+	ids := make([]int, 0, len(m))
+	for pid := range m {
+		ids = append(ids, pid)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,724 @@
+// Package vm is the virtual-memory subsystem: per-process address
+// spaces, demand-paged mmap file I/O unified with the buffer cache,
+// copy-on-write private mappings, and clock-algorithm page
+// replacement.
+//
+// The design mirrors the unified caches the paper's era was converging
+// on (SunOS 4, SVR4, later UVM): a mapped file is a single object per
+// (device, inode) no matter how many processes map it; a page fault is
+// a priced trap (Config.PageFaultCost + Config.PageMapCost) that pages
+// in through the ordinary buffer cache (a pagein is a Bread, so mapped
+// pages alias cache blocks and a shared-mapping read moves zero bytes
+// through user/kernel copies); a dirty mapped page goes back as a
+// delayed write, indistinguishable from write() data to the flush
+// daemon, fsync, and the sticky per-device error latch.
+//
+// There is no page-daemon process: kernel.Run exits when the last
+// process does, so a perpetual daemon would hang every machine.
+// Instead the clock algorithm runs synchronously in the faulting
+// process's context when the pool is full (reclaimFrame), which is the
+// modeled equivalent of waking the pagedaemon at the low-water mark —
+// the work is charged to the machine either way, and determinism is
+// preserved because it happens at a fixed point in the fault path.
+//
+// Layering: vm imports only kernel (and trace/sim). The filesystem
+// side of the contract is structural: *fs.File satisfies Backing and
+// *Pool satisfies fs.Pager, so neither package imports the other.
+package vm
+
+import (
+	"sort"
+
+	"kdp/internal/kernel"
+	"kdp/internal/sim"
+	"kdp/internal/trace"
+)
+
+// Backing is the per-object backing store a mapped file provides
+// (implemented structurally by *fs.File). Pages are one filesystem
+// block: the pool's page size must equal the backing block size, which
+// is what lets a resident page alias its cache block.
+type Backing interface {
+	// MapRef takes a mapping reference: the object must stay valid
+	// after the fd it was mapped from is closed.
+	MapRef(ctx kernel.Ctx)
+	// MapUnref drops the MapRef reference.
+	MapUnref(ctx kernel.Ctx) error
+	// MapKey identifies the object: (device name, inode number).
+	MapKey() (dev string, ino uint32)
+	// MapSize returns the current file size.
+	MapSize(ctx kernel.Ctx) (int64, error)
+	// MapSetSize extends the file size (never shrinks it).
+	MapSetSize(ctx kernel.Ctx, n int64)
+	// PageIn fills dst with page idx, returning the physical block it
+	// aliases (0 for a hole/past-EOF zero page). With alloc set, holes
+	// are allocated zero-filled first (write faults need a block).
+	PageIn(ctx kernel.Ctx, idx int64, dst []byte, alloc bool) (int64, error)
+	// PageOut writes a page back into the cache as a delayed write on
+	// its aliased block.
+	PageOut(ctx kernel.Ctx, blk int64, src []byte) error
+	// PageFlush forces the whole file (data, inode, inode table) to
+	// stable storage and surfaces any latched async write error:
+	// msync's durability is fsync's.
+	PageFlush(ctx kernel.Ctx) error
+}
+
+// page is one page frame. A page belongs either to an object (obj !=
+// nil: a cached page of a mapped file, aliasing cache block blk) or to
+// exactly one private mapping's shadow (obj == nil: an anonymous
+// copy-on-write page, never paged out — there is no swap device in the
+// model, so anonymous pages are resident for the mapping's lifetime).
+type page struct {
+	obj   *object
+	idx   int64 // object page index (file offset / page size)
+	blk   int64 // aliased physical block; 0 = zero-fill page, no block
+	data  []byte
+	dirty bool
+	ref   bool // clock reference bit
+	busy  bool // pagein/pageout in flight; waiters sleep on the page
+	wired int  // transient pins held across scheduling points
+}
+
+// object is the per-(device, inode) set of resident pages, shared by
+// every mapping of the file.
+type object struct {
+	backing  Backing
+	dev      string
+	ino      uint32
+	pages    map[int64]*page
+	mappings int
+}
+
+type objKey struct {
+	dev string
+	ino uint32
+}
+
+// mapping is one contiguous mmap region in one address space.
+type mapping struct {
+	addr   int64
+	length int64 // bytes requested (the region spans whole pages)
+	npages int64
+	pgoff  int64 // object page index of the region's first page
+	prot   int
+	flags  int
+	obj    *object
+	shadow map[int64]*page // private COW pages, by object page index
+	valid  map[int64]bool  // pages entered into this address space
+	wok    map[int64]bool  // pages entered write-enabled
+}
+
+func (m *mapping) private() bool { return m.flags&kernel.MapPrivate != 0 }
+
+// space is a process address space: its mappings and a bump-pointer
+// virtual address allocator.
+type space struct {
+	pid  int
+	brk  int64
+	maps []*mapping // ascending addr (allocation order)
+}
+
+// mapBase is where mmap regions start in every address space.
+const mapBase = int64(0x4000_0000)
+
+// Pool is the machine's page pool and the kernel's
+// AddressSpaceProvider. One Pool serves every process on the machine.
+type Pool struct {
+	k        *kernel.Kernel
+	pageSize int
+	nframes  int
+
+	objects map[objKey]*object
+	spaces  map[int]*space
+	ring    []*page // resident pages in clock order
+	hand    int
+
+	damaged string // fault injection for invariant self-tests
+}
+
+// NewPool builds a page pool of frames pages of pageSize bytes.
+// pageSize must equal the block size of every filesystem whose files
+// get mapped (pages alias cache blocks one-to-one).
+func NewPool(k *kernel.Kernel, frames, pageSize int) *Pool {
+	if frames <= 0 || pageSize <= 0 {
+		panic("vm: NewPool with nonpositive geometry")
+	}
+	return &Pool{
+		k:        k,
+		pageSize: pageSize,
+		nframes:  frames,
+		objects:  make(map[objKey]*object),
+		spaces:   make(map[int]*space),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (v *Pool) PageSize() int { return v.pageSize }
+
+// Frames returns the total number of page frames in the pool.
+func (v *Pool) Frames() int { return v.nframes }
+
+// Resident returns the number of frames currently in use.
+func (v *Pool) Resident() int { return len(v.ring) }
+
+var _ kernel.AddressSpaceProvider = (*Pool)(nil)
+
+// ---- address-space management ----
+
+func (v *Pool) spaceFor(p *kernel.Proc) *space {
+	as := v.spaces[p.Pid()]
+	if as == nil {
+		as = &space{pid: p.Pid(), brk: mapBase}
+		v.spaces[p.Pid()] = as
+		// Leftover mappings are released when the process exits, so a
+		// process can never leak page frames or inode references.
+		p.AtExit(v.releaseSpace)
+	}
+	return as
+}
+
+func (v *Pool) releaseSpace(p *kernel.Proc) {
+	as := v.spaces[p.Pid()]
+	if as == nil {
+		return
+	}
+	ctx := p.Ctx()
+	for len(as.maps) > 0 {
+		_ = v.unmap(ctx, p.Pid(), as, as.maps[0])
+	}
+	delete(v.spaces, p.Pid())
+}
+
+// Mmap implements kernel.AddressSpaceProvider. off must be
+// page-aligned; the region spans whole pages. Exactly one of MapShared
+// and MapPrivate must be given, and every mapping must be readable. A
+// writable shared mapping requires a writable descriptor and extends
+// the file to off+length up front (blocks are allocated lazily by the
+// write faults that dirty them).
+func (v *Pool) Mmap(p *kernel.Proc, fd int, off, length int64, prot, flags int) (int64, error) {
+	ps := int64(v.pageSize)
+	if length <= 0 || off < 0 || off%ps != 0 {
+		return 0, kernel.ErrInval
+	}
+	shared := flags&kernel.MapShared != 0
+	if shared == (flags&kernel.MapPrivate != 0) {
+		return 0, kernel.ErrInval
+	}
+	if prot&^(kernel.ProtRead|kernel.ProtWrite) != 0 || prot&kernel.ProtRead == 0 {
+		return 0, kernel.ErrInval
+	}
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	b, ok := f.Ops().(Backing)
+	if !ok {
+		return 0, kernel.ErrOpNotSupp
+	}
+	if shared && prot&kernel.ProtWrite != 0 && f.Flags()&0x3 == kernel.ORdOnly {
+		return 0, kernel.ErrBadFD
+	}
+	ctx := p.Ctx()
+	if shared && prot&kernel.ProtWrite != 0 {
+		sz, serr := b.MapSize(ctx)
+		if serr != nil {
+			return 0, serr
+		}
+		if off+length > sz {
+			b.MapSetSize(ctx, off+length)
+		}
+	}
+	dev, ino := b.MapKey()
+	key := objKey{dev, ino}
+	obj := v.objects[key]
+	if obj == nil {
+		obj = &object{backing: b, dev: dev, ino: ino, pages: make(map[int64]*page)}
+		b.MapRef(ctx)
+		v.objects[key] = obj
+	}
+	obj.mappings++
+	as := v.spaceFor(p)
+	npages := (length + ps - 1) / ps
+	m := &mapping{
+		addr: as.brk, length: length, npages: npages, pgoff: off / ps,
+		prot: prot, flags: flags, obj: obj,
+		valid: make(map[int64]bool), wok: make(map[int64]bool),
+	}
+	if m.private() {
+		m.shadow = make(map[int64]*page)
+	}
+	as.brk += (npages + 1) * ps // guard page between regions
+	as.maps = append(as.maps, m)
+	return m.addr, nil
+}
+
+// Munmap implements kernel.AddressSpaceProvider: whole mappings only
+// (addr must be a value Mmap returned), as in the original mmap
+// proposal. The last unmap of an object pages out its dirty pages as
+// delayed writes and drops its frames and inode reference.
+func (v *Pool) Munmap(p *kernel.Proc, addr int64) error {
+	as := v.spaces[p.Pid()]
+	if as == nil {
+		return kernel.ErrInval
+	}
+	for _, m := range as.maps {
+		if m.addr == addr {
+			return v.unmap(p.Ctx(), p.Pid(), as, m)
+		}
+	}
+	return kernel.ErrInval
+}
+
+// unmap tears down one published mapping. Every step that can cross a
+// scheduling boundary — the priced pmap teardown and the pageout
+// quiesce of a last-mapping object — runs while the mapping is still
+// fully published, so an invariant probe between any two events never
+// observes a half-dismantled pool; the structural excision afterwards
+// sleeps nowhere.
+func (v *Pool) unmap(ctx kernel.Ctx, pid int, as *space, m *mapping) error {
+	// pmap teardown: one map manipulation per page entered.
+	if n := len(m.valid) + len(m.shadow); n > 0 {
+		ctx.Use(v.k.Config().PageMapCost * sim.Duration(n))
+	}
+	obj := m.obj
+	var firstErr error
+	if obj.mappings == 1 {
+		// Last mapping: flush the object's dirty pages while it is
+		// still published. quiesceObject returns off a sleep-free final
+		// pass, so the pages are still clean and idle at the excision.
+		firstErr = v.quiesceObject(ctx, pid, obj)
+	}
+	for i, q := range as.maps {
+		if q == m {
+			as.maps = append(as.maps[:i], as.maps[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range sortedPages(m.shadow) {
+		v.ringRemove(m.shadow[idx])
+	}
+	m.shadow = nil
+	m.valid = nil
+	m.wok = nil
+	obj.mappings--
+	if obj.mappings > 0 {
+		return firstErr
+	}
+	for _, idx := range sortedPages(obj.pages) {
+		pg := obj.pages[idx]
+		delete(obj.pages, idx)
+		v.ringRemove(pg)
+	}
+	delete(v.objects, objKey{obj.dev, obj.ino})
+	// Dropping the inode reference may write back metadata (and can
+	// sleep), but the object is fully gone from the pool by now.
+	if err := obj.backing.MapUnref(ctx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// quiesceObject pages out every dirty page of obj and waits out busy
+// ones, repeating until one full pass finds the object clean and idle
+// without sleeping. A pageout error is reported but the page is
+// surrendered (delayed-write error semantics): the unmap discards the
+// page either way, and retrying a failing device would never converge.
+func (v *Pool) quiesceObject(ctx kernel.Ctx, pid int, obj *object) error {
+	var firstErr error
+	for {
+		clean := true
+		for _, idx := range sortedPages(obj.pages) {
+			pg := obj.pages[idx]
+			for pg != nil && pg.busy {
+				clean = false
+				_ = ctx.Sleep(pg, kernel.PSWP+1)
+				pg = obj.pages[idx] // may have been evicted while we slept
+			}
+			if pg == nil || !pg.dirty {
+				continue
+			}
+			clean = false
+			if err := v.pageoutPage(ctx, pid, pg); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				pg.dirty = false
+			}
+		}
+		if clean {
+			return firstErr
+		}
+	}
+}
+
+// Msync implements kernel.AddressSpaceProvider: the mapping's object
+// is paged out and the backing file is synced in full (data, inode,
+// inode table), so an Msync'd mapping has exactly fsync's crash
+// durability — and, like fsync, Msync surfaces the sticky per-device
+// write error latched by any earlier failed async pageout.
+func (v *Pool) Msync(p *kernel.Proc, addr int64) error {
+	as := v.spaces[p.Pid()]
+	if as == nil {
+		return kernel.ErrInval
+	}
+	for _, m := range as.maps {
+		if m.addr == addr {
+			ctx := p.Ctx()
+			if err := v.pageoutObject(ctx, p.Pid(), m.obj); err != nil {
+				return err
+			}
+			return m.obj.backing.PageFlush(ctx)
+		}
+	}
+	return kernel.ErrInval
+}
+
+// ---- fs.Pager (structural) ----
+
+// PageoutObject writes every dirty resident page of (dev, ino) into
+// the buffer cache as delayed writes. Implements fs.Pager, which is
+// how fsync and SyncAll reach mapped dirty data.
+func (v *Pool) PageoutObject(ctx kernel.Ctx, dev string, ino uint32) error {
+	obj := v.objects[objKey{dev, ino}]
+	if obj == nil {
+		return nil
+	}
+	return v.pageoutObject(ctx, 0, obj)
+}
+
+// DirtyInos implements fs.Pager: the inodes on dev with dirty resident
+// pages, ascending.
+func (v *Pool) DirtyInos(dev string) []uint32 {
+	var inos []uint32
+	for key, obj := range v.objects {
+		if key.dev != dev {
+			continue
+		}
+		for _, pg := range obj.pages {
+			if pg.dirty {
+				inos = append(inos, key.ino)
+				break
+			}
+		}
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
+}
+
+func (v *Pool) pageoutObject(ctx kernel.Ctx, pid int, obj *object) error {
+	for _, idx := range sortedPages(obj.pages) {
+		pg := obj.pages[idx]
+		for pg != nil && pg.busy {
+			_ = ctx.Sleep(pg, kernel.PSWP+1)
+			pg = obj.pages[idx] // may have been evicted while we slept
+		}
+		if pg == nil || !pg.dirty {
+			continue
+		}
+		if err := v.pageoutPage(ctx, pid, pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pageoutPage writes one dirty page back as a delayed write. The dirty
+// bit is cleared before the write so a store landing while the cache
+// sleeps re-dirties the page rather than being lost.
+func (v *Pool) pageoutPage(ctx kernel.Ctx, pid int, pg *page) error {
+	pg.busy = true
+	pg.dirty = false
+	err := pg.obj.backing.PageOut(ctx, pg.blk, pg.data)
+	pg.busy = false
+	v.k.Wakeup(pg)
+	if err != nil {
+		pg.dirty = true
+		return err
+	}
+	v.k.TraceEmit(trace.KindVMPageout, pid, pg.idx, pg.blk, pg.obj.dev)
+	return nil
+}
+
+// ---- user memory access (fault handling) ----
+
+// MemRead implements kernel.AddressSpaceProvider: user-mode loads from
+// [addr, addr+len(dst)), which must lie within one mapping. Faults are
+// taken and priced; the copy itself is a user-mode load loop the
+// caller models (that is mmap's entire advantage: no copyout).
+func (v *Pool) MemRead(p *kernel.Proc, addr int64, dst []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	m := v.findMapping(p.Pid(), addr, int64(len(dst)))
+	if m == nil {
+		return kernel.ErrInval
+	}
+	ps := int64(v.pageSize)
+	for done := int64(0); done < int64(len(dst)); {
+		rel := addr + done - m.addr
+		idx := m.pgoff + rel/ps
+		poff := rel % ps
+		n := ps - poff
+		if rem := int64(len(dst)) - done; n > rem {
+			n = rem
+		}
+		pg, err := v.touch(p, m, idx, false)
+		if err != nil {
+			return err
+		}
+		copy(dst[done:done+n], pg.data[poff:poff+n])
+		v.unwire(pg)
+		done += n
+	}
+	return nil
+}
+
+// MemWrite implements kernel.AddressSpaceProvider: user-mode stores.
+// The dirty bit is set after the bytes land so a concurrent pageout
+// can never lose a store.
+func (v *Pool) MemWrite(p *kernel.Proc, addr int64, src []byte) error {
+	if len(src) == 0 {
+		return nil
+	}
+	m := v.findMapping(p.Pid(), addr, int64(len(src)))
+	if m == nil {
+		return kernel.ErrInval
+	}
+	ps := int64(v.pageSize)
+	for done := int64(0); done < int64(len(src)); {
+		rel := addr + done - m.addr
+		idx := m.pgoff + rel/ps
+		poff := rel % ps
+		n := ps - poff
+		if rem := int64(len(src)) - done; n > rem {
+			n = rem
+		}
+		pg, err := v.touch(p, m, idx, true)
+		if err != nil {
+			return err
+		}
+		copy(pg.data[poff:poff+n], src[done:done+n])
+		pg.dirty = true
+		v.unwire(pg)
+		done += n
+	}
+	return nil
+}
+
+func (v *Pool) findMapping(pid int, addr, length int64) *mapping {
+	as := v.spaces[pid]
+	if as == nil {
+		return nil
+	}
+	for _, m := range as.maps {
+		if addr >= m.addr && addr+length <= m.addr+m.npages*int64(v.pageSize) {
+			return m
+		}
+	}
+	return nil
+}
+
+// touch resolves one page for an access, taking (and pricing) a fault
+// if the page is not entered with sufficient protection. The returned
+// page is resident, correct, wired (pinned across the caller's copy;
+// pair with unwire), and for write accesses writable.
+//
+// Fault taxonomy, each emitting one vm.fault event:
+//   - major: page not resident, filled by PageIn through the cache
+//     (adds a vm.pagein event when a block is read);
+//   - minor: page resident in the object but not entered in this
+//     address space — pmap work only, no I/O;
+//   - protection: entered read-only, store write-enables it (a shared
+//     mapping's first store to a page, which is also where the page's
+//     backing block gets allocated if it was a hole);
+//   - COW: store to a private mapping copies the object page into an
+//     anonymous page owned by that mapping alone (vm.cow event).
+func (v *Pool) touch(p *kernel.Proc, m *mapping, idx int64, write bool) (*page, error) {
+	if write && m.prot&kernel.ProtWrite == 0 {
+		return nil, kernel.ErrInval // protection violation (SIGSEGV analogue)
+	}
+	if m.private() {
+		if pg := m.shadow[idx]; pg != nil {
+			pg.ref = true
+			pg.wired++
+			return pg, nil
+		}
+	}
+	if m.valid[idx] {
+		if pg := m.obj.pages[idx]; pg != nil && !pg.busy {
+			if !write || (m.wok[idx] && !m.private()) {
+				pg.ref = true
+				pg.wired++
+				return pg, nil
+			}
+		}
+	}
+	// Page fault.
+	ctx := p.Ctx()
+	cfg := v.k.Config()
+	mode := int64(0)
+	if write {
+		mode = 1
+	}
+	v.k.TraceEmit(trace.KindVMFault, p.Pid(), idx, mode, m.obj.dev)
+	ctx.Use(cfg.PageFaultCost)
+	// A store through a shared mapping needs a block to page out to,
+	// so holes are allocated at write-fault time.
+	pg, err := v.residentPage(p, m.obj, idx, write && !m.private())
+	if err != nil {
+		return nil, err
+	}
+	if write && m.private() {
+		// Copy-on-write: break sharing into an anonymous page.
+		npg, err := v.allocPage(ctx)
+		if err != nil {
+			v.unwire(pg)
+			return nil, err
+		}
+		copy(npg.data, pg.data)
+		v.unwire(pg)
+		ctx.Use(cfg.BcopyCost(v.pageSize))
+		npg.idx = idx
+		m.shadow[idx] = npg
+		m.valid[idx] = true
+		v.k.TraceEmit(trace.KindVMCOW, p.Pid(), idx, int64(v.pageSize), m.obj.dev)
+		ctx.Use(cfg.PageMapCost)
+		return npg, nil
+	}
+	m.valid[idx] = true
+	if write {
+		m.wok[idx] = true
+	}
+	ctx.Use(cfg.PageMapCost)
+	pg.ref = true
+	return pg, nil
+}
+
+func (v *Pool) unwire(pg *page) {
+	pg.wired--
+	if pg.wired < 0 {
+		panic("vm: unwire of unwired page")
+	}
+}
+
+// residentPage returns object page idx resident and wired, paging it
+// in if needed. A page already mid-pagein by another process is waited
+// on rather than read twice.
+func (v *Pool) residentPage(p *kernel.Proc, obj *object, idx int64, alloc bool) (*page, error) {
+	ctx := p.Ctx()
+	for {
+		pg := obj.pages[idx]
+		if pg == nil {
+			break
+		}
+		if !pg.busy {
+			pg.wired++
+			return pg, nil
+		}
+		_ = ctx.Sleep(pg, kernel.PSWP+1)
+	}
+	pg, err := v.allocPage(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pg.obj, pg.idx = obj, idx
+	pg.busy = true
+	obj.pages[idx] = pg
+	blk, err := obj.backing.PageIn(ctx, idx, pg.data, alloc)
+	pg.busy = false
+	v.k.Wakeup(pg)
+	if err != nil {
+		delete(obj.pages, idx)
+		v.unwire(pg)
+		v.ringRemove(pg)
+		return nil, err
+	}
+	pg.blk = blk
+	if blk != 0 {
+		v.k.TraceEmit(trace.KindVMPagein, p.Pid(), idx, blk, obj.dev)
+	}
+	return pg, nil
+}
+
+// ---- page pool / clock replacement ----
+
+// allocPage takes a free frame, running the clock algorithm first when
+// the pool is full. The new page is born wired (the caller is about to
+// fill it) with its reference bit set.
+func (v *Pool) allocPage(ctx kernel.Ctx) (*page, error) {
+	if len(v.ring) >= v.nframes {
+		if err := v.reclaimFrame(ctx); err != nil {
+			return nil, err
+		}
+	}
+	pg := &page{data: make([]byte, v.pageSize), ref: true, wired: 1}
+	v.ring = append(v.ring, pg)
+	return pg, nil
+}
+
+// reclaimFrame is the modeled pagedaemon: a two-handed-clock sweep run
+// in the faulting process's context when the pool is tight. Referenced
+// pages get a second chance (ref bit cleared), dirty victims are paged
+// out (a delayed write — the update daemon carries it to the platter),
+// and the first clean unreferenced victim is evicted. Busy, wired and
+// anonymous pages are skipped: there is no swap, so COW pages stay
+// resident until their mapping goes away. ErrNoMem when two full
+// sweeps find nothing evictable.
+func (v *Pool) reclaimFrame(ctx kernel.Ctx) error {
+	limit := 2*len(v.ring) + 2
+	for scanned := 0; scanned < limit; scanned++ {
+		if len(v.ring) == 0 {
+			break
+		}
+		if v.hand >= len(v.ring) {
+			v.hand = 0
+		}
+		pg := v.ring[v.hand]
+		if pg.busy || pg.wired > 0 || pg.obj == nil {
+			v.hand++
+			continue
+		}
+		if pg.ref {
+			pg.ref = false
+			v.hand++
+			continue
+		}
+		if pg.dirty {
+			if err := v.pageoutPage(ctx, 0, pg); err != nil {
+				v.hand++
+				continue
+			}
+			// The pageout slept in the cache; re-check the victim.
+			if pg.busy || pg.wired > 0 || pg.ref || pg.dirty {
+				v.hand++
+				continue
+			}
+		}
+		delete(pg.obj.pages, pg.idx)
+		v.ringRemove(pg)
+		return nil
+	}
+	return kernel.ErrNoMem
+}
+
+func (v *Pool) ringRemove(pg *page) {
+	for i, q := range v.ring {
+		if q == pg {
+			v.ring = append(v.ring[:i], v.ring[i+1:]...)
+			if i < v.hand {
+				v.hand--
+			}
+			return
+		}
+	}
+	panic("vm: ringRemove of page not in ring")
+}
+
+func sortedPages[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -78,13 +78,18 @@ type CopyMode int
 const (
 	CopyReadWrite CopyMode = iota // cp: read()/write() through user space
 	CopySplice                    // scp: one splice() system call
+	CopyMmap                      // mcp: mmap both files, user-level memcpy
 )
 
 func (m CopyMode) String() string {
-	if m == CopySplice {
+	switch m {
+	case CopySplice:
 		return "scp"
+	case CopyMmap:
+		return "mcp"
+	default:
+		return "cp"
 	}
-	return "cp"
 }
 
 // CopySpec describes one file copy.
@@ -107,13 +112,15 @@ type CopySpec struct {
 }
 
 // DefaultCopySpec returns the paper's configuration for copying src to
-// dst in the given mode.
+// dst in the given mode. cp fsyncs and mcp msyncs the destination, per
+// the paper's write-through methodology; scp's splice is synchronous on
+// its own.
 func DefaultCopySpec(src, dst string, mode CopyMode) CopySpec {
 	return CopySpec{
 		Src: src, Dst: dst, Mode: mode,
 		BufSize:  8192,
 		LoopCost: 25 * sim.Microsecond,
-		Fsync:    mode == CopyReadWrite,
+		Fsync:    mode != CopySplice,
 	}
 }
 
@@ -140,7 +147,12 @@ func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
 	if err != nil {
 		return CopyResult{}, err
 	}
-	dst, err := p.Open(spec.Dst, kernel.OCreat|kernel.OWrOnly|kernel.OTrunc)
+	dstFlags := kernel.OCreat | kernel.OWrOnly | kernel.OTrunc
+	if spec.Mode == CopyMmap {
+		// A writable shared mapping needs a read/write descriptor.
+		dstFlags = kernel.OCreat | kernel.ORdWr | kernel.OTrunc
+	}
+	dst, err := p.Open(spec.Dst, dstFlags)
 	if err != nil {
 		_ = p.Close(src)
 		return CopyResult{}, err
@@ -178,6 +190,57 @@ func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
 		}
 		res.Bytes = n
 		res.Splice = h.Stats()
+	case CopyMmap:
+		// mcp: map both files and copy with user-level stores. Reads
+		// fault pages in straight off the buffer cache (no copyout),
+		// stores dirty mapped pages the VM pages out (no copyin) — the
+		// only data copy is the user memcpy, modeled at bcopy speed.
+		// Page faults price themselves inside MemRead/MemWrite.
+		n, err := p.FileSize(src)
+		if err != nil {
+			return res, err
+		}
+		if n > 0 {
+			srcAddr, err := p.Mmap(src, 0, n, kernel.ProtRead, kernel.MapShared)
+			if err != nil {
+				return res, err
+			}
+			dstAddr, err := p.Mmap(dst, 0, n, kernel.ProtRead|kernel.ProtWrite, kernel.MapShared)
+			if err != nil {
+				return res, err
+			}
+			cfg := p.Kernel().Config()
+			chunk := make([]byte, spec.BufSize)
+			for off := int64(0); off < n; {
+				c := int64(spec.BufSize)
+				if off+c > n {
+					c = n - off
+				}
+				if err := p.MemRead(srcAddr+off, chunk[:c]); err != nil {
+					return res, err
+				}
+				p.Compute(cfg.BcopyCost(int(c)))
+				if spec.LoopCost > 0 {
+					p.Compute(spec.LoopCost)
+				}
+				if err := p.MemWrite(dstAddr+off, chunk[:c]); err != nil {
+					return res, err
+				}
+				off += c
+				res.Bytes += c
+			}
+			if spec.Fsync {
+				if err := p.Msync(dstAddr); err != nil {
+					return res, err
+				}
+			}
+			if err := p.Munmap(srcAddr); err != nil {
+				return res, err
+			}
+			if err := p.Munmap(dstAddr); err != nil {
+				return res, err
+			}
+		}
 	default:
 		return res, kernel.ErrInval
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"kdp/internal/buf"
@@ -8,12 +9,14 @@ import (
 	"kdp/internal/fs"
 	"kdp/internal/kernel"
 	"kdp/internal/sim"
+	"kdp/internal/vm"
 )
 
 type rig struct {
 	k     *kernel.Kernel
 	cache *buf.Cache
 	disks [2]*disk.Disk
+	pool  *vm.Pool
 }
 
 func newRig(t *testing.T, mk func(int64, int) disk.Params) *rig {
@@ -22,8 +25,14 @@ func newRig(t *testing.T, mk func(int64, int) disk.Params) *rig {
 	cfg.MaxRunTime = 3600 * sim.Second
 	k := kernel.New(cfg)
 	r := &rig{k: k, cache: buf.NewCache(k, 400, 8192)}
+	r.pool = vm.NewPool(k, 64, 8192)
+	k.SetVM(r.pool)
 	for i := range r.disks {
-		d := disk.New(k, mk(1024, 8192))
+		dp := mk(1024, 8192)
+		// Distinct device names: the VM page pool (like traces and
+		// per-device metrics) identifies devices by name.
+		dp.Name = fmt.Sprintf("%s-%d", dp.Name, i)
+		d := disk.New(k, dp)
 		d.SetCache(r.cache)
 		if _, err := fs.Mkfs(d, 64); err != nil {
 			t.Fatal(err)
@@ -42,6 +51,7 @@ func (r *rig) run(t *testing.T, fn func(p *kernel.Proc)) {
 				t.Errorf("mount: %v", err)
 				return
 			}
+			f.SetPager(r.pool)
 			r.k.Mount([]string{"/a", "/b"}[i], f)
 		}
 		fn(p)
@@ -80,7 +90,7 @@ func TestMakeFileDeterministicContents(t *testing.T) {
 
 func TestCopyModesProduceIdenticalFiles(t *testing.T) {
 	const size = 300000
-	for _, mode := range []CopyMode{CopyReadWrite, CopySplice} {
+	for _, mode := range []CopyMode{CopyReadWrite, CopySplice, CopyMmap} {
 		r := newRig(t, disk.RAMDisk)
 		r.run(t, func(p *kernel.Proc) {
 			if err := MakeFile(p, "/a/src", size, 4); err != nil {
@@ -215,7 +225,7 @@ func TestCopyResultThroughput(t *testing.T) {
 }
 
 func TestCopyModeString(t *testing.T) {
-	if CopyReadWrite.String() != "cp" || CopySplice.String() != "scp" {
+	if CopyReadWrite.String() != "cp" || CopySplice.String() != "scp" || CopyMmap.String() != "mcp" {
 		t.Fatal("mode names wrong")
 	}
 }

@@ -50,12 +50,13 @@ import (
 	"kdp/internal/socket"
 	"kdp/internal/splice"
 	"kdp/internal/stream"
+	"kdp/internal/vm"
 )
 
 // Re-exported core types. Proc is the simulated process handle passed
 // to every process body; its methods are the system-call interface
 // (Open, Read, Write, Lseek, Fcntl, Fsync, Close, Pause, SetITimer,
-// Compute, ...).
+// Compute, Mmap, Munmap, Msync, ...).
 type (
 	// Proc is a simulated process.
 	Proc = kernel.Proc
@@ -100,6 +101,15 @@ const (
 	SeekEnd = kernel.SeekEnd
 )
 
+// Mmap protection and mapping-type flags (see Proc.Mmap; the VM
+// subsystem is docs/VM.md).
+const (
+	ProtRead   = kernel.ProtRead
+	ProtWrite  = kernel.ProtWrite
+	MapShared  = kernel.MapShared
+	MapPrivate = kernel.MapPrivate
+)
+
 // Signals.
 const (
 	SIGIO   = kernel.SIGIO
@@ -128,6 +138,7 @@ var (
 	ErrNoSpace     = kernel.ErrNoSpace
 	ErrConnRefused = kernel.ErrConnRefused
 	ErrTimedOut    = kernel.ErrTimedOut
+	ErrNoMem       = kernel.ErrNoMem
 )
 
 // DiskKind selects a device model.
@@ -164,6 +175,10 @@ type Config struct {
 	Seed uint64
 	// MaxRunTime aborts runaway simulations; zero means unlimited.
 	MaxRunTime Duration
+	// VMPages sizes the page pool backing mmap'd file I/O in
+	// block-size pages (default 256 = 2MB; negative disables the VM
+	// subsystem, making Mmap fail as a kernel built without VM would).
+	VMPages int
 }
 
 // BlockSize is the filesystem and buffer-cache block size.
@@ -175,6 +190,7 @@ type Machine struct {
 	cache *buf.Cache
 	disks []*disk.Disk
 	fss   []*fs.FS
+	pool  *vm.Pool
 	specs []DiskSpec
 }
 
@@ -195,7 +211,16 @@ func New(cfg Config) *Machine {
 	nbuf := int(cacheMB * 1024 * 1024 / BlockSize)
 	m := &Machine{k: k, cache: buf.NewCache(k, nbuf, BlockSize), specs: cfg.Disks}
 
-	for _, spec := range cfg.Disks {
+	if cfg.VMPages >= 0 {
+		pages := cfg.VMPages
+		if pages == 0 {
+			pages = 256
+		}
+		m.pool = vm.NewPool(k, pages, BlockSize)
+		k.SetVM(m.pool)
+	}
+
+	for i, spec := range cfg.Disks {
 		mb := spec.MB
 		if mb <= 0 {
 			mb = 16
@@ -212,6 +237,10 @@ func New(cfg Config) *Machine {
 		default:
 			panic(fmt.Sprintf("kdp: unknown disk kind %d", spec.Kind))
 		}
+		// Device names must be unique per machine: the VM keys mapped
+		// objects by (device name, inode), and traces/metrics are
+		// per-device.
+		p.Name = fmt.Sprintf("%s-%d", p.Name, i)
 		d := disk.New(k, p)
 		d.SetCache(m.cache)
 		if _, err := fs.Mkfs(d, 256); err != nil {
@@ -237,6 +266,9 @@ func New(cfg Config) *Machine {
 					}
 				}
 				f.SetInterleave(il)
+				if m.pool != nil {
+					f.SetPager(m.pool)
+				}
 				m.fss[i] = f
 				k.Mount(m.specs[i].Mount, f)
 			}
@@ -271,6 +303,10 @@ func (m *Machine) Disk(i int) *disk.Disk { return m.disks[i] }
 
 // FS returns the filesystem mounted from the i'th disk.
 func (m *Machine) FS(i int) *fs.FS { return m.fss[i] }
+
+// VMPool exposes the machine's page pool (nil when Config.VMPages is
+// negative).
+func (m *Machine) VMPool() *vm.Pool { return m.pool }
 
 // ColdCaches flushes and invalidates every cached disk block, giving
 // the cold-start condition the paper's measurements require. Must be

@@ -355,3 +355,102 @@ func TestFacadeStatsAccessors(t *testing.T) {
 		t.Fatal("accessors returned nil")
 	}
 }
+
+func TestFacadeMmap(t *testing.T) {
+	m := twoDiskMachine(kdp.DiskRAM)
+	const size = 3 * kdp.BlockSize
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i*13 + 5)
+	}
+	m.Spawn("main", func(p *kdp.Proc) {
+		// Store through a shared writable mapping, msync, unmap.
+		fd, err := p.Open("/d0/f", kdp.OCreat|kdp.ORdWr)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		addr, err := p.Mmap(fd, 0, size, kdp.ProtRead|kdp.ProtWrite, kdp.MapShared)
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			return
+		}
+		_ = p.Close(fd) // the mapping outlives the descriptor
+		if err := p.MemWrite(addr, want); err != nil {
+			t.Errorf("memwrite: %v", err)
+			return
+		}
+		if err := p.Msync(addr); err != nil {
+			t.Errorf("msync: %v", err)
+			return
+		}
+		if err := p.Munmap(addr); err != nil {
+			t.Errorf("munmap: %v", err)
+			return
+		}
+
+		// The stores must be visible to plain read().
+		got := make([]byte, size)
+		rfd, _ := p.Open("/d0/f", kdp.ORdOnly)
+		for off := 0; off < size; {
+			r, err := p.Read(rfd, got[off:])
+			if err != nil || r == 0 {
+				t.Errorf("read: r=%d err=%v", r, err)
+				return
+			}
+			off += r
+		}
+		_ = p.Close(rfd)
+		if !bytes.Equal(got, want) {
+			t.Error("mmap stores not visible through read()")
+		}
+
+		// And to a read-only mapping on the second volume after a copy.
+		rfd, _ = p.Open("/d0/f", kdp.ORdOnly)
+		raddr, err := p.Mmap(rfd, 0, size, kdp.ProtRead, kdp.MapShared)
+		if err != nil {
+			t.Errorf("mmap ro: %v", err)
+			return
+		}
+		_ = p.Close(rfd)
+		back := make([]byte, size)
+		if err := p.MemRead(raddr, back); err != nil {
+			t.Errorf("memread: %v", err)
+			return
+		}
+		_ = p.Munmap(raddr)
+		if !bytes.Equal(back, want) {
+			t.Error("mmap read differs from written data")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.VMPool() == nil {
+		t.Fatal("VMPool accessor returned nil on a default machine")
+	}
+	if m.VMPool().Resident() != 0 {
+		t.Fatalf("%d pages resident after all mappings unmapped", m.VMPool().Resident())
+	}
+}
+
+func TestFacadeVMDisabled(t *testing.T) {
+	m := kdp.New(kdp.Config{
+		Disks:      []kdp.DiskSpec{{Mount: "/d0", Kind: kdp.DiskRAM}},
+		VMPages:    -1,
+		MaxRunTime: 60 * kdp.Second,
+	})
+	m.Spawn("main", func(p *kdp.Proc) {
+		fd, _ := p.Open("/d0/f", kdp.OCreat|kdp.ORdWr)
+		if _, err := p.Mmap(fd, 0, kdp.BlockSize, kdp.ProtRead, kdp.MapShared); err == nil {
+			t.Error("mmap succeeded on a machine built without VM")
+		}
+		_ = p.Close(fd)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.VMPool() != nil {
+		t.Fatal("VMPool non-nil with VMPages < 0")
+	}
+}
