@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race check bench tables trace-ci server-ci crash-ci vm-ci cover linkcheck ci
+.PHONY: all build test vet fmt race check bench tables trace-ci server-ci crash-ci vm-ci batch-ci cover linkcheck ci
 
 all: build
 
@@ -92,4 +92,13 @@ vm-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep vm > $(TRACE_DIR)/kdp-vm-b.txt
 	cmp $(TRACE_DIR)/kdp-vm-a.txt $(TRACE_DIR)/kdp-vm-b.txt
 
-ci: fmt vet build race check cover linkcheck crash-ci trace-ci server-ci vm-ci
+# Batch gate: regenerate the syscall-aggregation ablation twice (second
+# run under GOMAXPROCS=1) and require byte-identical tables — the
+# vectored and batched crossings must be deterministic end to end, and
+# every mode must move identical bytes.
+batch-ci:
+	$(GO) run ./cmd/kdpbench -sweep batch > $(TRACE_DIR)/kdp-batch-a.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep batch > $(TRACE_DIR)/kdp-batch-b.txt
+	cmp $(TRACE_DIR)/kdp-batch-a.txt $(TRACE_DIR)/kdp-batch-b.txt
+
+ci: fmt vet build race check cover linkcheck crash-ci trace-ci server-ci vm-ci batch-ci

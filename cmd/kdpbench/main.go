@@ -9,7 +9,7 @@
 //	kdpbench -table 2         # throughput only
 //	kdpbench -sweep quantum   # one of: quantum, watermark, sharing,
 //	                          # filesize, socket, rate, layout,
-//	                          # server, cache, vm
+//	                          # server, cache, vm, batch
 //	kdpbench -series          # per-window availability timeline
 //	kdpbench -disks RAM,RZ58  # restrict device types
 //	kdpbench -trace out.json  # also export every machine's event
@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 	fl := flag.NewFlagSet("kdpbench", flag.ContinueOnError)
 	fl.SetOutput(out)
 	table := fl.Int("table", 0, "regenerate only this table (1 or 2; 0 = both)")
-	sweep := fl.String("sweep", "", "run an ablation sweep: quantum, watermark, sharing, filesize, socket, rate, layout, server, cache, vm")
+	sweep := fl.String("sweep", "", "run an ablation sweep: quantum, watermark, sharing, filesize, socket, rate, layout, server, cache, vm, batch")
 	series := fl.Bool("series", false, "print the per-window availability time series instead of tables")
 	csvOut := fl.Bool("csv", false, "emit tables as CSV (for plotting)")
 	disks := fl.String("disks", "RAM,RZ58,RZ56", "comma-separated device types")

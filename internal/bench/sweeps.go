@@ -35,9 +35,91 @@ func RunSweep(name string, disks []DiskKind) (string, error) {
 		return SweepCache(), nil
 	case "vm":
 		return SweepVM(disks), nil
+	case "batch":
+		return SweepBatch(), nil
 	default:
-		return "", fmt.Errorf("unknown sweep %q (want quantum, watermark, sharing, filesize, socket, rate, layout, server, cache, vm)", name)
+		return "", fmt.Errorf("unknown sweep %q (want quantum, watermark, sharing, filesize, socket, rate, layout, server, cache, vm, batch)", name)
 	}
+}
+
+// batchCell is one syscall-aggregation measurement: copy throughput,
+// total CPU consumed (wall clock minus idle), the syscalls the copier
+// issued, the crossings aggregation saved, and the bytes moved (equal
+// across modes — the ablation varies only how the bytes cross).
+type batchCell struct {
+	kbs   float64
+	busy  sim.Duration
+	calls int64
+	saved int64
+	bytes int64
+}
+
+// measureBatchCell copies a 4MB file on a cold RZ58 machine with the
+// given copy mode, counting the copier's syscalls and the
+// crossings-saved counter the aggregated paths emit.
+func measureBatchCell(mode workload.CopyMode) batchCell {
+	s := DefaultSetup(RZ58)
+	s.FileBytes = 4 << 20
+	s.Label = fmt.Sprintf("batch/%s", mode)
+	m := NewMachine(s)
+	tr := m.K.Tracer()
+	if tr == nil {
+		tr = m.K.StartTrace(nil) // metrics only, no sink
+	}
+	var res workload.CopyResult
+	var calls int64
+	m.K.Spawn("bench", func(p *kernel.Proc) {
+		if err := m.Boot(p); err != nil {
+			panic(err)
+		}
+		if err := workload.MakeFile(p, srcPath, s.FileBytes, 3); err != nil {
+			panic(err)
+		}
+		if err := workload.ColdStart(p, m.Cache, m.Devices()...); err != nil {
+			panic(err)
+		}
+		sys0 := p.Syscalls()
+		var err error
+		res, err = workload.Copy(p, workload.DefaultCopySpec(srcPath, dstPath, mode))
+		if err != nil {
+			panic(err)
+		}
+		calls = p.Syscalls() - sys0
+	})
+	m.Run()
+	st := m.K.Stats()
+	mt := tr.Metrics()
+	return batchCell{
+		kbs:   res.ThroughputKBs(),
+		busy:  st.Now.Sub(0) - st.Idle,
+		calls: calls,
+		saved: mt.BatchCrossingsSaved,
+		bytes: res.Bytes,
+	}
+}
+
+// SweepBatch is the syscall-aggregation ablation: the same 4MB cold
+// copy as cp (one crossing per 8KB read or write), cpv (readv/writev,
+// one crossing per 4-iovec vector), bcp (reads and writes aggregated
+// through Submit), and scp (splice, no per-block crossings at all).
+// Bytes moved are identical across rows; what varies is how many times
+// the copier traps into the kernel, and the trap + copy-setup CPU that
+// aggregation returns to the availability budget.
+func SweepBatch() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation J: syscall aggregation (4MB file, RZ58, cold cache)\n")
+	fmt.Fprintf(&b, "%-5s %12s %12s %10s %10s %12s\n",
+		"Mode", "KB/s", "CPU busy", "Syscalls", "Saved", "Bytes")
+	modes := []workload.CopyMode{
+		workload.CopyReadWrite, workload.CopyVectored,
+		workload.CopyBatched, workload.CopySplice,
+	}
+	for _, mode := range modes {
+		c := measureBatchCell(mode)
+		fmt.Fprintf(&b, "%-5s %12.0f %11.2fs %10d %10d %12d\n",
+			mode, c.kbs, c.busy.Seconds(), c.calls, c.saved, c.bytes)
+	}
+	return b.String()
 }
 
 // cacheCell is one cache-sweep measurement. busy is the total CPU the

@@ -464,3 +464,126 @@ func TestCrashRecoverySyncedFileSurvives(t *testing.T) {
 		}
 	})
 }
+
+// TestErrIOMidExtensionLeavesCleanFsck is the mid-extension ErrIO
+// companion to the ENOSPC rollback test: a media read error partway
+// through a multi-block write that crosses into the indirect range
+// must surface ErrIO with the completed prefix — and, like ENOSPC,
+// must not leak a single block for fsck to find. The fault is armed on
+// the file's indirect pointer block, so the failing iteration is the
+// one that extends past the direct blocks.
+func TestErrIOMidExtensionLeavesCleanFsck(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/f", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		// 13 blocks: the file owns an indirect block, durably on disk.
+		if _, err := fl.Write(ctx, pattern(13*testBlockSize, 2), 0); err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+		if err := fl.Sync(ctx); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		indir := int64(fl.(*File).Inode().indir)
+		if indir == 0 {
+			t.Fatal("13-block file has no indirect block")
+		}
+		// Force the next use of the indirect block to the media, where
+		// a one-shot read fault waits for it.
+		if err := r.c.InvalidateBlocks(ctx, r.d, []int64{indir}); err != nil {
+			t.Fatalf("invalidate: %v", err)
+		}
+		r.d.InjectFault(indir, true, false, 1)
+		// Two blocks starting at direct block 11: the first lands, the
+		// second needs the indirect block and dies on the media error.
+		n, werr := fl.Write(ctx, pattern(2*testBlockSize, 9), 11*testBlockSize)
+		if werr != kernel.ErrIO || n != testBlockSize {
+			t.Fatalf("write across fault: n=%d err=%v, want %d, ErrIO", n, werr, testBlockSize)
+		}
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := f.SyncAll(ctx); err != nil {
+			t.Fatalf("syncall: %v", err)
+		}
+		rep, err := Fsck(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck after mid-extension ErrIO: %d problem(s), first: %s",
+				len(rep.Problems), rep.Problems[0])
+		}
+	})
+}
+
+// TestRollbackBlockAfterFailedBread drives Write's ErrIO rollback path
+// (file.go: fresh partial-block allocation whose read-back fails)
+// directly: allocate a block past the indirect boundary, push its
+// zero-filled buffer to the media and drop the cached copy, fault the
+// block, and take the same Bread failure the write path would. After
+// rollbackBlock the pointer is a hole again, no cached buffer shadows
+// the freed block, and fsck finds zero leaked blocks.
+func TestRollbackBlockAfterFailedBread(t *testing.T) {
+	r := newRig(t, 512)
+	r.run(t, func(p *kernel.Proc, f *FS) {
+		ctx := p.Ctx()
+		fl, err := f.OpenFile(ctx, "/f", kernel.OCreat|kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := fl.Write(ctx, pattern(13*testBlockSize, 4), 0); err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+		if err := fl.Sync(ctx); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		file := fl.(*File)
+		ip := file.Inode()
+		const lblk = 14 // second block of the indirect range
+		ip.lock(ctx)
+		pblk, err := ip.bmap(ctx, lblk, true, true)
+		if err != nil {
+			ip.unlock()
+			t.Fatalf("bmap alloc: %v", err)
+		}
+		// Evict the fresh zero-filled buffer (flushing it out) so the
+		// read-back goes to the media, then fault the block: the exact
+		// state in which Write's Bread fails mid-extension.
+		if err := r.c.InvalidateBlocks(ctx, r.d, []int64{int64(pblk)}); err != nil {
+			ip.unlock()
+			t.Fatalf("invalidate: %v", err)
+		}
+		r.d.InjectFault(int64(pblk), true, false, 1)
+		if _, err := r.c.Bread(ctx, r.d, int64(pblk)); err != kernel.ErrIO {
+			ip.unlock()
+			t.Fatalf("bread of faulted block = %v, want ErrIO", err)
+		}
+		file.rollbackBlock(ctx, lblk)
+		back, err := ip.bmap(ctx, lblk, false, false)
+		ip.unlock()
+		if err != nil || back != 0 {
+			t.Fatalf("after rollback bmap = %d, %v, want hole", back, err)
+		}
+		if b := r.c.Peek(r.d, int64(pblk)); b != nil {
+			t.Fatalf("freed block %d still cached", pblk)
+		}
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := f.SyncAll(ctx); err != nil {
+			t.Fatalf("syncall: %v", err)
+		}
+		rep, err := Fsck(ctx, r.c, r.d)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck after ErrIO rollback: %d problem(s), first: %s",
+				len(rep.Problems), rep.Problems[0])
+		}
+	})
+}

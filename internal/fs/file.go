@@ -229,6 +229,13 @@ func (fl *File) rollbackBlock(ctx kernel.Ctx, lblk int64) {
 	if err := ip.clearPtr(ctx, lblk); err != nil {
 		return
 	}
+	// Drop any cached copy before the block returns to the bitmap
+	// (blkfree+binval discipline): a stale delayed-write buffer left
+	// behind would otherwise be flushed later onto a block this file no
+	// longer owns — possibly after the allocator hands it to another
+	// file — and a clean one would shadow the next owner's fresh
+	// allocation on a cache hit.
+	_ = f.cache.InvalidateBlocks(ctx, f.dev, []int64{int64(pblk)})
 	_ = f.freeBlock(ctx, pblk)
 }
 

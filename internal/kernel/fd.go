@@ -68,10 +68,35 @@ type FDesc struct {
 	ops    FileOps
 	offset int64
 	flags  int
+
+	// latched is an error deferred by a vectored or batched operation
+	// that failed after moving bytes: the call reported its progress
+	// and the error surfaces on the descriptor's next I/O (4.3BSD
+	// readv/writev semantics).
+	latched error
+}
+
+// takeLatched returns and clears the descriptor's deferred error.
+func (f *FDesc) takeLatched() error {
+	err := f.latched
+	f.latched = nil
+	return err
 }
 
 // Ops returns the underlying file object.
 func (f *FDesc) Ops() FileOps { return f.ops }
+
+// PendingError reports, without consuming, the deferred error latched
+// on fd by a partially completed vectored or batched operation — a
+// harness window into the 4.3BSD latch that does not perturb it. Not a
+// syscall: nothing is charged and no trace events are emitted.
+func (p *Proc) PendingError(fd int) error {
+	f, err := p.FD(fd)
+	if err != nil {
+		return err
+	}
+	return f.latched
+}
 
 // Flags returns the descriptor status flags (including FAsync).
 func (f *FDesc) Flags() int { return f.flags }
@@ -288,6 +313,9 @@ func (p *Proc) Read(fd int, b []byte) (int, error) {
 	if f.flags&0x3 == OWrOnly {
 		return 0, ErrBadFD
 	}
+	if lerr := f.takeLatched(); lerr != nil {
+		return 0, lerr
+	}
 	n, err := f.ops.Read(p.ioCtx(f), b, f.offset)
 	if n > 0 {
 		p.UseK(p.k.cfg.CopyCost(n)) // copyout
@@ -306,6 +334,9 @@ func (p *Proc) Write(fd int, b []byte) (int, error) {
 	}
 	if f.flags&0x3 == ORdOnly {
 		return 0, ErrBadFD
+	}
+	if lerr := f.takeLatched(); lerr != nil {
+		return 0, lerr
 	}
 	ctx := p.ioCtx(f)
 	if _, nb := ctx.(nbCtx); nb {

@@ -1,0 +1,200 @@
+package kernel
+
+import "kdp/internal/trace"
+
+// Vectored I/O in the 4.3BSD readv/writev lineage. A process hands the
+// kernel an ordered iovec array and crosses the user/kernel boundary
+// once for the whole vector: one trap, one syscall-enter/exit pair, and
+// one copyin/copyout setup charge, with the per-byte copy rate applied
+// to the total moved. Against one read/write per segment that saves
+// (len(iovs)-1) crossings and as many fixed per-copy setups — the same
+// overhead the paper's splice removes for whole transfers, amortized
+// here for paths that still move data through user space.
+//
+// Error semantics follow 4.3BSD: once any bytes have transferred, the
+// call reports that progress and a subsequent failure is latched on the
+// descriptor, surfacing on the next operation. An error before any
+// progress is returned immediately.
+
+// Uio describes one scatter/gather transfer — an ordered iovec array,
+// after 4.3BSD's struct uio. The helpers move bytes between the vector
+// and contiguous kernel buffers; they model data movement only and
+// charge nothing (callers charge through the Config cost model).
+type Uio struct {
+	Iovs [][]byte
+}
+
+// Total returns the summed length of the iovec array.
+func (u Uio) Total() int {
+	n := 0
+	for _, iov := range u.Iovs {
+		n += len(iov)
+	}
+	return n
+}
+
+// Gather concatenates the iovecs into one contiguous buffer (the mbuf
+// chain a sendv builds, or the staging run a coalesced write admits).
+func (u Uio) Gather() []byte {
+	out := make([]byte, 0, u.Total())
+	for _, iov := range u.Iovs {
+		out = append(out, iov...)
+	}
+	return out
+}
+
+// Scatter copies b across the iovecs in order and returns the number of
+// bytes placed; bytes beyond the vector's total length are discarded
+// (datagram truncation, as recvfrom does).
+func (u Uio) Scatter(b []byte) int {
+	n := 0
+	for _, iov := range u.Iovs {
+		if len(b) == 0 {
+			break
+		}
+		c := copy(iov, b)
+		b = b[c:]
+		n += c
+	}
+	return n
+}
+
+// ReadvOps is implemented by file objects with a native scatter-read:
+// one object-level operation fills the whole vector (a socket receiving
+// one datagram across several iovecs). Objects without it are driven
+// one iovec at a time inside the single crossing.
+type ReadvOps interface {
+	Readv(ctx Ctx, iovs [][]byte, off int64) (int, error)
+}
+
+// WritevOps is implemented by file objects with a native gather-write:
+// one object-level operation consumes the whole vector (a socket
+// building one datagram, a stream connection coalescing one admission).
+type WritevOps interface {
+	Writev(ctx Ctx, iovs [][]byte, off int64) (int, error)
+}
+
+// Readv reads into the iovecs in order, crossing the user/kernel
+// boundary once. The copyout setup is charged once for the vector and
+// the byte rate over the total moved. Returns the bytes placed; an
+// error after partial progress is latched on the descriptor for the
+// next call (4.3BSD readv semantics).
+func (p *Proc) Readv(fd int, iovs [][]byte) (int, error) {
+	defer p.SyscallExit(p.SyscallEnter("readv"))
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.flags&0x3 == OWrOnly {
+		return 0, ErrBadFD
+	}
+	if lerr := f.takeLatched(); lerr != nil {
+		return 0, lerr
+	}
+	ctx := p.ioCtx(f)
+	total := 0
+	if rv, ok := f.ops.(ReadvOps); ok {
+		total, err = rv.Readv(ctx, iovs, f.offset)
+	} else {
+		for _, iov := range iovs {
+			if len(iov) == 0 {
+				continue
+			}
+			var n int
+			n, err = f.ops.Read(ctx, iov, f.offset+int64(total))
+			total += n
+			if err != nil || n < len(iov) {
+				break // error, EOF, or a would-block boundary
+			}
+		}
+	}
+	if total > 0 {
+		p.UseK(p.k.cfg.CopyCost(total)) // one copyout setup for the vector
+		f.offset += int64(total)
+		if err != nil {
+			f.latched = err
+			err = nil
+		}
+		p.emitBatch(len(iovs))
+	}
+	return total, err
+}
+
+// emitBatch records one aggregated crossing carrying ops operations —
+// (ops-1) fewer traps than issuing them one syscall at a time.
+func (p *Proc) emitBatch(ops int) {
+	if ops > 1 {
+		p.k.TraceEmit(trace.KindKernelBatch, p.pid, int64(ops), int64(ops-1), "")
+	}
+}
+
+// Writev writes the iovecs in order, crossing the user/kernel boundary
+// once. The copyin setup is charged once for the vector. Returns the
+// bytes consumed; an error after partial progress is latched on the
+// descriptor for the next call (4.3BSD writev semantics).
+func (p *Proc) Writev(fd int, iovs [][]byte) (int, error) {
+	defer p.SyscallExit(p.SyscallEnter("writev"))
+	f, err := p.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.flags&0x3 == ORdOnly {
+		return 0, ErrBadFD
+	}
+	if lerr := f.takeLatched(); lerr != nil {
+		return 0, lerr
+	}
+	ctx := p.ioCtx(f)
+	if _, nb := ctx.(nbCtx); nb {
+		// Nonblocking: the object may admit only part of the vector, so
+		// the copyin is charged for the bytes actually taken.
+		total, werr := p.writevInner(f, ctx, iovs)
+		if total > 0 {
+			p.UseK(p.k.cfg.CopyCost(total))
+			f.offset += int64(total)
+			if werr != nil {
+				f.latched = werr
+				werr = nil
+			}
+			p.emitBatch(len(iovs))
+		}
+		return total, werr
+	}
+	if n := (Uio{Iovs: iovs}).Total(); n > 0 {
+		p.UseK(p.k.cfg.CopyCost(n)) // one copyin setup for the vector
+	}
+	total, werr := p.writevInner(f, ctx, iovs)
+	if total > 0 {
+		f.offset += int64(total)
+		if werr != nil {
+			f.latched = werr
+			werr = nil
+		}
+		p.emitBatch(len(iovs))
+	}
+	return total, werr
+}
+
+// writevInner moves the vector into the object: one native gather-write
+// when the object supports it, otherwise one ops.Write per iovec inside
+// the single crossing already paid by the caller.
+func (p *Proc) writevInner(f *FDesc, ctx Ctx, iovs [][]byte) (int, error) {
+	if wv, ok := f.ops.(WritevOps); ok {
+		return wv.Writev(ctx, iovs, f.offset)
+	}
+	total := 0
+	for _, iov := range iovs {
+		if len(iov) == 0 {
+			continue
+		}
+		n, err := f.ops.Write(ctx, iov, f.offset+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n < len(iov) {
+			break // object admitted only part (nonblocking boundary)
+		}
+	}
+	return total, nil
+}

@@ -32,13 +32,22 @@ const (
 	// ModeSplice serves with splice(file, conn): the data moves at
 	// interrupt level and never crosses the user boundary.
 	ModeSplice
+	// ModeBatch serves with aggregated syscalls: the seek and a window
+	// of file reads cross the boundary in one Submit, and the blocks
+	// they return leave through one writev on the connection (see
+	// Server.ServeBatch).
+	ModeBatch
 )
 
 func (m Mode) String() string {
-	if m == ModeSplice {
+	switch m {
+	case ModeSplice:
 		return "scp"
+	case ModeBatch:
+		return "bcp"
+	default:
+		return "cp"
 	}
-	return "cp"
 }
 
 // Engine selects the server's process model.
@@ -158,10 +167,19 @@ func (s *Server) handle(p *kernel.Proc, conn *stream.Conn) {
 		if err != nil || n == 0 {
 			break // client closed (or connection failed)
 		}
-		if _, err := p.Lseek(src, 0, kernel.SeekSet); err != nil {
-			panic(fmt.Sprintf("server %s: lseek: %v", s.cfg.Name, err))
+		if s.cfg.Mode != ModeBatch {
+			// ModeBatch folds the rewind into its first submission.
+			if _, err := p.Lseek(src, 0, kernel.SeekSet); err != nil {
+				panic(fmt.Sprintf("server %s: lseek: %v", s.cfg.Name, err))
+			}
 		}
-		if s.cfg.Mode == ModeSplice {
+		if s.cfg.Mode == ModeBatch {
+			served := s.ServeBatch(p, src, cfd)
+			s.bytes += served
+			if served < s.cfg.FileBytes {
+				break
+			}
+		} else if s.cfg.Mode == ModeSplice {
 			moved, err := splice.Splice(p, src, cfd, s.cfg.FileBytes)
 			if err != nil {
 				break
@@ -186,4 +204,48 @@ func (s *Server) handle(p *kernel.Proc, conn *stream.Conn) {
 	}
 	_ = p.Close(src)
 	_ = p.Close(cfd)
+}
+
+// ServeBatch answers one request with aggregated syscalls: the rewind
+// lseek and a window of file reads cross the user/kernel boundary in a
+// single Submit, and the blocks they return leave through one writev
+// on the connection — 2 crossings per window where cp pays one per
+// block. Returns the bytes served (short on error or a truncated file).
+func (s *Server) ServeBatch(p *kernel.Proc, src, cfd int) int64 {
+	const bsize = 8192
+	const vec = 4
+	bufs := make([][]byte, vec)
+	for i := range bufs {
+		bufs[i] = make([]byte, bsize)
+	}
+	var served int64
+	rewind := true
+	for served < s.cfg.FileBytes {
+		ops := make([]kernel.BatchOp, 0, vec+1)
+		if rewind {
+			ops = append(ops, kernel.BatchOp{Code: kernel.BatchLseek, FD: src, Off: 0, Whence: kernel.SeekSet})
+			rewind = false
+		}
+		for i := 0; i < vec; i++ {
+			ops = append(ops, kernel.BatchOp{Code: kernel.BatchRead, FD: src, Buf: bufs[i]})
+		}
+		iovs := make([][]byte, 0, vec)
+		for i, r := range p.Submit(ops) {
+			if r.Err != nil {
+				return served
+			}
+			if ops[i].Code == kernel.BatchRead && r.N > 0 {
+				iovs = append(iovs, ops[i].Buf[:r.N])
+			}
+		}
+		if len(iovs) == 0 {
+			break
+		}
+		w, err := p.Writev(cfd, iovs)
+		if err != nil {
+			return served
+		}
+		served += int64(w)
+	}
+	return served
 }

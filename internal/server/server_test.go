@@ -128,6 +128,7 @@ func TestServerServesConcurrentClients(t *testing.T) {
 	}{
 		{EngineProcs, ModeCopy},
 		{EngineProcs, ModeSplice},
+		{EngineProcs, ModeBatch},
 		{EngineEvent, ModeCopy},
 		{EngineEvent, ModeSplice},
 	} {
@@ -190,6 +191,7 @@ func TestModeName(t *testing.T) {
 	}{
 		{EngineProcs, ModeCopy, "cp"},
 		{EngineProcs, ModeSplice, "scp"},
+		{EngineProcs, ModeBatch, "bcp"},
 		{EngineEvent, ModeCopy, "event"},
 		{EngineEvent, ModeSplice, "escp"},
 	} {

@@ -39,6 +39,9 @@ const (
 	opMmapWrite  // map shared read/write, store a pattern, munmap pages it out
 	opMsync      // mmap-write followed by msync: the mapped-file durability contract
 	opCrash      // power cut: discard volatile state, repair, remount (crash sweep only)
+	opReadv      // scatter-read a range through readv, verify iovec byte conservation
+	opWritev     // gather-write a patterned range through writev
+	opBatch      // aggregated Submit: lseek+writes(+fsync) or lseek+reads in one crossing
 )
 
 // Generation sizes. Files stay under 12 direct blocks (96KB) so the
@@ -115,6 +118,12 @@ func (o *op) describe() string {
 		return fmt.Sprintf("poll-wait n=%d delay=%d pat=%#02x", o.size, o.sigTicks, o.pat)
 	case opEventServe:
 		return fmt.Sprintf("event-serve n=%d pat=%#02x", o.size, o.pat)
+	case opReadv:
+		return fmt.Sprintf("readv d%d/f%d off=%d n=%d", o.disk, o.slot, o.off, o.size)
+	case opWritev:
+		return fmt.Sprintf("writev d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
+	case opBatch:
+		return fmt.Sprintf("batch-submit d%d/f%d off=%d n=%d pat=%#02x", o.disk, o.slot, o.off, o.size, o.pat)
 	default:
 		return fmt.Sprintf("op?%d", int(o.kind))
 	}
@@ -141,10 +150,14 @@ func genOps(cfg Config) []*op {
 		// I/O, splice variants, readiness multiplexing, and fault/signal
 		// events season the mix.
 		switch w := r.Intn(100); {
-		case w < 18:
+		case w < 13:
 			o.kind = opWrite
-		case w < 28:
+		case w < 18:
+			o.kind = opWritev
+		case w < 24:
 			o.kind = opRead
+		case w < 28:
+			o.kind = opReadv
 		case w < 33:
 			o.kind = opSeqRead
 		case w < 37:
@@ -159,8 +172,10 @@ func genOps(cfg Config) []*op {
 			o.kind = opMmapWrite
 		case w < 56:
 			o.kind = opMsync
-		case w < 64:
+		case w < 61:
 			o.kind = opSpliceFF
+		case w < 64:
+			o.kind = opBatch
 		case w < 68:
 			o.kind = opSplicePipe
 		case w < 72:
@@ -294,6 +309,12 @@ func (m *machine) execOp(p *kernel.Proc, w int, o *op) {
 		m.doPollWait(p, w, o)
 	case opEventServe:
 		m.doEventServe(p, w, o)
+	case opReadv:
+		m.doReadv(p, w, o)
+	case opWritev:
+		m.doWritev(p, w, o)
+	case opBatch:
+		m.doBatch(p, w, o)
 	case opCrash:
 		m.doCrash(p, w, o)
 	}
@@ -1295,4 +1316,298 @@ func (m *machine) doEventServe(p *kernel.Proc, w int, o *op) {
 		}
 	}
 	m.opLog(o, w, "ok clients=%d", nclients)
+}
+
+// splitIovs carves total bytes into up to nvec independently allocated
+// iovec buffers of near-equal size (empty tails are dropped), so the
+// scatter/gather paths see genuinely discontiguous memory rather than
+// views of one array.
+func splitIovs(total, nvec int) [][]byte {
+	if nvec < 1 {
+		nvec = 1
+	}
+	iovs := make([][]byte, 0, nvec)
+	for i := 0; i < nvec && total > 0; i++ {
+		n := total / (nvec - i)
+		if n == 0 {
+			n = 1
+		}
+		iovs = append(iovs, make([]byte, n))
+		total -= n
+	}
+	return iovs
+}
+
+// doReadv is doRead through the vectored path: the range is scattered
+// across 2–4 independent iovecs in one crossing and the reassembled
+// bytes must match the content oracle exactly — the iovec
+// byte-conservation invariant (no gaps, overlaps, or reordering across
+// segment boundaries). A partial-progress error latched on the
+// descriptor is observed through PendingError and taints like a read
+// error would.
+func (m *machine) doReadv(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	of := m.oracle[path]
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		if errors.Is(err, kernel.ErrNoEnt) {
+			if of != nil && !of.tainted && m.checkable(o.disk) {
+				m.fail(fmt.Errorf("oracle-exists: open %s: %v, but oracle has %d bytes", path, err, len(of.data)))
+				return
+			}
+			m.opLog(o, w, "absent")
+			return
+		}
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	if of == nil && m.checkable(o.disk) {
+		p.Close(fd)
+		m.fail(fmt.Errorf("oracle-absent: %s opened but the oracle says it was never created", path))
+		return
+	}
+	iovs := splitIovs(o.size, 2+int(o.pat)%3)
+	if _, err := p.Lseek(fd, o.off, kernel.SeekSet); err != nil {
+		p.Close(fd)
+		m.opLog(o, w, "lseek: %v", err)
+		return
+	}
+	n, rerr := p.Readv(fd, iovs)
+	lerr := p.PendingError(fd)
+	p.Close(fd)
+	if rerr != nil || lerr != nil {
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "readv: err=%v latched=%v", rerr, lerr)
+		return
+	}
+	if of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "n=%d (unchecked)", n)
+		return
+	}
+	want := 0
+	if o.off < int64(len(of.data)) {
+		want = len(of.data) - int(o.off)
+		if want > o.size {
+			want = o.size
+		}
+	}
+	if n != want {
+		m.fail(fmt.Errorf("oracle-size: readv %s off=%d returned %d bytes, oracle expects %d", path, o.off, n, want))
+		return
+	}
+	if n == 0 {
+		m.opLog(o, w, "ok n=0 (past eof)")
+		return
+	}
+	got := (kernel.Uio{Iovs: iovs}).Gather()[:n]
+	if i := firstDiff(got, of.data[o.off:o.off+int64(n)]); i >= 0 {
+		m.fail(fmt.Errorf("iovec-conservation: readv %s differs at byte %d: disk %#02x, oracle %#02x",
+			path, o.off+int64(i), got[i], of.data[o.off+int64(i)]))
+		return
+	}
+	m.opLog(o, w, "ok n=%d iovs=%d", n, len(iovs))
+}
+
+// doWritev is doWrite through the vectored path: the patterned range is
+// gathered from 2–4 independent iovecs in one crossing. Anything short
+// of full-vector completion — an error, a latched partial-progress
+// error, or a short count — taints like a partial write.
+func (m *machine) doWritev(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	fd, err := p.Open(path, kernel.OCreat|kernel.ORdWr)
+	if err != nil {
+		m.taintEnsure(path)
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	data := make([]byte, o.size)
+	fillPattern(data, o.off, o.pat)
+	iovs := splitIovs(o.size, 2+int(o.pat)%3)
+	rest := data
+	for _, iov := range iovs {
+		rest = rest[copy(iov, rest):]
+	}
+	if _, err := p.Lseek(fd, o.off, kernel.SeekSet); err != nil {
+		p.Close(fd)
+		m.taintEnsure(path)
+		m.opLog(o, w, "lseek: %v", err)
+		return
+	}
+	n, werr := p.Writev(fd, iovs)
+	lerr := p.PendingError(fd)
+	p.Close(fd)
+	of := m.ensure(path)
+	of.created = true
+	of.syncedOK = false
+	if werr != nil || lerr != nil || n != len(data) {
+		of.tainted = true
+		m.opLog(o, w, "writev: n=%d err=%v latched=%v (tainted)", n, werr, lerr)
+		return
+	}
+	end := o.off + int64(n)
+	if int64(len(of.data)) < end {
+		of.data = append(of.data, make([]byte, end-int64(len(of.data)))...)
+	}
+	copy(of.data[o.off:end], data)
+	m.opLog(o, w, "ok n=%d iovs=%d", n, len(iovs))
+}
+
+// doBatch exercises aggregated submission. The pattern byte picks the
+// flavor: a read batch (lseek + two reads, verified against the oracle
+// like doRead) or a write batch (lseek + two writes, optionally
+// trailed by an in-batch fsync carrying doFsync's durability
+// contract). Either way the batch-results invariant holds: Submit must
+// return exactly one result per submitted op.
+func (m *machine) doBatch(p *kernel.Proc, w int, o *op) {
+	if int(o.pat)%3 == 0 {
+		m.doBatchRead(p, w, o)
+		return
+	}
+	m.doBatchWrite(p, w, o)
+}
+
+func (m *machine) doBatchWrite(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	fd, err := p.Open(path, kernel.OCreat|kernel.ORdWr)
+	if err != nil {
+		m.taintEnsure(path)
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	data := make([]byte, o.size)
+	fillPattern(data, o.off, o.pat)
+	ops := []kernel.BatchOp{{Code: kernel.BatchLseek, FD: fd, Off: o.off, Whence: kernel.SeekSet}}
+	tiled := 0
+	for _, part := range splitIovs(o.size, 2) {
+		tiled += copy(part, data[tiled:]) // parts tile data in order
+		ops = append(ops, kernel.BatchOp{Code: kernel.BatchWrite, FD: fd, Buf: part})
+	}
+	withSync := int(o.pat)%2 == 0
+	if withSync {
+		ops = append(ops, kernel.BatchOp{Code: kernel.BatchFsync, FD: fd})
+	}
+	res := p.Submit(ops)
+	p.Close(fd)
+	if len(res) != len(ops) {
+		m.fail(fmt.Errorf("batch-results-len: submitted %d ops, got %d results", len(ops), len(res)))
+		return
+	}
+	of := m.ensure(path)
+	of.created = true
+	of.syncedOK = false
+	n := 0
+	var berr error
+	for i, r := range res {
+		if r.Err != nil && berr == nil {
+			berr = r.Err
+		}
+		if ops[i].Code == kernel.BatchWrite {
+			n += int(r.N)
+		}
+	}
+	if berr != nil || n != len(data) {
+		// Any op failing mid-batch (or a short write) leaves the range
+		// partially applied, like a partial plain write.
+		of.tainted = true
+		m.opLog(o, w, "batch-write: n=%d err=%v (tainted)", n, berr)
+		return
+	}
+	end := o.off + int64(n)
+	if int64(len(of.data)) < end {
+		of.data = append(of.data, make([]byte, end-int64(len(of.data)))...)
+	}
+	copy(of.data[o.off:end], data)
+	if withSync && !of.tainted {
+		// The in-batch fsync succeeded after both writes: this exact
+		// content is durable (doFsync's contract, one crossing earlier).
+		of.synced = append([]byte(nil), of.data...)
+		of.syncedOK = true
+	}
+	m.opLog(o, w, "ok n=%d ops=%d sync=%v", n, len(ops), withSync)
+}
+
+func (m *machine) doBatchRead(p *kernel.Proc, w int, o *op) {
+	path := m.path(w, o.disk, o.slot)
+	of := m.oracle[path]
+	fd, err := p.Open(path, kernel.ORdOnly)
+	if err != nil {
+		if errors.Is(err, kernel.ErrNoEnt) {
+			if of != nil && !of.tainted && m.checkable(o.disk) {
+				m.fail(fmt.Errorf("oracle-exists: open %s: %v, but oracle has %d bytes", path, err, len(of.data)))
+				return
+			}
+			m.opLog(o, w, "absent")
+			return
+		}
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "open: %v", err)
+		return
+	}
+	if of == nil && m.checkable(o.disk) {
+		p.Close(fd)
+		m.fail(fmt.Errorf("oracle-absent: %s opened but the oracle says it was never created", path))
+		return
+	}
+	bufs := splitIovs(o.size, 2)
+	ops := []kernel.BatchOp{{Code: kernel.BatchLseek, FD: fd, Off: o.off, Whence: kernel.SeekSet}}
+	for _, buf := range bufs {
+		ops = append(ops, kernel.BatchOp{Code: kernel.BatchRead, FD: fd, Buf: buf})
+	}
+	res := p.Submit(ops)
+	p.Close(fd)
+	if len(res) != len(ops) {
+		m.fail(fmt.Errorf("batch-results-len: submitted %d ops, got %d results", len(ops), len(res)))
+		return
+	}
+	n := 0
+	got := make([]byte, 0, o.size)
+	var berr error
+	for i, r := range res {
+		if r.Err != nil && berr == nil {
+			berr = r.Err
+		}
+		if ops[i].Code == kernel.BatchRead && berr == nil {
+			n += int(r.N)
+			got = append(got, ops[i].Buf[:r.N]...)
+		}
+	}
+	if berr != nil {
+		if of != nil {
+			of.tainted = true
+		}
+		m.opLog(o, w, "batch-read: %v", berr)
+		return
+	}
+	if of == nil || of.tainted || !m.checkable(o.disk) {
+		m.opLog(o, w, "n=%d (unchecked)", n)
+		return
+	}
+	want := 0
+	if o.off < int64(len(of.data)) {
+		want = len(of.data) - int(o.off)
+		if want > o.size {
+			want = o.size
+		}
+	}
+	if n != want {
+		m.fail(fmt.Errorf("oracle-size: batch-read %s off=%d returned %d bytes, oracle expects %d", path, o.off, n, want))
+		return
+	}
+	if n == 0 {
+		m.opLog(o, w, "ok n=0 (past eof)")
+		return
+	}
+	if i := firstDiff(got, of.data[o.off:o.off+int64(n)]); i >= 0 {
+		m.fail(fmt.Errorf("oracle-content: batch-read %s differs at byte %d: disk %#02x, oracle %#02x",
+			path, o.off+int64(i), got[i], of.data[o.off+int64(i)]))
+		return
+	}
+	m.opLog(o, w, "ok n=%d ops=%d", n, len(ops))
 }

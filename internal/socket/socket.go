@@ -350,6 +350,40 @@ func (s *Socket) Write(ctx kernel.Ctx, p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// Sendv builds ONE datagram from the iovec array and sends it to the
+// connected peer — the gather half of vectored socket I/O: N iovecs
+// still cross the wire as a single packet, not N, so message framing is
+// preserved no matter how the sender assembled the payload.
+func (s *Socket) Sendv(ctx kernel.Ctx, iovs [][]byte) (int, error) {
+	u := kernel.Uio{Iovs: iovs}
+	return s.Write(ctx, u.Gather(), 0)
+}
+
+// Recvv receives ONE datagram and scatters it across the iovec array
+// in order; bytes beyond the vector's total length are truncated,
+// exactly as recvfrom truncates an oversized datagram.
+func (s *Socket) Recvv(ctx kernel.Ctx, iovs [][]byte) (int, error) {
+	u := kernel.Uio{Iovs: iovs}
+	tmp := make([]byte, u.Total())
+	n, err := s.Read(ctx, tmp, 0)
+	if n > 0 {
+		u.Scatter(tmp[:n])
+	}
+	return n, err
+}
+
+// Readv implements kernel.ReadvOps via Recvv, so Proc.Readv on a socket
+// descriptor consumes exactly one datagram per call.
+func (s *Socket) Readv(ctx kernel.Ctx, iovs [][]byte, off int64) (int, error) {
+	return s.Recvv(ctx, iovs)
+}
+
+// Writev implements kernel.WritevOps via Sendv, so Proc.Writev on a
+// socket descriptor emits exactly one datagram per call.
+func (s *Socket) Writev(ctx kernel.Ctx, iovs [][]byte, off int64) (int, error) {
+	return s.Sendv(ctx, iovs)
+}
+
 // Size implements kernel.FileOps.
 func (s *Socket) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
 

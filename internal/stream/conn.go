@@ -588,6 +588,16 @@ func (c *Conn) Write(ctx kernel.Ctx, b []byte, off int64) (int, error) {
 	return len(b), nil
 }
 
+// Writev implements kernel.WritevOps by coalescing the whole iovec
+// array into one send-buffer admission. Per-iovec writes would admit
+// (and often segment) each iovec separately; one gathered admission
+// lets pump cut MaxSeg-sized segments across iovec boundaries, so a
+// vector of small buffers goes out in fewer, fuller segments.
+func (c *Conn) Writev(ctx kernel.Ctx, iovs [][]byte, off int64) (int, error) {
+	u := kernel.Uio{Iovs: iovs}
+	return c.Write(ctx, u.Gather(), off)
+}
+
 // Size implements kernel.FileOps.
 func (c *Conn) Size(ctx kernel.Ctx) (int64, error) { return 0, nil }
 

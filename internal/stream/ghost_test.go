@@ -81,6 +81,91 @@ func TestGhostEntriesExpire(t *testing.T) {
 	}
 }
 
+// TestGhostAnswersLateSegmentWithoutResurrecting pins the ghost-table
+// reply path: a data or FIN segment arriving late for a retired key is
+// answered with the recorded final cumulative ack and nothing more — no
+// connection state is re-created, the entry's expiry clock is not
+// reset (the reaping deadline set at retirement stands), and a pure
+// ACK draws no reply at all.
+func TestGhostAnswersLateSegmentWithoutResurrecting(t *testing.T) {
+	EnableInvariants(true)
+	defer EnableInvariants(false)
+	k := newK()
+	n := socket.NewNet(k, socket.Loopback())
+	tr, err := NewTransport(k, n, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := n.NewSocket(6001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replies []segment
+	peer.SetHandler(func(data []byte, from int, eof bool) {
+		if s, ok := decodeSegment(data); ok && !eof {
+			replies = append(replies, s)
+		}
+	})
+
+	const id = 7
+	key := connKey(6001, id)
+	tr.addGhost(key, 777)
+	e0 := *tr.ghosts[key]
+	conns0 := len(tr.conns)
+
+	k.Spawn("drive", func(p *kernel.Proc) {
+		// Partway into the retention window a retransmitted FIN and a
+		// stray data segment arrive for the retired key.
+		p.SleepFor(sim.Duration(ghostTTL()/2) * 10 * sim.Millisecond)
+		for _, typ := range []byte{segFIN, segDATA} {
+			tr.input(segment{typ: typ, connID: id, seq: 777}.encode(), 6001, false)
+		}
+		p.SleepFor(200 * sim.Millisecond) // let the replies cross the link
+
+		if len(replies) != 2 {
+			t.Errorf("peer received %d repl(ies), want 2", len(replies))
+			return
+		}
+		for i, r := range replies {
+			if r.typ != segACK || r.connID != id || r.ack != 777 {
+				t.Errorf("reply %d = type %d connID %d ack %d, want ACK id=%d ack=777",
+					i, r.typ, r.connID, r.ack, id)
+			}
+		}
+		e := tr.ghosts[key]
+		if e == nil {
+			t.Error("ghost entry vanished before its deadline")
+			return
+		}
+		if *e != e0 {
+			t.Errorf("late segment perturbed the ghost entry: %+v, want %+v (expiry clock must not reset)", *e, e0)
+		}
+		if len(tr.conns) != conns0 {
+			t.Errorf("late segment resurrected connection state: %d conn(s), want %d", len(tr.conns), conns0)
+		}
+		if err := CheckInvariants(); err != nil {
+			t.Errorf("invariants after late segments: %v", err)
+		}
+
+		// A pure ACK for a retired key is dropped silently.
+		tr.input(segment{typ: segACK, connID: id}.encode(), 6001, false)
+		p.SleepFor(200 * sim.Millisecond)
+		if len(replies) != 2 {
+			t.Errorf("late ACK drew %d extra repl(ies), want silence", len(replies)-2)
+		}
+
+		// The deadline set at retirement stands: the entry is reaped on
+		// that schedule, not ghostTTL after the late traffic.
+		p.SleepFor(sim.Duration(ghostTTL()/2+5) * 10 * sim.Millisecond)
+		if tr.Ghosts() != 0 {
+			t.Errorf("%d ghost entr(ies) outlived the original deadline", tr.Ghosts())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGhostReRetireSurvivesStaleCallout pins the generation guard on
 // the expiry callout: a key whose ghost is deleted by reuse (what
 // handleSYN does when a fresh incarnation's SYN arrives) and then

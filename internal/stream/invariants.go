@@ -28,6 +28,12 @@ import (
 //	                       their expiry callout: no ghost entry
 //	                       outlives its deadline (the map cannot grow
 //	                       with every connection ever retired)
+//	stream-ghost-no-resurrect
+//	                       a retired key never coexists with live
+//	                       connection state: answering a late segment
+//	                       out of the ghost table must not re-create a
+//	                       connection (only a fresh SYN may, and
+//	                       handleSYN deletes the ghost first)
 //	stream-conn-leak       (CheckDrained) once a machine has run to
 //	                       idle, every live connection is quiescent:
 //	                       no unacknowledged or unadmitted send data,
@@ -112,8 +118,12 @@ func sortedTransports() []*Transport {
 }
 
 // checkGhosts verifies every retired-connection record is still inside
-// its retention window. One tick of grace covers the checker running
-// between the tick advancing and the callout for that tick firing.
+// its retention window (one tick of grace covers the checker running
+// between the tick advancing and the callout for that tick firing) and
+// that no retired key has been resurrected: a key in the ghost table
+// with live connection state alongside it means a late segment grew a
+// connection out of the reply path instead of going through handleSYN,
+// which deletes the ghost before admitting a fresh incarnation.
 func (t *Transport) checkGhosts() error {
 	now := t.k.Ticks()
 	keys := make([]uint64, 0, len(t.ghosts))
@@ -125,6 +135,10 @@ func (t *Transport) checkGhosts() error {
 		if e := t.ghosts[key]; now > e.expires+1 {
 			return violation("stream-ghost-bound", fmt.Sprintf("port %d", t.port),
 				"ghost %#x expired at tick %d, still present at tick %d", key, e.expires, now)
+		}
+		if _, live := t.conns[key]; live {
+			return violation("stream-ghost-no-resurrect", fmt.Sprintf("port %d", t.port),
+				"ghost %#x coexists with live connection state for the same key", key)
 		}
 	}
 	return nil

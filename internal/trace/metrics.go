@@ -75,6 +75,12 @@ type Metrics struct {
 	VMPageouts int64
 	VMCows     int64
 	VMCowBytes int64
+
+	// Syscall aggregation: operations carried inside batched
+	// submissions and the kernel crossings those submissions saved
+	// versus one syscall per op (Arg1/Arg2 of KindKernelBatch).
+	BatchOps            int64
+	BatchCrossingsSaved int64
 }
 
 // ProcCPU is per-process CPU accounting derived from the stream.
@@ -224,6 +230,9 @@ func (m *Metrics) observe(ev Event) {
 	case KindVMCOW:
 		m.VMCows++
 		m.VMCowBytes += ev.Arg2
+	case KindKernelBatch:
+		m.BatchOps += ev.Arg1
+		m.BatchCrossingsSaved += ev.Arg2
 	}
 }
 
@@ -357,6 +366,8 @@ func (m *Metrics) Snapshot() []Counter {
 	add("vm.pageouts", m.VMPageouts)
 	add("vm.cows", m.VMCows)
 	add("vm.cow_bytes", m.VMCowBytes)
+	add("sys.batch_ops", m.BatchOps)
+	add("sys.batch_crossings_saved", m.BatchCrossingsSaved)
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -446,6 +457,11 @@ func (m *Metrics) Format(w io.Writer) {
 	if n := m.EventCount[KindKernelPoll]; n > 0 {
 		fmt.Fprintf(w, "poll: returns=%d scanned=%d ready=%d\n",
 			n, m.PollScannedFds, m.PollReadyFds)
+	}
+
+	if n := m.EventCount[KindKernelBatch]; n > 0 {
+		fmt.Fprintf(w, "batch: submits=%d ops=%d crossings_saved=%d\n",
+			n, m.BatchOps, m.BatchCrossingsSaved)
 	}
 
 	if m.VMFaults+m.VMPageins+m.VMPageouts+m.VMCows > 0 {

@@ -125,6 +125,9 @@ const (
 	KindVMPageout // dirty mapped page written back; Arg1 = page index, Arg2 = physical block
 	KindVMCOW     // private store broke sharing; Pid = faulter, Arg1 = page index, Arg2 = bytes copied
 
+	// Syscall aggregation (internal/kernel readv/writev/submit).
+	KindKernelBatch // aggregated submission crossed the boundary once; Pid = caller, Arg1 = ops carried, Arg2 = crossings saved vs one-syscall-per-op
+
 	kindMax // count sentinel; keep last
 )
 
@@ -181,6 +184,7 @@ var kindNames = [kindMax]string{
 	KindVMPagein:        "vm.pagein",
 	KindVMPageout:       "vm.pageout",
 	KindVMCOW:           "vm.cow",
+	KindKernelBatch:     "kernel.batch",
 }
 
 // String returns the kind's canonical dotted name.
@@ -300,6 +304,8 @@ func (ev Event) String() string {
 		return fmt.Sprintf("vm.pageout %s page %d blk %d", ev.Name, ev.Arg1, ev.Arg2)
 	case KindVMCOW:
 		return fmt.Sprintf("vm.cow pid%d page %d %dB", ev.Pid, ev.Arg1, ev.Arg2)
+	case KindKernelBatch:
+		return fmt.Sprintf("kernel.batch pid%d ops=%d saved=%d", ev.Pid, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}

@@ -79,6 +79,8 @@ const (
 	CopyReadWrite CopyMode = iota // cp: read()/write() through user space
 	CopySplice                    // scp: one splice() system call
 	CopyMmap                      // mcp: mmap both files, user-level memcpy
+	CopyVectored                  // cpv: readv()/writev(), Vec iovecs per crossing
+	CopyBatched                   // bcp: cp with reads/writes aggregated via Submit
 )
 
 func (m CopyMode) String() string {
@@ -87,6 +89,10 @@ func (m CopyMode) String() string {
 		return "scp"
 	case CopyMmap:
 		return "mcp"
+	case CopyVectored:
+		return "cpv"
+	case CopyBatched:
+		return "bcp"
 	default:
 		return "cp"
 	}
@@ -107,9 +113,17 @@ type CopySpec struct {
 	// methodology does ("calling fsync() on the destination file for
 	// CP").
 	Fsync bool
+	// Vec is the number of BufSize iovecs (cpv) or batched ops (bcp)
+	// carried per kernel crossing; zero means DefaultVec.
+	Vec int
 	// SpliceOptions tunes scp's flow control (zero = paper defaults).
 	SpliceOptions splice.Options
 }
+
+// DefaultVec is the aggregation width of cpv and bcp: each crossing
+// carries this many BufSize buffers, so the fixed trap and copy-setup
+// costs are paid once per DefaultVec buffers instead of once per one.
+const DefaultVec = 4
 
 // DefaultCopySpec returns the paper's configuration for copying src to
 // dst in the given mode. cp fsyncs and mcp msyncs the destination, per
@@ -121,6 +135,7 @@ func DefaultCopySpec(src, dst string, mode CopyMode) CopySpec {
 		BufSize:  8192,
 		LoopCost: 25 * sim.Microsecond,
 		Fsync:    mode != CopySplice,
+		Vec:      DefaultVec,
 	}
 }
 
@@ -177,6 +192,85 @@ func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
 				return res, err
 			}
 			res.Bytes += int64(w)
+		}
+		if spec.Fsync {
+			if err := p.Fsync(dst); err != nil {
+				return res, err
+			}
+		}
+	case CopyVectored:
+		// cpv: the cp loop with Vec iovecs per crossing — one readv and
+		// one writev move what cp needs 2*Vec syscalls for.
+		vec := spec.Vec
+		if vec <= 0 {
+			vec = DefaultVec
+		}
+		iovs := make([][]byte, vec)
+		for i := range iovs {
+			iovs[i] = make([]byte, spec.BufSize)
+		}
+		for {
+			n, err := p.Readv(src, iovs)
+			if err != nil {
+				return res, err
+			}
+			if n == 0 {
+				break
+			}
+			if spec.LoopCost > 0 {
+				p.Compute(spec.LoopCost)
+			}
+			w, err := p.Writev(dst, trimIovs(iovs, n))
+			if err != nil {
+				return res, err
+			}
+			res.Bytes += int64(w)
+		}
+		if spec.Fsync {
+			if err := p.Fsync(dst); err != nil {
+				return res, err
+			}
+		}
+	case CopyBatched:
+		// bcp: the cp loop with reads and writes aggregated through
+		// Submit — Vec reads cross the boundary together, then the Vec
+		// writes of what they returned, so 2 crossings carry what cp
+		// pays 2*Vec crossings for.
+		vec := spec.Vec
+		if vec <= 0 {
+			vec = DefaultVec
+		}
+		bufs := make([][]byte, vec)
+		for i := range bufs {
+			bufs[i] = make([]byte, spec.BufSize)
+		}
+		for {
+			rops := make([]kernel.BatchOp, vec)
+			for i := range rops {
+				rops[i] = kernel.BatchOp{Code: kernel.BatchRead, FD: src, Buf: bufs[i]}
+			}
+			wops := make([]kernel.BatchOp, 0, vec)
+			for i, r := range p.Submit(rops) {
+				if r.Err != nil {
+					return res, r.Err
+				}
+				if r.N == 0 {
+					break
+				}
+				wops = append(wops, kernel.BatchOp{Code: kernel.BatchWrite, FD: dst, Buf: bufs[i][:r.N]})
+			}
+			if len(wops) == 0 {
+				break
+			}
+			if spec.LoopCost > 0 {
+				p.Compute(spec.LoopCost)
+			}
+			for _, r := range p.Submit(wops) {
+				if r.Err != nil {
+					return res, r.Err
+				}
+				res.Bytes += r.N
+			}
 		}
 		if spec.Fsync {
 			if err := p.Fsync(dst); err != nil {
@@ -252,6 +346,24 @@ func Copy(p *kernel.Proc, spec CopySpec) (CopyResult, error) {
 	}
 	res.Elapsed = p.Now().Sub(start)
 	return res, nil
+}
+
+// trimIovs returns a prefix of iovs covering exactly the first n bytes
+// (the last entry truncated as needed), so a short readv's result can
+// be handed to writev unchanged.
+func trimIovs(iovs [][]byte, n int) [][]byte {
+	out := make([][]byte, 0, len(iovs))
+	for _, iov := range iovs {
+		if n <= 0 {
+			break
+		}
+		if n < len(iov) {
+			iov = iov[:n]
+		}
+		out = append(out, iov)
+		n -= len(iov)
+	}
+	return out
 }
 
 // ReadResult reports one read-only workload (the cache sweep's
