@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race check bench tables trace-ci server-ci crash-ci vm-ci batch-ci cover linkcheck ci
+.PHONY: all build test vet fmt race check bench tables trace-ci server-ci crash-ci fault-ci vm-ci batch-ci cover linkcheck ci
 
 all: build
 
@@ -56,6 +56,19 @@ crash-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpcheck -crash -seeds $(CRASH_SEEDS) > $(TRACE_DIR)/kdp-crash-b.txt
 	cmp $(TRACE_DIR)/kdp-crash-a.txt $(TRACE_DIR)/kdp-crash-b.txt
 
+# Fault gate: a bounded fault-plan sweep (per seed: fault-free census
+# of every eligible fault site, then one armed re-run per sampled
+# (site, k) with replay verification), run twice — the second under
+# GOMAXPROCS=1 — with per-seed folded digests compared byte-for-byte.
+# The sweep fails if any armed run trips an invariant, leaks, diverges
+# on replay, or arms a fault that never fires. See docs/FAULTS.md.
+FAULT_SEEDS ?= 8
+FAULT_OPS ?= 40
+fault-ci:
+	$(GO) run ./cmd/kdpcheck -faults -seeds $(FAULT_SEEDS) -ops $(FAULT_OPS) > $(TRACE_DIR)/kdp-fault-a.txt
+	GOMAXPROCS=1 $(GO) run ./cmd/kdpcheck -faults -seeds $(FAULT_SEEDS) -ops $(FAULT_OPS) > $(TRACE_DIR)/kdp-fault-b.txt
+	cmp $(TRACE_DIR)/kdp-fault-a.txt $(TRACE_DIR)/kdp-fault-b.txt
+
 # Coverage gate: the packages at the core of the poll/event-loop and
 # cache/disk work must keep a statement-coverage floor. awk parses
 # `go test -cover`'s "coverage: NN.N% of statements" line per package.
@@ -101,4 +114,4 @@ batch-ci:
 	GOMAXPROCS=1 $(GO) run ./cmd/kdpbench -sweep batch > $(TRACE_DIR)/kdp-batch-b.txt
 	cmp $(TRACE_DIR)/kdp-batch-a.txt $(TRACE_DIR)/kdp-batch-b.txt
 
-ci: fmt vet build race check cover linkcheck crash-ci trace-ci server-ci vm-ci batch-ci
+ci: fmt vet build race check cover linkcheck crash-ci fault-ci trace-ci server-ci vm-ci batch-ci

@@ -13,6 +13,8 @@
 //	kdpcheck -ops 200 -workers 3   # heavier per-seed workload
 //	kdpcheck -seed 3 -damage busy-on-freelist   # self-test the checkers
 //	kdpcheck -crash -seeds 100     # crash sweep: power cut + repair + remount per seed
+//	kdpcheck -faults -seeds 50     # fault sweep: census each seed, re-run per (site, k)
+//	kdpcheck -seed 7 -fault-site disk.rz56.wrerr -fault-k 3 -v   # one armed run
 //
 // A failing seed prints the violated invariant, the minimal failing op
 // subsequence (ddmin bisection), and the exact command to reproduce it.
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"kdp/internal/simcheck"
 )
@@ -54,17 +57,20 @@ func run(args []string, out io.Writer) error {
 	fl := flag.NewFlagSet("kdpcheck", flag.ContinueOnError)
 	fl.SetOutput(out)
 	var (
-		seeds    = fl.Int("seeds", 0, "sweep this many seeds starting at -start (default mode, 25 seeds)")
-		start    = fl.Uint64("start", 0, "first seed of the sweep")
-		seed     = fl.Int64("seed", -1, "run this single seed instead of a sweep")
-		ops      = fl.Int("ops", 60, "operations per seed")
-		workers  = fl.Int("workers", 0, "worker processes per seed (0 = derive 1-3 from the seed)")
-		verbose  = fl.Bool("v", false, "print the event log of every run")
-		minimize = fl.Bool("minimize", false, "with -seed: shrink a failing op sequence to a minimal repro")
-		noReplay = fl.Bool("noreplay", false, "skip the second run that verifies seed-replay determinism")
-		damage   = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key, ra-pending)")
-		damageAt = fl.Int("damage-after", 5, "with -damage: corrupt after this many ops")
-		crash    = fl.Bool("crash", false, "crash sweep: one power cut per seed, then repair, remount, and durability checks")
+		seeds     = fl.Int("seeds", 0, "sweep this many seeds starting at -start (default mode, 25 seeds)")
+		start     = fl.Uint64("start", 0, "first seed of the sweep")
+		seed      = fl.Int64("seed", -1, "run this single seed instead of a sweep")
+		ops       = fl.Int("ops", 60, "operations per seed")
+		workers   = fl.Int("workers", 0, "worker processes per seed (0 = derive 1-3 from the seed)")
+		verbose   = fl.Bool("v", false, "print the event log of every run")
+		minimize  = fl.Bool("minimize", false, "with -seed: shrink a failing op sequence to a minimal repro")
+		noReplay  = fl.Bool("noreplay", false, "skip the second run that verifies seed-replay determinism")
+		damage    = fl.String("damage", "", "with -seed: corrupt the buffer cache mid-run to self-test the checkers (busy-on-freelist, delwri-undone, hash-key, ra-pending)")
+		damageAt  = fl.Int("damage-after", 5, "with -damage: corrupt after this many ops")
+		crash     = fl.Bool("crash", false, "crash sweep: one power cut per seed, then repair, remount, and durability checks")
+		faults    = fl.Bool("faults", false, "fault sweep: census each seed's fault sites, then re-run once per (site, k) sample with a single-shot fault armed")
+		faultSite = fl.String("fault-site", "", "with -seed: arm a single-shot fault at this site (see docs/FAULTS.md for site IDs)")
+		faultK    = fl.Int64("fault-k", 1, "with -fault-site: fire at the k-th eligible occurrence")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -87,11 +93,33 @@ func run(args []string, out io.Writer) error {
 	if *damage != "" && *crash {
 		return fmt.Errorf("-damage and -crash are mutually exclusive")
 	}
+	if *faults && (*damage != "" || *crash) {
+		return fmt.Errorf("-faults excludes -damage and -crash (the sweep owns the disturbance schedule)")
+	}
+	if *faultSite != "" && *seed < 0 {
+		return fmt.Errorf("-fault-site requires -seed")
+	}
+	if *faultSite != "" && (*faults || *damage != "" || *crash) {
+		return fmt.Errorf("-fault-site runs exactly one armed configuration; drop -faults/-damage/-crash")
+	}
+
+	if *faults {
+		n := *seeds
+		if n <= 0 {
+			n = 25
+		}
+		first := *start
+		if *seed >= 0 {
+			first, n = uint64(*seed), 1
+		}
+		return runFaultSweep(first, n, *ops, *verbose, !*noReplay, out)
+	}
 
 	if *seed >= 0 {
 		cfg := simcheck.Config{
 			Seed: uint64(*seed), Ops: *ops, Workers: *workers,
 			Damage: *damage, DamageAfter: *damageAt, Crash: *crash,
+			FaultSite: *faultSite, FaultK: *faultK,
 		}
 		if *verbose {
 			cfg.Verbose = out
@@ -128,6 +156,64 @@ func runOne(cfg simcheck.Config, minimize, replay bool, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "seed %d replay ok\n", cfg.Seed)
 	}
+	return nil
+}
+
+// runFaultSweep walks every error path seeds [start, start+n) can
+// reach: each seed runs once fault-free to census its eligible fault
+// sites, then once per sampled (site, k) with a single-shot fault armed
+// at the k-th occurrence. Every seed prints its census shape and a
+// folded digest of all its armed runs, so two sweeps (e.g. under
+// different GOMAXPROCS) compare line-by-line. The sweep also requires
+// every censused site to have fired at least once across the whole
+// seed range — a site that never fires is dead fault-injection code.
+func runFaultSweep(start uint64, n, ops int, verbose, replay bool, out io.Writer) error {
+	failed := 0
+	totalRuns := 0
+	fired := make(map[string]int64)
+	for i := 0; i < n; i++ {
+		s := start + uint64(i)
+		cfg := simcheck.Config{Seed: s, Ops: ops}
+		if verbose {
+			cfg.Verbose = out
+		}
+		res := simcheck.FaultSweepSeed(cfg, replay)
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(out, "seed %d FAULT SWEEP FAILED: %v\n", s, res.Violation)
+			if res.FailedConfig.FaultSite != "" {
+				min, idx := simcheck.Minimize(res.FailedConfig)
+				fmt.Fprintf(out, "  minimized to %d op(s), original indices %v\n", min.Ops, idx)
+				fmt.Fprintf(out, "  minimal-run violation: %v\n", min.Violation)
+			}
+			fmt.Fprintf(out, "  repro: %s\n", simcheck.ReproCommand(res.FailedConfig))
+			continue
+		}
+		for _, run := range res.Runs {
+			fired[run.Site] += run.Fired
+		}
+		totalRuns += len(res.Runs)
+		fmt.Fprintf(out, "seed %d: %d site(s), %d armed run(s), digest %016x\n",
+			s, len(res.Census), len(res.Runs), res.Digest())
+	}
+	if failed > 0 {
+		fmt.Fprintf(out, "FAIL: %d of %d seed(s) failed the fault sweep\n", failed, n)
+		return errFailed
+	}
+	sites := make([]string, 0, len(fired))
+	for site := range fired {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		fmt.Fprintf(out, "site %-22s fired %d\n", site, fired[site])
+	}
+	mode := "run+replay"
+	if !replay {
+		mode = "run"
+	}
+	fmt.Fprintf(out, "ok: %d fault seed(s) [%d..%d] clean (%s, %d ops each, %d armed runs, %d site(s) covered)\n",
+		n, start, start+uint64(n)-1, mode, ops, totalRuns, len(sites))
 	return nil
 }
 

@@ -43,6 +43,29 @@ func TestDamageSelfTest(t *testing.T) {
 	}
 }
 
+func TestFaultSweepSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "-seeds", "1", "-ops", "25", "-noreplay"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seed 0:", "armed run(s), digest", "site ", "ok: 1 fault seed(s) [0..0] clean"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSingleArmedFault(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "0", "-fault-site", "sim.crash-boundary", "-fault-k", "2", "-noreplay"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "seed 0 ok") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"stray"}, &out); err == nil || errors.Is(err, errFailed) {
@@ -53,5 +76,14 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"-damage", "hash-key"}, &out); err == nil || errors.Is(err, errFailed) {
 		t.Errorf("-damage without -seed: err = %v, want usage error", err)
+	}
+	if err := run([]string{"-faults", "-crash"}, &out); err == nil || errors.Is(err, errFailed) {
+		t.Errorf("-faults with -crash: err = %v, want usage error", err)
+	}
+	if err := run([]string{"-fault-site", "disk.rz58.rderr"}, &out); err == nil || errors.Is(err, errFailed) {
+		t.Errorf("-fault-site without -seed: err = %v, want usage error", err)
+	}
+	if err := run([]string{"-seed", "1", "-fault-site", "disk.rz58.rderr", "-faults"}, &out); err == nil || errors.Is(err, errFailed) {
+		t.Errorf("-fault-site with -faults: err = %v, want usage error", err)
 	}
 }

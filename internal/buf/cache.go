@@ -30,8 +30,11 @@ type Cache struct {
 	// Sticky per-device write errors: a failed asynchronous write has
 	// no caller left to report to (biodone's brelse invalidates the
 	// buffer), so the first error per device is latched here and
-	// surfaced at the next fsync/close/SyncAll.
+	// surfaced at the next fsync/close/SyncAll. werrN counts every
+	// async write failure per device, latched or not, so a flush can
+	// tell a failure of its own writes from a latch that predates it.
 	werrs map[Device]error
+	werrN map[Device]int64
 
 	// Readahead budget: at most raMax asynchronous readahead fetches
 	// may be in flight at once, so a deep window cannot monopolize the
@@ -69,6 +72,7 @@ func NewCache(k *kernel.Kernel, nbuf, blockSize int) *Cache {
 		blockSize: blockSize,
 		hash:      make(map[devblk]*Buf, nbuf),
 		werrs:     make(map[Device]error),
+		werrN:     make(map[Device]int64),
 		nbuf:      nbuf,
 		raMax:     defaultRaBudget(nbuf),
 	}
@@ -553,8 +557,10 @@ func (c *Cache) Biodone(b *Buf) {
 	c.k.Wakeup(b)
 }
 
-// noteWriteError latches the first async-write error seen on a device.
+// noteWriteError latches the first async-write error seen on a device
+// and counts the failure.
 func (c *Cache) noteWriteError(b *Buf) {
+	c.werrN[b.Dev]++
 	if _, ok := c.werrs[b.Dev]; !ok {
 		err := b.Err
 		if err == nil {
@@ -710,6 +716,10 @@ func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 			devs = append(devs, b.Dev)
 		}
 	}
+	before := make([]int64, len(devs))
+	for i, dev := range devs {
+		before[i] = c.werrN[dev]
+	}
 	for _, b := range dirty {
 		c.freeRemove(b)
 		b.Flags |= BBusy
@@ -726,13 +736,21 @@ func (c *Cache) flushBufs(ctx kernel.Ctx, dirty []*Buf) (int, error) {
 		}
 	}
 	// A failed write never shows on the buffer here: biodone's brelse
-	// invalidates it (clearing BError) before this waiter runs. The
-	// error lands in the sticky per-device flag instead; report and
-	// consume it for every device involved in this flush.
-	for _, dev := range devs {
-		if err := c.TakeWriteError(dev); err != nil {
+	// invalidates it (clearing BError) before this waiter runs; the
+	// failure lands in the sticky per-device latch instead. Report a
+	// failure of THIS flush's writes — detected by the per-device
+	// failure count moving — without touching the latch itself: whether
+	// the latch is consumed (fsync, close, SyncAll) or only observed
+	// (msync) is the caller's policy, and a latch that predates this
+	// flush belongs to whichever sync path reaches it first.
+	for i, dev := range devs {
+		if c.werrN[dev] == before[i] {
+			continue
+		}
+		if err := c.werrs[dev]; err != nil {
 			return 0, err
 		}
+		return 0, kernel.ErrIO
 	}
 	return len(dirty), nil
 }

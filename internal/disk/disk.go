@@ -124,8 +124,10 @@ type Disk struct {
 	headBlk  int64 // current head position (block)
 	segments []raSegment
 
-	// Fault injection: media defects for error-path testing.
-	faults map[int64]*fault
+	// Fault injection: InjectFault's per-block arms in the kernel
+	// fault plan (see fault.go).
+	faults         map[int64]*blkFault
+	siteRd, siteWr kernel.FaultSite
 
 	// Stats
 	nreads, nwrites   int64
@@ -146,13 +148,6 @@ type Disk struct {
 	runLen       int64
 	longestRun   int64
 	contigBlocks int64
-}
-
-// fault describes an injected media defect on one block.
-type fault struct {
-	onRead  bool
-	onWrite bool
-	count   int // remaining failures; negative = permanent
 }
 
 // raSegment is one read-ahead segment of the drive cache: after a media
@@ -179,6 +174,8 @@ func New(k *kernel.Kernel, p Params) *Disk {
 		p:      p,
 		data:   make([]byte, p.Blocks*int64(p.BlockSize)),
 		runBlk: -1,
+		siteRd: "disk." + p.Name + ".rderr",
+		siteWr: "disk." + p.Name + ".wrerr",
 	}
 	if p.CacheSegments > 0 {
 		d.segments = make([]raSegment, p.CacheSegments)

@@ -5,45 +5,86 @@ import (
 	"kdp/internal/kernel"
 )
 
+// Fault sites: every transfer the device services is one eligible
+// occurrence of the site matching its direction ("disk.<name>.rderr" /
+// "disk.<name>.wrerr"), with the block number as the site argument. A
+// fire completes the transfer with B_ERROR + ErrIO instead of moving
+// data — the interrupt-level error splice's abort-and-drain behaviour
+// exists to survive. InjectFault below is a compatibility adapter over
+// the kernel.FaultPlan registry; plans armed directly on the sites
+// (kdpcheck -faults) go through exactly the same completion path.
+
+// blkFault holds the plan arms backing one InjectFault call.
+type blkFault struct {
+	rd, wr *kernel.FaultArm
+}
+
+// ReadSite returns the disk's read-error fault site ID.
+func (d *Disk) ReadSite() kernel.FaultSite { return d.siteRd }
+
+// WriteSite returns the disk's write-error fault site ID.
+func (d *Disk) WriteSite() kernel.FaultSite { return d.siteWr }
+
 // InjectFault marks block blkno as defective: the next count transfers
 // touching it in the selected direction(s) complete with an I/O error
 // (B_ERROR + ErrIO) instead of moving data. A negative count makes the
-// defect permanent. Used to exercise error paths end to end — most
-// importantly splice's abort-and-drain behaviour, which the paper's
-// prototype had to get right to avoid leaking cache buffers at
-// interrupt level.
+// defect permanent; a repeated call for the same block replaces the
+// previous defect. Implemented as quiet arms in the kernel fault plan,
+// so it composes with externally injected plans without changing any
+// traced stream.
 func (d *Disk) InjectFault(blkno int64, onRead, onWrite bool, count int) {
 	if d.faults == nil {
-		d.faults = make(map[int64]*fault)
+		d.faults = make(map[int64]*blkFault)
 	}
-	d.faults[blkno] = &fault{onRead: onRead, onWrite: onWrite, count: count}
+	fp := d.k.Faults()
+	if old := d.faults[blkno]; old != nil {
+		fp.Remove(old.rd)
+		fp.Remove(old.wr)
+		delete(d.faults, blkno)
+	}
+	if count == 0 {
+		return // defect already exhausted: nothing to arm
+	}
+	bf := &blkFault{}
+	if onRead {
+		bf.rd = fp.Arm(kernel.FaultArm{
+			Site: d.siteRd, Every: 1, Match: blkno, Count: count, Quiet: true,
+		})
+	}
+	if onWrite {
+		bf.wr = fp.Arm(kernel.FaultArm{
+			Site: d.siteWr, Every: 1, Match: blkno, Count: count, Quiet: true,
+		})
+	}
+	d.faults[blkno] = bf
 }
 
-// ClearFaults removes every injected defect.
-func (d *Disk) ClearFaults() { d.faults = nil }
+// ClearFaults removes every defect injected through InjectFault (arms
+// placed directly in the fault plan are not touched).
+func (d *Disk) ClearFaults() {
+	fp := d.k.Faults()
+	for _, bf := range d.faults {
+		fp.Remove(bf.rd)
+		fp.Remove(bf.wr)
+	}
+	d.faults = nil
+}
 
 // Errors reports how many transfers failed due to injected faults.
 func (d *Disk) Errors() int64 { return d.nerrors }
 
-// checkFault reports whether this transfer should fail, consuming one
-// occurrence from a counted fault.
+// checkFault asks the fault plan whether this transfer fails. Every
+// transfer is one eligible occurrence of the direction's site.
 func (d *Disk) checkFault(b *buf.Buf) bool {
-	f, ok := d.faults[b.Blkno]
-	if !ok {
-		return false
+	site := d.siteWr
+	if b.Flags&buf.BRead != 0 {
+		site = d.siteRd
 	}
-	read := b.Flags&buf.BRead != 0
-	if (read && !f.onRead) || (!read && !f.onWrite) {
-		return false
+	if d.k.Faults().Hit(site, b.Blkno) {
+		d.nerrors++
+		return true
 	}
-	if f.count == 0 {
-		return false
-	}
-	if f.count > 0 {
-		f.count--
-	}
-	d.nerrors++
-	return true
+	return false
 }
 
 // failTransfer completes b with an I/O error.

@@ -249,18 +249,31 @@ func (fl *File) Size(ctx kernel.Ctx) (int64, error) {
 
 // Sync implements kernel.FileOps: every dirty block of this file is
 // forced to the device (writes issued back to back, then awaited) and
-// the inode is written back.
+// the inode is written back. Any latched async write error on the
+// device is consumed and reported — fsync is the call the latch exists
+// to serve.
 func (fl *File) Sync(ctx kernel.Ctx) error {
 	if fl.closed {
 		return kernel.ErrBadFD
 	}
-	return fl.syncInode(ctx)
+	err := fl.syncInode(ctx)
+	// Consume the device latch in every case: a flush failure latched
+	// its error, and a flush with nothing dirty left can still owe the
+	// caller an earlier buffer-daemon write failure. Either way fsync
+	// reports it exactly once.
+	if lerr := fl.fs.cache.TakeWriteError(fl.fs.dev); err == nil {
+		err = lerr
+	}
+	return err
 }
 
 // syncInode is the body of Sync, shared with the VM layer's PageFlush
 // (a mapping outlives its descriptor, so msync must sync a file whose
 // fd is closed). Dirty mapped pages are paged out into the cache first
-// so fsync's durability contract covers stores made through mmap.
+// so fsync's durability contract covers stores made through mmap. The
+// sticky per-device write-error latch is deliberately not touched here:
+// whether a sync consumes the latch (fsync) or only observes it (msync)
+// is the caller's policy.
 func (fl *File) syncInode(ctx kernel.Ctx) error {
 	f := fl.fs
 	if f.pager != nil {
@@ -300,12 +313,8 @@ func (fl *File) syncInode(ctx kernel.Ctx) error {
 	// close) is durable when fsync returns: that is the crash contract.
 	itblk, _ := fl.fs.itableBlock(ip.ino)
 	blknos = append(blknos, itblk)
-	if _, err := fl.fs.cache.FlushBlocks(ctx, fl.fs.dev, blknos); err != nil {
-		return err
-	}
-	// A flush with nothing dirty left can still owe the caller an
-	// earlier buffer-daemon write failure.
-	return fl.fs.cache.TakeWriteError(fl.fs.dev)
+	_, err := fl.fs.cache.FlushBlocks(ctx, fl.fs.dev, blknos)
+	return err
 }
 
 // Close implements kernel.FileOps.

@@ -100,12 +100,23 @@ func (f *FS) SetInterleave(n int) {
 
 // ---- block allocator ----
 
+// AllocSite returns the filesystem's allocator-exhaustion fault site ID
+// ("fs.<dev>.nospace"): every block allocation is one eligible
+// occurrence, and a fire makes it fail with ErrNoSpace as if the bitmap
+// scan had come up empty.
+func (f *FS) AllocSite() kernel.FaultSite {
+	return "fs." + f.dev.DevName() + ".nospace"
+}
+
 // allocBlock finds, marks and returns a free data block. The bitmap is
 // accessed through the buffer cache, so allocation costs real I/O when
 // the bitmap block is not resident. Candidates are examined at the
 // configured interleave stride first (rotdelay layout); if no aligned
 // block is free, any free block is taken.
 func (f *FS) allocBlock(ctx kernel.Ctx) (uint32, error) {
+	if f.k.Faults().Hit(f.AllocSite(), 0) {
+		return 0, kernel.ErrNoSpace
+	}
 	if f.sb.FreeBlocks == 0 {
 		return 0, kernel.ErrNoSpace
 	}
@@ -662,10 +673,12 @@ func (f *FS) SyncAll(ctx kernel.Ctx) error {
 		f.sbDirty = false
 	}
 	n, err := f.cache.FlushDev(ctx, f.dev)
-	if err == nil {
-		// Nothing dirty to flush can still mean a buffer-daemon write
-		// failed since the last sync: surface the sticky error here.
-		err = f.cache.TakeWriteError(f.dev)
+	// Consume the sticky latch whether or not the flush itself failed:
+	// nothing dirty to flush can still mean a buffer-daemon write
+	// failed since the last sync, and a flush failure latched its error
+	// for exactly this sync to take.
+	if lerr := f.cache.TakeWriteError(f.dev); err == nil {
+		err = lerr
 	}
 	if err == nil {
 		f.k.TraceEmit(trace.KindFSSync, 0, int64(n), 0, f.dev.DevName())

@@ -128,6 +128,17 @@ func (fl *File) PageOut(ctx kernel.Ctx, blk int64, src []byte) error {
 // inode-table block are forced to the platter, and any latched async
 // write error on the device is surfaced. Works on a mapping whose
 // descriptor is closed.
+//
+// Unlike fsync, msync only observes the sticky latch — it does not
+// consume it. The latch is the device's last-writer error report, and a
+// process msync'ing one mapping must not swallow the failure a
+// concurrent fsync (or the eventual close) of the file that actually
+// suffered it is entitled to see. msync still returns the real error
+// exactly once per msync call, and the fsync path keeps its
+// exactly-once consumption.
 func (fl *File) PageFlush(ctx kernel.Ctx) error {
-	return fl.syncInode(ctx)
+	if err := fl.syncInode(ctx); err != nil {
+		return err
+	}
+	return fl.fs.cache.WriteError(fl.fs.dev)
 }

@@ -31,7 +31,10 @@ type BatchOp struct {
 // BatchResult is the per-op outcome of a Submit: the count (bytes moved
 // or resulting offset) and the op's own error. One op failing does not
 // abort the batch; later ops still run, as AnyCall's per-entry status
-// words allow.
+// words allow. The exception is a signal: an op interrupted by ErrIntr
+// stops the batch at that op boundary, and every op after it reports
+// ErrIntr without having run — so a partial batch is always a prefix,
+// and program order per descriptor still holds.
 type BatchResult struct {
 	N   int64
 	Err error
@@ -40,11 +43,22 @@ type BatchResult struct {
 // Submit carries the whole batch across the user/kernel boundary in a
 // single crossing: one trap and one syscall-enter/exit pair regardless
 // of len(ops). The result slice always has exactly one entry per op.
+// A signal breaking an op's sleep stops the batch there: completed
+// slots keep their results, the interrupted op reports ErrIntr (with
+// any partial count), and the remaining ops are not started — running
+// them after the interruption would reorder them past the signal
+// handler, which a sequence of single syscalls could never do.
 func (p *Proc) Submit(ops []BatchOp) []BatchResult {
 	defer p.SyscallExit(p.SyscallEnter("batch"))
 	res := make([]BatchResult, len(ops))
 	for i := range ops {
 		res[i] = p.batchOne(&ops[i])
+		if res[i].Err == ErrIntr {
+			for j := i + 1; j < len(ops); j++ {
+				res[j] = BatchResult{Err: ErrIntr}
+			}
+			break
+		}
 	}
 	if len(ops) > 0 {
 		p.k.TraceEmit(trace.KindKernelBatch, p.pid,

@@ -103,9 +103,21 @@ func (k *Kernel) softclock() {
 	if cl.head == nil {
 		return
 	}
-	// One decrement of the head per tick, as in 4.3BSD hardclock.
-	if cl.head.delta > 0 {
-		cl.head.delta--
+	// One decrement per tick, as in 4.3BSD hardclock — but applied to
+	// the first entry with time remaining, not blindly to the head. A
+	// zero-ticks callout (splice schedules one per completion, "the
+	// head of the system callout list") sits at the head with delta 0;
+	// decrementing only the head would let a steady stream of such
+	// entries starve the timers queued behind them, delaying every
+	// pending timeout by one tick per zero-delta tick. Retransmission
+	// timers and retired-connection reaps slipped their deadlines
+	// exactly this way whenever packet loss kept them queued while a
+	// splice was streaming.
+	for c := cl.head; c != nil; c = c.next {
+		if c.delta > 0 {
+			c.delta--
+			break
+		}
 	}
 	// Collect all entries due now (delta zero at the head). Handlers
 	// may queue new callouts; those are inserted for future ticks and

@@ -11,10 +11,11 @@ import (
 // cancellations) and verifies the invariants the delta list guarantees:
 // every surviving entry fires exactly once, no cancelled entry fires,
 // firing ticks never decrease, entries with equal requested ticks fire
-// FIFO, and nothing fires before its requested tick. (Exact firing
-// ticks can slip when 0-tick entries occupy the list head — the same
-// quirk the historical delta list has — so the property does not pin
-// absolute ticks.)
+// FIFO, and every entry fires at exactly its requested tick (0-tick
+// entries at the next softclock). Exact ticks used to slip when
+// 0-tick entries occupied the list head and stole the per-tick
+// decrement; softclock now applies the decrement to the first entry
+// with time remaining, so the property pins absolute ticks.
 func TestCalloutOrderProperty(t *testing.T) {
 	for seed := uint64(1); seed <= 15; seed++ {
 		r := sim.NewRand(seed)
@@ -73,9 +74,9 @@ func TestCalloutOrderProperty(t *testing.T) {
 			if min < 1 {
 				min = 1
 			}
-			if f.tick < min {
-				t.Fatalf("seed %d: entry %d fired at tick %d before its request %d",
-					seed, f.seq, f.tick, asked[f.seq])
+			if f.tick != min {
+				t.Fatalf("seed %d: entry %d fired at tick %d, want exactly %d",
+					seed, f.seq, f.tick, min)
 			}
 		}
 		// FIFO among equal requested ticks.
@@ -117,5 +118,37 @@ func TestCalloutReentrantQueueing(t *testing.T) {
 		if ticksSeen[i] != ticksSeen[i-1]+1 {
 			t.Fatalf("re-queued callout did not wait for the next tick: %v", ticksSeen)
 		}
+	}
+}
+
+// TestZeroTickCalloutsDoNotStarveTimers is the minimized regression
+// for the softclock decrement bug: a handler re-queueing a ticks=0
+// callout every tick kept a zero-delta entry at the head of the list,
+// and because the per-tick decrement applied only to the head, the
+// positive-delta timers queued behind it never counted down. A
+// retransmission timer or retired-connection reap pending while a
+// splice streamed (one ticks=0 callout per completion) slipped its
+// deadline without bound. The fix decrements the first entry with time
+// remaining; the timer must fire at exactly its requested tick.
+func TestZeroTickCalloutsDoNotStarveTimers(t *testing.T) {
+	k := testKernel()
+	const want = 10
+	firedAt := int64(-1)
+	k.Timeout(func() { firedAt = k.Ticks() }, want)
+	// A self-renewing zero-tick chain, as a busy splice generates.
+	spins := 0
+	var spin func()
+	spin = func() {
+		if spins++; spins < 100 {
+			k.Timeout(spin, 0)
+		}
+	}
+	k.Timeout(spin, 0)
+	k.Spawn("idle", func(p *Proc) { p.SleepFor(2 * sim.Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != want {
+		t.Fatalf("timer fired at tick %d, want %d (starved by zero-tick callouts)", firedAt, want)
 	}
 }

@@ -57,6 +57,8 @@ type Kernel struct {
 	tr       *trace.Tracer
 	probe    func() // invoked at every scheduling boundary (simcheck)
 	abortErr error  // set by Abort; Run returns it at the next boundary
+
+	faults *FaultPlan // fault-site registry (see fault.go)
 }
 
 // New builds a kernel from the given configuration.
@@ -71,6 +73,7 @@ func New(cfg Config) *Kernel {
 		nextPid: 1,
 		sleepq:  make(map[any][]*Proc),
 	}
+	k.faults = newFaultPlan(k)
 	return k
 }
 

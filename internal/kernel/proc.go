@@ -190,8 +190,18 @@ func (p *Proc) Sleep(wchan any, pri int) error {
 		panic("kernel: Sleep on nil wchan")
 	}
 	p.assertRunning("Sleep")
-	if pri > PZERO && p.sigPending != 0 {
-		return ErrIntr
+	if pri > PZERO {
+		if p.sigPending != 0 {
+			return ErrIntr
+		}
+		// Fault site: a signal arriving exactly as the process commits
+		// to an interruptible sleep. Firing posts a real SIGIO so the
+		// caller's handler loop observes a pending signal, then breaks
+		// the sleep the way psignal would have.
+		if p.k.faults.Hit(SiteSleepSignal, int64(p.pid)) {
+			p.k.Post(p, SIGIO)
+			return ErrIntr
+		}
 	}
 	p.wchan = wchan
 	p.sleepPri = pri

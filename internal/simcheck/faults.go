@@ -1,0 +1,169 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"kdp/internal/kernel"
+)
+
+// Fault sweep: walk every error path the workload can reach. The seed
+// runs once fault-free to census the eligible fault sites (every disk
+// transfer, block allocation, datagram, interruptible sleep and op
+// boundary reports itself to the kernel fault plan), then re-runs once
+// per sampled (site, k) pair with a single-shot fault armed at the k-th
+// eligible occurrence. Because the armed run is single-worker and the
+// arm changes nothing until it fires, the armed run is the census run's
+// exact prefix up to the fire point — so the k-th occurrence is
+// guaranteed to be reached, and "armed but never fired" is itself a
+// violation.
+//
+// Every armed run is held to the full harness contract plus the
+// post-fault graceful-degradation contract: the erroring operation
+// surfaces a real error exactly once (the arm is single-shot, and the
+// end-of-run log line pins fired=1), the machine still quiesces (the
+// worker and every helper process exit, splice/stream/pool/poll
+// registries drain), no buffer, callout, proc, ghost or page leaks
+// (the same ~60 invariants re-checked at every scheduling boundary),
+// and the final fsck-and-reread accepts only byte-exact content for
+// files untouched by the fault.
+
+// SiteCrashBoundary is the harness's own fault site: after each op, a
+// single-worker machine is quiescent and can lose power. A fire runs
+// the full crash-recovery path (discard volatile state, repairing
+// fsck, remount, durability oracle) in the middle of the workload. The
+// site argument is the op index.
+const SiteCrashBoundary kernel.FaultSite = "sim.crash-boundary"
+
+// FaultRun is the outcome of one armed re-run within a sweep.
+type FaultRun struct {
+	Site  kernel.FaultSite
+	K     int64
+	Fired int64
+	// Digest is the armed run's event-log digest (replay-verified when
+	// the sweep runs with replay enabled).
+	Digest uint64
+}
+
+// FaultSweepResult is the outcome of a full per-seed fault sweep.
+type FaultSweepResult struct {
+	Seed uint64
+	// Census is the fault-free run's site census the sweep sampled from.
+	Census []kernel.SiteCount
+	// Runs holds one entry per completed armed re-run, in sweep order
+	// (census order × ascending k).
+	Runs []FaultRun
+	// Violation is the first failure — from the census run, an armed
+	// run, a replay divergence, or an armed fault that never fired.
+	Violation error
+	// FailedConfig reproduces the violation when it came from a run.
+	FailedConfig Config
+}
+
+// Failed reports whether the sweep detected a violation.
+func (r *FaultSweepResult) Failed() bool { return r.Violation != nil }
+
+// Digest folds every armed run's digest (and the census digest) into
+// one value, so two sweeps — e.g. under different GOMAXPROCS — can be
+// compared with a single line.
+func (r *FaultSweepResult) Digest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, run := range r.Runs {
+		mix(run.Digest)
+	}
+	return h
+}
+
+// sampleKs picks the occurrence indices to arm for a site with n
+// eligible occurrences: the first, the middle and the last, deduped —
+// the boundary cases plus a representative interior point.
+func sampleKs(n int64) []int64 {
+	ks := []int64{1, (n + 1) / 2, n}
+	out := ks[:0]
+	var last int64
+	for _, k := range ks {
+		if k > last {
+			out = append(out, k)
+			last = k
+		}
+	}
+	return out
+}
+
+// FaultSweepSeed runs the full fault sweep for one seed: census, then
+// one armed re-run per sampled (site, k). With replay set, every armed
+// run is executed twice and the digests must match — the determinism
+// contract that makes a failing (seed, site, k) triple a complete bug
+// report. Damage and Crash configs are rejected; the sweep owns the
+// disturbance schedule.
+func FaultSweepSeed(cfg Config, replay bool) *FaultSweepResult {
+	res := &FaultSweepResult{Seed: cfg.Seed}
+	if cfg.Damage != "" || cfg.Crash {
+		res.Violation = fmt.Errorf("simcheck: fault sweep excludes -damage and -crash")
+		return res
+	}
+	cfg.FaultSite, cfg.FaultK = "", 0
+	// Single worker everywhere: the armed runs must replay the census
+	// run's schedule, and the crash-boundary site only hits
+	// single-worker boundaries.
+	cfg.Workers = 1
+
+	base := Run(cfg)
+	if base.Violation != nil {
+		res.Violation = fmt.Errorf("census run: %w", base.Violation)
+		res.FailedConfig = cfg
+		return res
+	}
+	if replay {
+		if err := VerifyReplayConfig(cfg); err != nil {
+			res.Violation = err
+			res.FailedConfig = cfg
+			return res
+		}
+	}
+	res.Census = base.Census
+
+	for _, sc := range base.Census {
+		for _, k := range sampleKs(sc.N) {
+			acfg := cfg
+			acfg.FaultSite, acfg.FaultK = sc.Site, k
+			r := Run(acfg)
+			if r.Violation != nil {
+				res.Violation = r.Violation
+				res.FailedConfig = acfg
+				return res
+			}
+			if r.FaultFired != 1 {
+				res.Violation = fmt.Errorf(
+					"simcheck: seed %d: site %s armed at k=%d fired %d time(s), want exactly 1 (census saw %d occurrence(s))",
+					cfg.Seed, sc.Site, k, r.FaultFired, sc.N)
+				res.FailedConfig = acfg
+				return res
+			}
+			if replay {
+				r2 := Run(acfg)
+				if r2.Violation != nil {
+					res.Violation = fmt.Errorf("armed replay: %w", r2.Violation)
+					res.FailedConfig = acfg
+					return res
+				}
+				if r2.Digest != r.Digest {
+					res.Violation = fmt.Errorf(
+						"simcheck: seed %d: armed run (site %s, k=%d) is not deterministic: digests %016x != %016x%s",
+						cfg.Seed, sc.Site, k, r.Digest, r2.Digest, firstLogDiff(r.Log, r2.Log))
+					res.FailedConfig = acfg
+					return res
+				}
+			}
+			res.Runs = append(res.Runs, FaultRun{Site: sc.Site, K: k, Fired: r.FaultFired, Digest: r.Digest})
+		}
+	}
+	return res
+}

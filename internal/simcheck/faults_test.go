@@ -1,0 +1,161 @@
+package simcheck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kdp/internal/kernel"
+)
+
+// TestFaultSampleKs pins the sweep's sampling policy: first, middle and
+// last occurrence, deduped, for any census count.
+func TestFaultSampleKs(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want []int64
+	}{
+		{1, []int64{1}},
+		{2, []int64{1, 2}},
+		{3, []int64{1, 2, 3}},
+		{5, []int64{1, 3, 5}},
+		{100, []int64{1, 50, 100}},
+	}
+	for _, c := range cases {
+		if got := sampleKs(c.n); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("sampleKs(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+// TestFaultCensusDeterministic asserts the census half of the sweep
+// contract: the same seed yields the same sorted site census every run,
+// so the (site, k) samples an armed sweep derives from it are stable.
+func TestFaultCensusDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Ops: 30, Workers: 1}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() || b.Failed() {
+		t.Fatalf("census runs failed: %v / %v", a.Violation, b.Violation)
+	}
+	if len(a.Census) == 0 {
+		t.Fatal("census is empty: no fault sites reported any occurrence")
+	}
+	if !reflect.DeepEqual(a.Census, b.Census) {
+		t.Errorf("census not deterministic:\n  %v\n  %v", a.Census, b.Census)
+	}
+	for i := 1; i < len(a.Census); i++ {
+		if a.Census[i-1].Site >= a.Census[i].Site {
+			t.Errorf("census not sorted at %d: %q >= %q", i, a.Census[i-1].Site, a.Census[i].Site)
+		}
+	}
+}
+
+// TestFaultArmedRunFiresOnce arms a single-shot fault at the first
+// occurrence of every site a census found and checks the core armed-run
+// contract: the run passes every invariant, the fault fires exactly
+// once, and the log records the fire.
+func TestFaultArmedRunFiresOnce(t *testing.T) {
+	cfg := Config{Seed: 5, Ops: 30, Workers: 1}
+	base := Run(cfg)
+	if base.Failed() {
+		t.Fatalf("census run failed: %v", base.Violation)
+	}
+	for _, sc := range base.Census {
+		acfg := cfg
+		acfg.FaultSite, acfg.FaultK = sc.Site, 1
+		r := Run(acfg)
+		if r.Failed() {
+			t.Errorf("site %s k=1: %v\nrepro: %s", sc.Site, r.Violation, ReproCommand(acfg))
+			continue
+		}
+		if r.FaultFired != 1 {
+			t.Errorf("site %s k=1: fired %d time(s), want exactly 1", sc.Site, r.FaultFired)
+		}
+	}
+}
+
+// TestFaultCrashBoundaryArmed arms the harness's own fault site — lose
+// power after the k-th op — and checks the crash-recovery path ran in
+// the middle of the workload.
+func TestFaultCrashBoundaryArmed(t *testing.T) {
+	cfg := Config{Seed: 0, Ops: 25, Workers: 1, FaultSite: SiteCrashBoundary, FaultK: 3}
+	r := Run(cfg)
+	if r.Failed() {
+		t.Fatalf("crash-boundary armed run failed: %v", r.Violation)
+	}
+	if r.FaultFired != 1 {
+		t.Fatalf("crash-boundary fired %d time(s), want 1", r.FaultFired)
+	}
+	found := false
+	for _, line := range r.Log {
+		if strings.Contains(line, "crash-boundary fault fired") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("log does not record the crash-boundary fire")
+	}
+}
+
+// TestFaultSiteForcesSingleWorker: armed runs must be the census run's
+// prefix, which only holds on a single-worker schedule, so Run pins
+// Workers=1 whenever a fault site is set.
+func TestFaultSiteForcesSingleWorker(t *testing.T) {
+	r := Run(Config{Seed: 1, Ops: 20, Workers: 3, FaultSite: "disk.rz58.rderr", FaultK: 1})
+	if r.Workers != 1 {
+		t.Errorf("armed run used %d workers, want 1", r.Workers)
+	}
+}
+
+// TestFaultSweepSeedClean runs the full per-seed sweep — census, then
+// one armed run per sampled (site, k), each replay-verified — for a
+// couple of seeds. This is the in-tree slice of the `kdpcheck -faults`
+// gate.
+func TestFaultSweepSeedClean(t *testing.T) {
+	n := uint64(2)
+	ops := 30
+	if testing.Short() {
+		n, ops = 1, 20
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		res := FaultSweepSeed(Config{Seed: seed, Ops: ops}, true)
+		if res.Failed() {
+			t.Errorf("seed %d: %v\nrepro: %s", seed, res.Violation, ReproCommand(res.FailedConfig))
+			continue
+		}
+		if len(res.Runs) < len(res.Census) {
+			t.Errorf("seed %d: %d armed runs for %d censused sites", seed, len(res.Runs), len(res.Census))
+		}
+		for _, run := range res.Runs {
+			if run.Fired != 1 {
+				t.Errorf("seed %d: site %s k=%d fired %d", seed, run.Site, run.K, run.Fired)
+			}
+		}
+	}
+}
+
+// TestFaultSweepRejectsOtherDisturbances: the sweep owns the
+// disturbance schedule, so Damage and Crash configs are refused rather
+// than silently combined.
+func TestFaultSweepRejectsOtherDisturbances(t *testing.T) {
+	if res := FaultSweepSeed(Config{Seed: 0, Ops: 10, Crash: true}, false); !res.Failed() {
+		t.Error("sweep accepted a Crash config")
+	}
+	if res := FaultSweepSeed(Config{Seed: 0, Ops: 10, Damage: "hash-key"}, false); !res.Failed() {
+		t.Error("sweep accepted a Damage config")
+	}
+}
+
+// TestFaultReproCommand pins the repro string for an armed config: the
+// printed command must carry the fault flags, or a failing (seed, site,
+// k) triple is not reproducible from the sweep output.
+func TestFaultReproCommand(t *testing.T) {
+	got := ReproCommand(Config{Seed: 7, Ops: 40, FaultSite: kernel.FaultSite("disk.rz56.wrerr"), FaultK: 3})
+	for _, want := range []string{"-seed 7", "-ops 40", "-fault-site disk.rz56.wrerr", "-fault-k 3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repro %q missing %q", got, want)
+		}
+	}
+}

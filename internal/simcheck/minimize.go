@@ -21,6 +21,12 @@ func Minimize(cfg Config) (*Result, []int) {
 	if cfg.Crash {
 		cfg.Workers = 1
 	}
+	if cfg.FaultSite != "" {
+		cfg.Workers = 1
+		if cfg.FaultK <= 0 {
+			cfg.FaultK = 1
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1 + int(cfg.Seed%3)
 	}
@@ -71,10 +77,13 @@ func Minimize(cfg Config) (*Result, []int) {
 
 // ReproCommand renders the command line that reproduces a failing seed.
 func ReproCommand(cfg Config) string {
-	crash := ""
+	extra := ""
 	if cfg.Crash {
-		crash = " -crash"
+		extra = " -crash"
+	}
+	if cfg.FaultSite != "" {
+		extra = fmt.Sprintf(" -fault-site %s -fault-k %d", cfg.FaultSite, cfg.FaultK)
 	}
 	return fmt.Sprintf("go run ./cmd/kdpcheck -seed %d -ops %d -workers %d%s -v",
-		cfg.Seed, cfg.Ops, cfg.Workers, crash)
+		cfg.Seed, cfg.Ops, cfg.Workers, extra)
 }

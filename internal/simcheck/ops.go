@@ -250,6 +250,18 @@ func (m *machine) worker(p *kernel.Proc, w int, ops []*op) {
 		m.curOp = fmt.Sprintf("op %d (w%d %s)", o.idx, w, o.describe())
 		m.execOp(p, w, o)
 		m.opsDone++
+		// Fault site: the machine can lose power at any op boundary. Only
+		// single-worker boundaries are eligible (a sibling mid-op would
+		// break doCrash's quiescence contract), and only while no disk
+		// defect is armed (an opFault-injected defect could have made a
+		// create non-durable, voiding the durability oracle). Both gates
+		// are pure functions of the run so far, so the census and armed
+		// runs count identically.
+		if m.cfg.Workers == 1 && o.kind != opCrash && !m.faulted[0] && !m.faulted[1] &&
+			m.k.Faults().Hit(SiteCrashBoundary, int64(o.idx)) {
+			m.logf("op %d w%d: crash-boundary fault fired", o.idx, w)
+			m.doCrash(p, w, o)
+		}
 		if m.cfg.Damage != "" && !m.damaged && m.opsDone >= m.cfg.DamageAfter {
 			m.damaged = true
 			m.cache.Damage(m.cfg.Damage)
@@ -828,17 +840,33 @@ func (m *machine) doSpliceSock(p *kernel.Proc, w int, o *op) {
 		filler := make([]byte, n-moved)
 		p.Write(afd, filler)
 	}
+	// Close the sending socket before waiting for the reader: the close
+	// queues an EOF marker, which is zero-length and therefore immune to
+	// the datagram fault sites (drop/dup/reorder act on data packets
+	// only), so the reader terminates even when an armed fault ate one
+	// of the datagrams it is counting on.
+	p.Close(afd)
 	for !doneFlag {
 		if err := p.Sleep(&doneFlag, kernel.PSLEP); err != nil {
 			p.DeliverSignals()
 		}
 	}
 	p.Close(sfd)
-	p.Close(afd)
 
 	of := m.oracle[src]
 	if serr != nil || of == nil || of.tainted || !m.checkable(o.disk) {
 		m.opLog(o, w, "moved=%d err=%v (unchecked)", moved, serr)
+		return
+	}
+	if m.netFaulted {
+		// An armed fault on the oracle net perturbed delivery: a dropped
+		// datagram shortens got, a duplicate lengthens it, a reorder
+		// scrambles it. The splice-side accounting is still exact.
+		if moved != n {
+			m.fail(fmt.Errorf("oracle-sock: %s -> socket moved %d, want %d (net fault perturbs delivery, not the splice)", src, moved, n))
+			return
+		}
+		m.opLog(o, w, "moved=%d drained=%d (net faulted, delivery unchecked)", moved, len(got))
 		return
 	}
 	if moved != n || int64(len(got)) != n {
@@ -1034,6 +1062,12 @@ func (m *machine) doPollWait(p *kernel.Proc, w int, o *op) {
 	poll := func() error { // block until ready, counting bounded-wait expiries
 		for {
 			ready, perr := p.Poll(fds, pollTimeout(o))
+			if perr == kernel.ErrIntr {
+				// EINTR: consume the signal and retry, as any real
+				// program's poll loop would.
+				p.DeliverSignals()
+				continue
+			}
 			if perr != nil {
 				return perr
 			}

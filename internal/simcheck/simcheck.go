@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"kdp/internal/buf"
 	"kdp/internal/disk"
@@ -89,6 +90,13 @@ type Config struct {
 	// at a seed-derived op boundary, followed by repair, remount, and a
 	// durability check of every pre-crash fsync'd file.
 	Crash bool
+	// FaultSite, when non-empty, arms a single-shot fault at the
+	// FaultK-th eligible occurrence of the site (the armed re-run of a
+	// fault sweep). Forces a single worker, like Crash, so the run is a
+	// deterministic prefix of the fault-free census run up to the fire
+	// point. FaultK defaults to 1.
+	FaultSite kernel.FaultSite
+	FaultK    int64
 	// Verbose, when non-nil, receives the event log as it is written.
 	Verbose io.Writer
 }
@@ -104,6 +112,13 @@ type Result struct {
 	Digest uint64
 	Log    []string
 	Stats  kernel.CPUStats
+	// Census lists every fault site that reported at least one eligible
+	// occurrence during the run, with counts — the deterministic input a
+	// fault sweep samples (site, k) pairs from.
+	Census []kernel.SiteCount
+	// FaultFired is how many times the armed fault fired (armed runs
+	// only; the single-shot arm makes 1 the only clean value).
+	FaultFired int64
 	// Violation is the first invariant or oracle failure, nil if the
 	// run was clean.
 	Violation error
@@ -142,6 +157,7 @@ type machine struct {
 	opsDone     int
 	damaged     bool
 	faulted     [2]bool
+	netFaulted  bool
 	workersLeft int
 }
 
@@ -175,6 +191,15 @@ func Run(cfg Config) *Result {
 		// The power cut requires a quiescent machine at the op boundary,
 		// which only a single worker guarantees.
 		cfg.Workers = 1
+	}
+	if cfg.FaultSite != "" {
+		// Armed runs are single-worker so they replay the census run's
+		// schedule exactly up to the fire point, and so a crash-boundary
+		// fire finds the quiescent machine doCrash requires.
+		cfg.Workers = 1
+		if cfg.FaultK <= 0 {
+			cfg.FaultK = 1
+		}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1 + int(cfg.Seed%3)
@@ -272,11 +297,14 @@ func execute(cfg Config, ops []*op) *Result {
 	m.k.SetVM(m.pool)
 	m.net = socket.NewNet(m.k, socket.Loopback())
 	lossy := socket.Loopback()
+	lossy.Name = "snet" // distinct fault sites: "net.snet.drop" etc.
 	lossy.DropEvery = 5
 	m.snet = socket.NewNet(m.k, lossy)
 	m.tchk = trace.NewChecker()
 	m.tdig = trace.NewDigester()
 	m.tr = m.k.StartTrace(trace.Tee(m.tchk, m.tdig))
+
+	var arm *kernel.FaultArm
 
 	splice.EnableInvariants(true)
 	defer splice.EnableInvariants(false)
@@ -298,6 +326,18 @@ func execute(cfg Config, ops []*op) *Result {
 			f.SetPager(m.pool)
 			m.fss[i] = f
 			m.k.Mount(fmt.Sprintf("/d%d", i), f)
+		}
+		// Fault exploration begins here: boot-time transfers (mkfs,
+		// mount) are not eligible injection points — a fault there has
+		// no op to report to — so the census restarts and the sweep's
+		// arm is installed only now. Census and armed runs share this
+		// boundary, which keeps their occurrence numbering aligned.
+		m.k.Faults().ResetCensus()
+		if cfg.FaultSite != "" {
+			arm = m.k.Faults().Arm(kernel.FaultArm{
+				Site: cfg.FaultSite, K: cfg.FaultK, Match: kernel.MatchAny,
+			})
+			m.k.Faults().OnFire = m.onFire
 		}
 		m.workersLeft = cfg.Workers
 		workers := make([]*kernel.Proc, cfg.Workers)
@@ -335,19 +375,54 @@ func execute(cfg Config, ops []*op) *Result {
 
 	m.logf("end: d0 errors=%d d1 errors=%d cache hits=%d",
 		m.disks[0].Errors(), m.disks[1].Errors(), m.cache.Stats().Hits)
+	var fired int64
+	if arm != nil {
+		fired = arm.Fired()
+		m.logf("fault: site=%s k=%d seen=%d fired=%d", cfg.FaultSite, cfg.FaultK, arm.Seen(), fired)
+	}
 	st := m.k.Stats()
 	m.logf("stats: now=%v idle=%v intr=%v switching=%v switches=%d interrupts=%d ticks=%d",
 		st.Now, st.Idle, st.Interrupt, st.Switching, st.Switches, st.Interrupts, st.Ticks)
 
 	return &Result{
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		Ops:       len(ops),
-		Digest:    digest(m.log),
-		Log:       m.log,
-		Stats:     st,
-		Violation: m.violation,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Ops:        len(ops),
+		Digest:     digest(m.log),
+		Log:        m.log,
+		Stats:      st,
+		Census:     m.k.Faults().Census(),
+		FaultFired: fired,
+		Violation:  m.violation,
 	}
+}
+
+// onFire classifies an armed-plan fire into the harness's tolerance
+// classes the instant the fault lands. A lost or errored transfer on a
+// volume suspends content checks there (delayed writes may silently die
+// on the floor, exactly like an opFault-injected defect); a perturbed
+// oracle datagram net downgrades the splice-to-socket byte accounting.
+// Fires from the quiet compatibility adapters (opFault's InjectFault
+// arms, snet's DropEvery arm) are not the armed fault and keep their own
+// handling.
+func (m *machine) onFire(site kernel.FaultSite, arg int64) {
+	if site != m.cfg.FaultSite {
+		return
+	}
+	switch {
+	case strings.HasPrefix(site, "disk.rz58."):
+		m.faulted[0] = true
+	case strings.HasPrefix(site, "disk.rz56."):
+		m.faulted[1] = true
+	case strings.HasPrefix(site, "net.net."):
+		m.netFaulted = true
+	}
+	// fs.*.nospace fires need no downgrade: a failed allocation is a
+	// clean synchronous error the ops already tolerate (the tight rz56
+	// volume produces organic ENOSPC in every long sweep), and it loses
+	// no written data. proc.sleep-signal likewise: ErrIntr is surfaced
+	// and handled op-locally. sim.crash-boundary is handled at the op
+	// boundary that hit it (see worker).
 }
 
 // probe runs at every scheduling boundary (installed via
@@ -465,6 +540,13 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 		}
 		fd, err := p.Open(path, kernel.ORdOnly)
 		if err != nil {
+			// Re-check after the error: an armed fault whose k-th eligible
+			// occurrence lands inside this very open (a directory or inode
+			// read) downgrades the volume mid-verify.
+			if !m.checkable(d) {
+				m.logf("verify %s skipped: open failed after mid-verify fault (%v)", path, err)
+				continue
+			}
 			m.fail(fmt.Errorf("oracle-exists: final open %s: %v (oracle has %d bytes)", path, err, len(of.data)))
 			return
 		}
@@ -472,6 +554,10 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 		n, err := p.Read(fd, got)
 		p.Close(fd)
 		if err != nil {
+			if !m.checkable(d) {
+				m.logf("verify %s skipped: read failed after mid-verify fault (%v)", path, err)
+				continue
+			}
 			m.fail(fmt.Errorf("final read %s: %v", path, err))
 			return
 		}
@@ -506,24 +592,9 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 	// lost delayed metadata writes, so the repairing fsck runs first and
 	// must converge it to a clean volume.
 	for i := range m.fss {
-		if m.faulted[i] {
-			rep, err := fs.FsckRepair(p.Ctx(), m.cache, m.disks[i])
-			if err != nil {
-				m.fail(fmt.Errorf("fsck-repair /d%d: %v", i, err))
-				return
-			}
-			m.logf("fsck-repair /d%d: %d problem(s), %d repair(s)", i, len(rep.Problems), rep.Repaired)
-		}
-		rep, err := fs.Fsck(p.Ctx(), m.cache, m.disks[i])
-		if err != nil {
-			m.fail(fmt.Errorf("fsck /d%d: %v", i, err))
+		if !m.fsckVolume(p, i) {
 			return
 		}
-		if !rep.Clean() {
-			m.fail(fmt.Errorf("fsck /d%d found %d problem(s), first: %s", i, len(rep.Problems), rep.Problems[0]))
-			return
-		}
-		m.logf("fsck /d%d clean: %d inodes, %d used blocks", i, rep.Inodes, rep.UsedBlocks)
 	}
 
 	// Every mapping was unmapped by its op, so the page pool must be
@@ -548,6 +619,50 @@ func (m *machine) finalVerify(p *kernel.Proc) {
 	}
 	if err := m.checkInvariants(); err != nil {
 		m.fail(err)
+	}
+}
+
+// fsckVolume runs the end-of-run fsck discipline on volume i, reporting
+// whether the caller may continue. A faulted volume gets the repairing
+// pass first. If the sweep's armed fault fires inside the fsck itself —
+// the k-th eligible occurrence can land on any disk transfer, including
+// these — the volume becomes faulted mid-check and gets exactly one
+// repair-and-retry (the single-shot arm is spent, so the retry runs
+// fault-free).
+func (m *machine) fsckVolume(p *kernel.Proc, i int) bool {
+	for attempt := 0; ; attempt++ {
+		faultedAtStart := m.faulted[i]
+		if faultedAtStart {
+			rep, err := fs.FsckRepair(p.Ctx(), m.cache, m.disks[i])
+			if err != nil {
+				if attempt == 0 {
+					m.logf("fsck-repair /d%d: %v (mid-verify fault, retrying)", i, err)
+					continue
+				}
+				m.fail(fmt.Errorf("fsck-repair /d%d: %v", i, err))
+				return false
+			}
+			m.logf("fsck-repair /d%d: %d problem(s), %d repair(s)", i, len(rep.Problems), rep.Repaired)
+		}
+		rep, err := fs.Fsck(p.Ctx(), m.cache, m.disks[i])
+		if err != nil {
+			if attempt == 0 && m.faulted[i] {
+				m.logf("fsck /d%d: %v (mid-verify fault, retrying with repair)", i, err)
+				continue
+			}
+			m.fail(fmt.Errorf("fsck /d%d: %v", i, err))
+			return false
+		}
+		if !rep.Clean() {
+			if attempt == 0 && m.faulted[i] && !faultedAtStart {
+				m.logf("fsck /d%d: %d problem(s) after mid-verify fault, retrying with repair", i, len(rep.Problems))
+				continue
+			}
+			m.fail(fmt.Errorf("fsck /d%d found %d problem(s), first: %s", i, len(rep.Problems), rep.Problems[0]))
+			return false
+		}
+		m.logf("fsck /d%d clean: %d inodes, %d used blocks", i, rep.Inodes, rep.UsedBlocks)
+		return true
 	}
 }
 

@@ -19,6 +19,10 @@ import (
 
 // NetParams describes the simulated link all sockets of one Net share.
 type NetParams struct {
+	// Name identifies the net in fault-site IDs ("net.<name>.drop" and
+	// friends); machines with several nets give each a distinct name.
+	// Empty defaults to "net".
+	Name string
 	// Bandwidth is the serialization rate in bytes per second (a
 	// 10Mb/s Ethernet moves ~1.25MB/s).
 	Bandwidth float64
@@ -81,6 +85,8 @@ type Net struct {
 
 	rxCount                  int64
 	sent, delivered, dropped int64
+
+	siteDrop, siteDup, siteReorder kernel.FaultSite
 }
 
 // NewNet creates a network on machine k.
@@ -91,8 +97,35 @@ func NewNet(k *kernel.Kernel, p NetParams) *Net {
 	if p.RcvBufBytes <= 0 {
 		p.RcvBufBytes = 64 << 10
 	}
-	return &Net{k: k, p: p, socks: make(map[int]*Socket)}
+	name := p.Name
+	if name == "" {
+		name = "net"
+	}
+	n := &Net{k: k, p: p, socks: make(map[int]*Socket),
+		siteDrop:    "net." + name + ".drop",
+		siteDup:     "net." + name + ".dup",
+		siteReorder: "net." + name + ".reorder",
+	}
+	if p.DropEvery > 0 {
+		// Compatibility adapter: the DropEvery knob is a quiet
+		// every-Nth arm on the drop site, counting exactly the packets
+		// the old per-net counter did.
+		k.Faults().Arm(kernel.FaultArm{
+			Site: n.siteDrop, Every: int64(p.DropEvery),
+			Match: kernel.MatchAny, Count: -1, Quiet: true,
+		})
+	}
+	return n
 }
+
+// DropSite returns the net's datagram-loss fault site ID.
+func (n *Net) DropSite() kernel.FaultSite { return n.siteDrop }
+
+// DupSite returns the net's datagram-duplication fault site ID.
+func (n *Net) DupSite() kernel.FaultSite { return n.siteDup }
+
+// ReorderSite returns the net's datagram-reorder fault site ID.
+func (n *Net) ReorderSite() kernel.FaultSite { return n.siteReorder }
 
 // Stats reports network counters: packets sent, delivered, dropped.
 func (n *Net) Stats() (sent, delivered, dropped int64) {
@@ -141,15 +174,48 @@ func (n *Net) txNext() {
 	})
 }
 
+// deliver runs the receive-side fault sites — every non-EOF data
+// datagram is one eligible occurrence, argument = its arrival ordinal —
+// then hands the packet to the destination socket. Drop discards it,
+// dup delivers it twice, reorder delays it one extra propagation period
+// so a datagram in flight behind it overtakes it.
 func (n *Net) deliver(port int, pkt packet) {
-	if n.p.DropEvery > 0 && !pkt.eof && len(pkt.data) > 0 {
+	if !pkt.eof && len(pkt.data) > 0 {
+		fp := n.k.Faults()
 		n.rxCount++
-		if n.rxCount%int64(n.p.DropEvery) == 0 {
+		ord := n.rxCount
+		if fp.Hit(n.siteDrop, ord) {
 			n.dropped++
 			n.k.TraceEmit(trace.KindNetDrop, 0, int64(len(pkt.data)), int64(port), "")
 			return
 		}
+		dup := fp.Hit(n.siteDup, ord)
+		if fp.Hit(n.siteReorder, ord) {
+			n.k.Hold()
+			n.k.Engine().Schedule(n.p.Latency, "net:reorder", func() {
+				n.k.Interrupt(func() {
+					n.k.StealCPU(n.p.PerPacketCost)
+					n.deliverTo(port, pkt)
+					if dup {
+						n.k.StealCPU(n.p.PerPacketCost)
+						n.deliverTo(port, pkt)
+					}
+				})
+				n.k.Release()
+			})
+			return
+		}
+		if dup {
+			n.deliverTo(port, pkt)
+			n.k.StealCPU(n.p.PerPacketCost)
+			n.deliverTo(port, pkt)
+			return
+		}
 	}
+	n.deliverTo(port, pkt)
+}
+
+func (n *Net) deliverTo(port int, pkt packet) {
 	s, ok := n.socks[port]
 	if !ok || s.closed {
 		n.dropped++

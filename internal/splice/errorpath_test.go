@@ -112,6 +112,188 @@ func TestSpliceFullFilesystem(t *testing.T) {
 	}
 }
 
+// TestSpliceSourceFileWriteFaultAbortsCleanly exercises the source→file
+// engine's destination-failure path: a staged block's asynchronous
+// write fails at interrupt level partway through a socket→file splice.
+// The call must report the bytes moved so far with a single ErrIO,
+// release every staging buffer back to the cache, and leave BOTH
+// endpoints usable — the source socket still delivers the bytes the
+// splice never consumed, and the destination volume is structurally
+// consistent (the aborted mapping's blocks stay attached to the inode,
+// the rollbackBlock discipline's "referenced, therefore consistent"
+// contract).
+func TestSpliceSourceFileWriteFaultAbortsCleanly(t *testing.T) {
+	m := newMachine(t, disk.RZ56)
+	net := socket.NewNet(m.k, socket.Loopback())
+	in, err := net.NewSocket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := net.NewSocket(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer.Connect(1)
+	pinger, err := net.NewSocket(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinger.Connect(1)
+
+	const blocks = 12
+	const total = blocks * bsize
+	m.k.Spawn("producer", func(p *kernel.Proc) {
+		fd := p.InstallFile(producer, kernel.OWrOnly)
+		chunk := make([]byte, 1024)
+		for i := range chunk {
+			chunk[i] = 0x5A
+		}
+		for sent := 0; sent < total; sent += len(chunk) {
+			if _, err := p.Write(fd, chunk); err != nil {
+				t.Errorf("produce: %v", err)
+				return
+			}
+		}
+		_ = p.Close(fd) // EOF marker
+	})
+	m.run(t, func(p *kernel.Proc) {
+		dst, _ := p.Open("/d1/landing", kernel.OCreat|kernel.OWrOnly)
+		fdD, _ := p.FD(dst)
+		dtable, _, err := fdD.Ops().(FileLike).SpliceMapWrite(p.Ctx(), blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.disks[1].InjectFault(int64(dtable[3]), false, true, -1)
+
+		inFD := p.InstallFile(in, kernel.ORdOnly)
+		free0 := m.cache.FreeBuffers()
+		n, serr := Splice(p, inFD, dst, total)
+		if serr != kernel.ErrIO {
+			t.Fatalf("splice: n=%d err=%v, want ErrIO", n, serr)
+		}
+		if n <= 0 || n >= total {
+			t.Fatalf("moved %d of %d; want a proper prefix", n, total)
+		}
+		// Every staging buffer the engine held must be back on the free
+		// list once the descriptor drains.
+		if got := m.cache.FreeBuffers(); got != free0 {
+			t.Fatalf("staging buffer leak after failed splice: free %d -> %d", free0, got)
+		}
+		// The source survives the sink's failure. Whatever the splice
+		// left buffered (the producer raced the 64KB receive bound, so
+		// the tail datagrams were dropped UDP-style) drains down to the
+		// producer's EOF marker without error...
+		tmp := make([]byte, 4096)
+		for {
+			r, rerr := p.Read(inFD, tmp)
+			if rerr != nil {
+				t.Fatalf("read source after failed splice: %v", rerr)
+			}
+			if r == 0 {
+				break
+			}
+		}
+		// ...and the descriptor still delivers fresh traffic: no parked
+		// splice read is left squatting on the receive queue.
+		pingFD := p.InstallFile(pinger, kernel.OWrOnly)
+		if _, err := p.Write(pingFD, []byte("post-fault ping")); err != nil {
+			t.Fatalf("ping write: %v", err)
+		}
+		r, rerr := p.Read(inFD, tmp)
+		if rerr != nil || string(tmp[:r]) != "post-fault ping" {
+			t.Fatalf("source fd unusable after failed splice: n=%d err=%v", r, rerr)
+		}
+		// The destination volume stays consistent and writable.
+		m.disks[1].ClearFaults()
+		if err := m.fsys[1].SyncAll(p.Ctx()); err != nil {
+			t.Fatalf("sync after failed splice: %v", err)
+		}
+		if rep, err := fs.Fsck(p.Ctx(), m.cache, m.disks[1]); err != nil {
+			t.Fatalf("fsck: %v", err)
+		} else if !rep.Clean() {
+			t.Fatalf("destination volume inconsistent after failed splice: %v", rep.Problems)
+		}
+		if _, err := p.Lseek(dst, 0, kernel.SeekSet); err != nil {
+			t.Fatalf("lseek dst after failed splice: %v", err)
+		}
+		if _, err := p.Write(dst, make([]byte, 100)); err != nil {
+			t.Fatalf("write dst after failed splice: %v", err)
+		}
+	})
+	if m.disks[1].Errors() == 0 {
+		t.Fatal("fault never triggered")
+	}
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpliceSourceFileSetupENOSPC: the destination mapping is built up
+// front (§5.2), so a socket→file splice onto a too-small volume fails
+// with ErrNoSpace before a single byte leaves the source — the socket's
+// queue is untouched and the partial allocation stays consistently
+// attached.
+func TestSpliceSourceFileSetupENOSPC(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxRunTime = 3600 * sim.Second
+	k := kernel.New(cfg)
+	cache := buf.NewCache(k, 400, bsize)
+	tiny := disk.New(k, disk.RAMDisk(48, bsize))
+	tiny.SetCache(cache)
+	if _, err := fs.Mkfs(tiny, 16); err != nil {
+		t.Fatalf("mkfs: %v", err)
+	}
+	net := socket.NewNet(k, socket.Loopback())
+	in, _ := net.NewSocket(1)
+	producer, _ := net.NewSocket(2)
+	producer.Connect(1)
+
+	k.Spawn("test", func(p *kernel.Proc) {
+		f, err := fs.Mount(p.Ctx(), cache, tiny)
+		if err != nil {
+			t.Fatalf("mount: %v", err)
+		}
+		k.Mount("/d1", f)
+		pfd := p.InstallFile(producer, kernel.OWrOnly)
+		if _, err := p.Write(pfd, []byte("queued before the splice")); err != nil {
+			t.Fatalf("produce: %v", err)
+		}
+
+		inFD := p.InstallFile(in, kernel.ORdOnly)
+		dst, _ := p.Open("/d1/dst", kernel.OCreat|kernel.OWrOnly)
+		if _, err := Splice(p, inFD, dst, 64*bsize); err != kernel.ErrNoSpace {
+			t.Fatalf("splice onto full fs: %v, want ErrNoSpace", err)
+		}
+		// Nothing was consumed from the source.
+		tmp := make([]byte, 64)
+		n, err := p.Read(inFD, tmp)
+		if err != nil || string(tmp[:n]) != "queued before the splice" {
+			t.Fatalf("source disturbed by failed setup: n=%d err=%v", n, err)
+		}
+		if err := f.SyncAll(p.Ctx()); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if rep, err := fs.Fsck(p.Ctx(), cache, tiny); err != nil {
+			t.Fatalf("fsck: %v", err)
+		} else if !rep.Clean() {
+			t.Fatalf("volume inconsistent after failed setup: %v", rep.Problems)
+		}
+		// Unlinking the casualty makes the space usable again.
+		if err := p.Close(dst); err != nil {
+			t.Fatalf("close dst: %v", err)
+		}
+		if err := p.Unlink("/d1/dst"); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	if err := CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSpliceEOFMidTransferQuantum(t *testing.T) {
 	// The source ends partway through a transfer quantum (its last block
 	// is partial) and the caller asks for far more than the file holds:

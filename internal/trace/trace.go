@@ -128,6 +128,10 @@ const (
 	// Syscall aggregation (internal/kernel readv/writev/submit).
 	KindKernelBatch // aggregated submission crossed the boundary once; Pid = caller, Arg1 = ops carried, Arg2 = crossings saved vs one-syscall-per-op
 
+	// Fault-plan events (internal/kernel FaultPlan). Name = site ID.
+	KindFaultArm  // a plan armed a site; Arg1 = k (occurrence to hit), Arg2 = every-n period (0 when unused)
+	KindFaultFire // an armed fault fired; Arg1 = site argument (blkno, ordinal, pid), Arg2 = occurrence index that fired
+
 	kindMax // count sentinel; keep last
 )
 
@@ -185,6 +189,8 @@ var kindNames = [kindMax]string{
 	KindVMPageout:       "vm.pageout",
 	KindVMCOW:           "vm.cow",
 	KindKernelBatch:     "kernel.batch",
+	KindFaultArm:        "fault.arm",
+	KindFaultFire:       "fault.fire",
 }
 
 // String returns the kind's canonical dotted name.
@@ -306,6 +312,10 @@ func (ev Event) String() string {
 		return fmt.Sprintf("vm.cow pid%d page %d %dB", ev.Pid, ev.Arg1, ev.Arg2)
 	case KindKernelBatch:
 		return fmt.Sprintf("kernel.batch pid%d ops=%d saved=%d", ev.Pid, ev.Arg1, ev.Arg2)
+	case KindFaultArm:
+		return fmt.Sprintf("fault.arm %s k=%d every=%d", ev.Name, ev.Arg1, ev.Arg2)
+	case KindFaultFire:
+		return fmt.Sprintf("fault.fire %s arg=%d occurrence=%d", ev.Name, ev.Arg1, ev.Arg2)
 	default:
 		return fmt.Sprintf("%v pid%d %d %d %s", ev.Kind, ev.Pid, ev.Arg1, ev.Arg2, ev.Name)
 	}

@@ -359,7 +359,9 @@ func TestPoolPressureEvictsAndRefaults(t *testing.T) {
 
 // Satellite regression: a pageout that hits a device write error must
 // latch the sticky per-device flag exactly like a delayed write — the
-// next msync reports ErrIO.
+// next msync reports ErrIO. msync only observes the latch: it must not
+// consume it out from under a concurrent fsync, which is the call the
+// latch exists to serve (and which consumes it exactly once).
 func TestMsyncSurfacesPageoutWriteError(t *testing.T) {
 	r := newRig(t, 32)
 	r.run(t, "werr", func(p *kernel.Proc) {
@@ -392,6 +394,30 @@ func TestMsyncSurfacesPageoutWriteError(t *testing.T) {
 			t.Errorf("msync = %v, want ErrIO", err)
 		}
 		r.d.ClearFaults()
+		// The latch survived the msync: a second msync (clean flush,
+		// fault withdrawn) still observes it.
+		if err := p.Msync(addr); err != kernel.ErrIO {
+			t.Errorf("second msync = %v, want ErrIO (msync must not consume the latch)", err)
+		}
+		// fsync is the consumer: it reports the latched error exactly
+		// once, even though msync reported it twice already.
+		fd2, err := p.Open("/v/e", kernel.ORdWr)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if err := p.Fsync(fd2); err != kernel.ErrIO {
+			t.Errorf("fsync = %v, want ErrIO (latch belongs to fsync)", err)
+		}
+		if err := p.Fsync(fd2); err != nil {
+			t.Errorf("second fsync = %v, want nil (latch consumed)", err)
+		}
+		if err := p.Close(fd2); err != nil {
+			t.Fatalf("close 2: %v", err)
+		}
+		// With the latch consumed, msync and munmap are clean.
+		if err := p.Msync(addr); err != nil {
+			t.Errorf("msync after consume = %v, want nil", err)
+		}
 		if err := p.Munmap(addr); err != nil {
 			t.Fatalf("munmap: %v", err)
 		}
